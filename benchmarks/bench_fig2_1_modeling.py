@@ -1,0 +1,103 @@
+"""E-F2.1 — Fig. 2.1: modeling approaches to boundary representation.
+
+The paper's figure contrasts the hierarchical (redundant), network
+(relation-record), and MAD (direct & symmetric) modeling of BREP.  This
+bench regenerates it as numbers: stored record counts, byte sizes, and the
+cost of the *reverse* traversal (point -> faces) that hierarchies cannot
+answer without scanning everything.
+
+Expected shape (paper, 2.1): hierarchical pays ~2x records for edges and
+~6x for points and must scan the whole database upward; network avoids
+redundancy but adds one link record per connection and pays indirection;
+MAD stores each atom once and follows back-references directly.
+"""
+
+from __future__ import annotations
+
+import sys
+import pathlib
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+
+from common import brep_database, print_header, print_table
+
+from repro.baselines import HierarchicalStore, NetworkStore
+
+
+def build_stores(n_solids: int):
+    handles = brep_database(n_solids)
+    hierarchical = HierarchicalStore()
+    hierarchical.load_from_prima(handles.db)
+    network = NetworkStore()
+    network.load_from_prima(handles.db)
+    return handles, hierarchical, network
+
+
+def mad_metrics(handles):
+    db = handles.db
+    from repro.access.encoding import encoded_size
+    records = 0
+    nbytes = 0
+    for type_name in ("brep", "face", "edge", "point"):
+        for _s, values in db.access.atoms.atoms_of_type(type_name):
+            records += 1
+            nbytes += encoded_size(values)
+    # reverse traversal: point -> faces via back-references
+    point = handles.points[0]
+    faces = db.access.get(point)["face"]
+    touched = 1 + len(faces)
+    return records, nbytes, len(faces), touched
+
+
+def report(n_solids_list=(2, 4, 8)):
+    print_header(
+        "Fig. 2.1 — modeling approaches to boundary representation",
+        "records stored / bytes / reverse traversal (point->faces) cost",
+    )
+    rows = []
+    for n_solids in n_solids_list:
+        handles, hierarchical, network = build_stores(n_solids)
+        placement = handles.db.access.get(handles.points[0])["placement"]
+        h_faces, h_touched = hierarchical.reverse_traversal_cost(
+            placement["x_coord"], placement["y_coord"],
+            placement["z_coord"])
+        n_faces, n_touched = network.faces_of_point(handles.points[0])
+        m_records, m_bytes, m_faces, m_touched = mad_metrics(handles)
+        rows.append([n_solids, "hierarchical", hierarchical.record_count,
+                     hierarchical.byte_size, h_faces, h_touched])
+        rows.append([n_solids, "network", network.record_count,
+                     network.byte_size, len(n_faces), n_touched])
+        rows.append([n_solids, "MAD (PRIMA)", m_records, m_bytes,
+                     m_faces, m_touched])
+    print_table(
+        ["solids", "approach", "records", "bytes", "faces found",
+         "records touched (reverse)"],
+        rows,
+    )
+    print("\nShape check: hierarchical reverse traversal touches the whole")
+    print("database; MAD touches only the answer path (symmetry).")
+
+
+# -- pytest-benchmark targets -------------------------------------------------
+
+def test_hierarchical_reverse_traversal(benchmark):
+    handles, hierarchical, _network = build_stores(4)
+    placement = handles.db.access.get(handles.points[0])["placement"]
+    benchmark(hierarchical.reverse_traversal_cost,
+              placement["x_coord"], placement["y_coord"],
+              placement["z_coord"])
+
+
+def test_mad_reverse_traversal(benchmark):
+    handles, _hierarchical, _network = build_stores(4)
+    db = handles.db
+
+    def reverse():
+        point_values = db.access.get(handles.points[0])
+        return [db.access.get(face) for face in point_values["face"]]
+
+    benchmark(reverse)
+
+
+if __name__ == "__main__":
+    report()

@@ -1,0 +1,107 @@
+"""E-T2.1 — Table 2.1: the four hand-picked query examples, verbatim.
+
+Runs queries (a)-(d) of the paper's Table 2.1 against a generated BREP
+database (seeds brep_no=1713 and solid_no=4711 planted by the generator)
+and reports result shapes, chosen plans, and latencies.
+"""
+
+from __future__ import annotations
+
+import sys
+import pathlib
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+
+from common import brep_database, print_header, print_table
+
+QUERIES = {
+    "a (vertical, network)": (
+        "SELECT ALL FROM brep-face-edge-point "
+        "WHERE brep_no = 1713 (* qualification *)"
+    ),
+    "b (vertical, recursive)": (
+        "SELECT ALL FROM piece_list (* pre-defined molecule type *) "
+        "WHERE piece_list (0).solid_no = 4711 (* seed qualification *)"
+    ),
+    "c (horizontal + projection)": (
+        "SELECT solid_no, description (* unqualified projection *) "
+        "FROM solid WHERE sub = EMPTY"
+    ),
+    "d (branching + quantifier + qualified projection)": """
+        SELECT edge, (point,
+         face := SELECT face_id, square_dim
+                 FROM face (* qualified projection q3, p2 *)
+                 WHERE square_dim > 1.9E1)
+        FROM brep-edge (face, point)
+        WHERE brep_no = 1713 (* qualification q1 *)
+        AND EXISTS_AT_LEAST (2) edge: edge.length > 1.0E0
+        (* quantified restriction q2 *)
+    """,
+}
+
+
+def run_query(db, mql: str):
+    started = time.perf_counter()
+    result = db.query(mql)
+    elapsed_ms = 1000 * (time.perf_counter() - started)
+    return result, elapsed_ms
+
+
+def report(n_solids: int = 16):
+    handles = brep_database(n_solids)
+    db = handles.db
+    print_header(f"Table 2.1 — the four query examples "
+                 f"({n_solids}-solid BREP database)")
+    rows = []
+    for name, mql in QUERIES.items():
+        result, elapsed_ms = run_query(db, mql)
+        root_plan = db.explain(mql).splitlines()[1].strip()
+        rows.append([
+            name,
+            len(result),
+            result.atom_count(),
+            f"{elapsed_ms:.1f} ms",
+            root_plan.replace("root: ", ""),
+        ])
+    print_table(["query", "molecules", "atoms", "latency", "root access"],
+                rows)
+    molecule = db.query(QUERIES["b (vertical, recursive)"])[0]
+    print(f"\npiece_list(4711): assembly of {molecule.atom_count()} solids, "
+          f"recursion depth {molecule.depth() - 1}")
+
+
+# -- pytest-benchmark targets ---------------------------------------------------
+
+def _db():
+    return brep_database(8).db
+
+
+def test_query_a_vertical(benchmark):
+    db = _db()
+    result = benchmark(db.query, QUERIES["a (vertical, network)"])
+    assert len(result) == 1 and result[0].atom_count() == 27
+
+
+def test_query_b_recursive(benchmark):
+    db = _db()
+    result = benchmark(db.query, QUERIES["b (vertical, recursive)"])
+    assert len(result) == 1
+
+
+def test_query_c_horizontal(benchmark):
+    db = _db()
+    result = benchmark(db.query, QUERIES["c (horizontal + projection)"])
+    assert len(result) == 8
+
+
+def test_query_d_miscellaneous(benchmark):
+    db = _db()
+    result = benchmark(
+        db.query,
+        QUERIES["d (branching + quantifier + qualified projection)"])
+    assert len(result) == 1
+
+
+if __name__ == "__main__":
+    report()

@@ -1,0 +1,45 @@
+"""PRIMA reproduction: a DBMS kernel implementing the Molecule-Atom Data
+model (Härder, Meyer-Wegener, Mitschang, Sikeler — VLDB 1987).
+
+Quickstart::
+
+    from repro import Prima
+
+    db = Prima()
+    db.execute("CREATE ATOM_TYPE city (city_id: IDENTIFIER, "
+               "name: CHAR_VAR) KEYS_ARE (name)")
+    db.execute("INSERT city (name = 'Brighton')")
+    for molecule in db.query("SELECT ALL FROM city"):
+        print(molecule.atom)
+
+Package map (one subpackage per layer of Fig. 3.1):
+
+* :mod:`repro.storage`  — segments, five page sizes, buffer, page sequences
+* :mod:`repro.access`   — atoms, back-references, tuning structures, scans
+* :mod:`repro.mad`      — the Molecule-Atom Data model objects
+* :mod:`repro.mql`      — the Molecule Query Language front end
+* :mod:`repro.data`     — validation, planning, molecule construction
+* :mod:`repro.ldl`      — the load definition language
+* :mod:`repro.txn`      — nested transactions
+* :mod:`repro.parallel` — semantic parallelism on a simulated multiprocessor
+* :mod:`repro.coupling` — workstation-host checkout/checkin
+* :mod:`repro.workloads`— BREP / VLSI / GIS generators
+* :mod:`repro.baselines`— hierarchical and network stores (Fig. 2.1)
+"""
+
+from repro.data.result import ResultSet
+from repro.db import Prima
+from repro.errors import PrimaError
+from repro.mad.molecule import Molecule
+from repro.mad.types import Surrogate
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Molecule",
+    "Prima",
+    "PrimaError",
+    "ResultSet",
+    "Surrogate",
+    "__version__",
+]

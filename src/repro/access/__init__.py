@@ -1,0 +1,69 @@
+"""The access system of PRIMA (paper, section 3.2).
+
+Atom-oriented interface with logical addressing, automatic back-reference
+maintenance, tuning structures (access paths, sort orders, partitions,
+atom clusters), deferred update, and five scan types.
+"""
+
+from repro.access.access_path import AccessPath
+from repro.access.address import (
+    BASE_STRUCTURE,
+    AddressTable,
+    Placement,
+    RecordId,
+    SurrogateGenerator,
+)
+from repro.access.atoms import AtomManager
+from repro.access.btree import BStarTree, Key, make_key
+from repro.access.cluster import AtomCluster
+from repro.access.container import RecordContainer
+from repro.access.deferred import DeferredUpdateManager
+from repro.access.encoding import decode_atom, encode_atom, encoded_size
+from repro.access.multidim import GridFile, KeyCondition
+from repro.access.partition import Partition
+from repro.access.scans import (
+    AccessPathScan,
+    AtomClusterScan,
+    AtomClusterTypeScan,
+    AtomTypeScan,
+    ClusterSearchArgument,
+    Scan,
+    SearchArgument,
+    SortScan,
+)
+from repro.access.sort_order import SortOrder
+from repro.access.structure import StorageStructure
+from repro.access.system import AccessSystem
+
+__all__ = [
+    "AccessPath",
+    "AccessPathScan",
+    "AccessSystem",
+    "AddressTable",
+    "AtomCluster",
+    "AtomClusterScan",
+    "AtomClusterTypeScan",
+    "AtomManager",
+    "AtomTypeScan",
+    "BASE_STRUCTURE",
+    "BStarTree",
+    "ClusterSearchArgument",
+    "DeferredUpdateManager",
+    "GridFile",
+    "Key",
+    "KeyCondition",
+    "Partition",
+    "Placement",
+    "RecordContainer",
+    "RecordId",
+    "Scan",
+    "SearchArgument",
+    "SortOrder",
+    "SortScan",
+    "StorageStructure",
+    "SurrogateGenerator",
+    "decode_atom",
+    "encode_atom",
+    "encoded_size",
+    "make_key",
+]

@@ -1,0 +1,91 @@
+"""Database-wide structural-integrity verification.
+
+The access system maintains back-references *operationally* (every write
+adjusts the paired attribute).  This module provides the complementary
+*verification* pass: it checks that the stored database actually satisfies
+
+* **symmetry** — a references b over an association iff b back-references a
+  (the MAD invariant, paper 2.1/3.2),
+* **existence** — every stored reference points to a live atom,
+* **cardinality** — every SET attribute respects its full (min, max)
+  restriction (minimums are deferred at write time to allow incremental
+  molecule construction).
+
+Tests and the facade's ``verify_integrity()`` use it; property-based tests
+assert that no sequence of DML operations can produce violations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.mad.types import SetType, Surrogate, reference_of, reference_values
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.access.atoms import AtomManager
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One integrity violation found by the verifier."""
+
+    kind: str            # 'dangling', 'asymmetric', 'cardinality'
+    atom: Surrogate
+    attribute: str
+    detail: str
+
+    def __repr__(self) -> str:
+        return f"[{self.kind}] {self.atom}.{self.attribute}: {self.detail}"
+
+
+def verify_database(manager: "AtomManager") -> list[Violation]:
+    """Run all checks over every atom; returns the violations found."""
+    violations: list[Violation] = []
+    schema = manager.schema
+    for type_name in schema.atom_type_names():
+        atom_type = schema.atom_type(type_name)
+        for surrogate, values in manager.atoms_of_type(type_name):
+            for attr_name in atom_type.reference_attrs():
+                attr_type = atom_type.attr(attr_name)
+                ref = reference_of(attr_type)
+                assert ref is not None
+                targets = reference_values(attr_type, values.get(attr_name))
+                for target in targets:
+                    if not manager.exists(target):
+                        violations.append(Violation(
+                            "dangling", surrogate, attr_name,
+                            f"references deleted atom {target}",
+                        ))
+                        continue
+                    partner = manager.get(target)
+                    partner_attr_type = schema.atom_type(ref.target_type) \
+                        .attr(ref.target_attr)
+                    back = reference_values(
+                        partner_attr_type, partner.get(ref.target_attr)
+                    )
+                    if surrogate not in back:
+                        violations.append(Violation(
+                            "asymmetric", surrogate, attr_name,
+                            f"{target}.{ref.target_attr} lacks the "
+                            f"back-reference",
+                        ))
+                if isinstance(attr_type, SetType):
+                    count = len(targets)
+                    if count < attr_type.min_card or (
+                        attr_type.max_card is not None
+                        and count > attr_type.max_card
+                    ):
+                        upper = attr_type.max_card
+                        upper_text = "VAR" if upper is None else str(upper)
+                        violations.append(Violation(
+                            "cardinality", surrogate, attr_name,
+                            f"{count} elements outside "
+                            f"({attr_type.min_card},{upper_text})",
+                        ))
+    return violations
+
+
+def check_symmetry_only(manager: "AtomManager") -> list[Violation]:
+    """Just the symmetry/dangling checks (skip cardinality minimums)."""
+    return [v for v in verify_database(manager) if v.kind != "cardinality"]

@@ -1,0 +1,379 @@
+"""Scans: navigational access with NEXT/PRIOR (paper, 3.2).
+
+Effective processing of data system operations critically depends on
+powerful navigational capabilities: a *scan* controls a dynamically defined
+set of atoms, holds a current position in the set, and successively
+delivers single atoms (NEXT/PRIOR).  Five scan types exist:
+
+===========================  =====================================================
+atom-type scan               all atoms of one type, system-defined order
+sort scan                    all atoms of one type in a user-defined sort order,
+                             with start/stop conditions (uses a redundant sort
+                             order when available, else sorts explicitly)
+access-path scan             entries of an access path, start/stop conditions and
+                             direction per key
+atom-cluster-type scan       all characteristic atoms of an atom-cluster type
+                             (search arguments decidable in a single pass through
+                             one cluster — the single-scan property [DPS86])
+atom-cluster scan            all atoms of one type within a single atom cluster
+===========================  =====================================================
+
+Every scan may carry a *simple search argument*: a conjunction of
+attribute-operator-value terms decidable on each atom in isolation.
+
+Position maintenance: a scan snapshots the membership order when opened;
+atoms deleted after opening are skipped at delivery time, so NEXT/PRIOR
+remain well-defined under concurrent modification of the set.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Iterator
+
+from repro.access.access_path import AccessPath
+from repro.access.btree import make_key
+from repro.access.cluster import AtomCluster
+from repro.access.multidim import KeyCondition
+from repro.access.sort_order import SortOrder
+from repro.errors import AccessError, ScanStateError
+from repro.mad.types import Surrogate
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.access.atoms import AtomManager
+
+#: Comparison operators usable in simple search arguments.
+_OPS: dict[str, Callable[[Any, Any], bool]] = {
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a is not None and b is not None and make_key(a) < make_key(b),
+    "<=": lambda a, b: a is not None and b is not None and make_key(a) <= make_key(b),
+    ">": lambda a, b: a is not None and b is not None and make_key(b) < make_key(a),
+    ">=": lambda a, b: a is not None and b is not None and make_key(b) <= make_key(a),
+    "contains": lambda a, b: isinstance(a, list) and b in a,
+    "empty": lambda a, b: not a,
+    "not_empty": lambda a, b: bool(a),
+}
+
+
+class SearchArgument:
+    """A conjunction of (attribute, operator, value) terms."""
+
+    def __init__(self, *terms: tuple[str, str, Any]) -> None:
+        for _attr, op, _value in terms:
+            if op not in _OPS:
+                raise AccessError(
+                    f"unknown operator {op!r}; known: {sorted(_OPS)}"
+                )
+        self.terms = terms
+
+    def matches(self, values: dict[str, Any]) -> bool:
+        return all(
+            _OPS[op](values.get(attr), value)
+            for attr, op, value in self.terms
+        )
+
+    def __repr__(self) -> str:
+        inner = " AND ".join(f"{a} {op} {v!r}" for a, op, v in self.terms)
+        return f"SearchArgument({inner})"
+
+
+class Scan:
+    """Common NEXT/PRIOR machinery over a snapshot of positions."""
+
+    def __init__(self) -> None:
+        self._positions: list[Any] | None = None
+        self._cursor = -1          # index of the element delivered last
+        self._closed = False
+
+    # Subclasses provide the ordered snapshot and the delivery logic. ----------
+
+    def _snapshot(self) -> list[Any]:
+        raise NotImplementedError
+
+    def _deliver(self, position: Any) -> tuple[Surrogate, dict[str, Any]] | None:
+        """Fetch the atom at ``position``; None when it vanished or fails
+        the search argument."""
+        raise NotImplementedError
+
+    # -- the scan protocol ----------------------------------------------------------
+
+    def _ensure_open(self) -> list[Any]:
+        if self._closed:
+            raise ScanStateError("scan is closed")
+        if self._positions is None:
+            self._positions = self._snapshot()
+        return self._positions
+
+    def next(self) -> tuple[Surrogate, dict[str, Any]] | None:
+        """Advance to and return the next qualifying atom (None at end)."""
+        positions = self._ensure_open()
+        cursor = self._cursor
+        while cursor + 1 < len(positions):
+            cursor += 1
+            result = self._deliver(positions[cursor])
+            if result is not None:
+                self._cursor = cursor
+                return result
+        self._cursor = len(positions)
+        return None
+
+    def prior(self) -> tuple[Surrogate, dict[str, Any]] | None:
+        """Step back to and return the previous qualifying atom."""
+        positions = self._ensure_open()
+        cursor = min(self._cursor, len(positions))
+        while cursor - 1 >= 0:
+            cursor -= 1
+            result = self._deliver(positions[cursor])
+            if result is not None:
+                self._cursor = cursor
+                return result
+        self._cursor = -1
+        return None
+
+    def rewind(self) -> None:
+        """Reset the position before the first element (keeps the snapshot)."""
+        self._ensure_open()
+        self._cursor = -1
+
+    def close(self) -> None:
+        self._closed = True
+        self._positions = None
+
+    def __iter__(self) -> Iterator[tuple[Surrogate, dict[str, Any]]]:
+        while True:
+            item = self.next()
+            if item is None:
+                return
+            yield item
+
+
+class AtomTypeScan(Scan):
+    """All atoms of one type in system-defined (physical) order.
+
+    Corresponds to the relation scan of the RSS [As76].  ``attrs`` selects
+    attributes ("only selected attributes"); the search argument restricts
+    the result set.
+    """
+
+    def __init__(self, manager: "AtomManager", type_name: str,
+                 search: SearchArgument | None = None,
+                 attrs: list[str] | None = None) -> None:
+        super().__init__()
+        self._manager = manager
+        self._type_name = type_name
+        self._search = search
+        self._attrs = attrs
+        manager.schema.atom_type(type_name)   # validate early
+
+    def _snapshot(self) -> list[Surrogate]:
+        return [s for s, _values in self._manager.atoms_of_type(self._type_name)]
+
+    def _deliver(self, position: Surrogate):
+        if not self._manager.exists(position):
+            return None
+        values = self._manager.get(position)
+        if self._search is not None and not self._search.matches(values):
+            return None
+        if self._attrs is not None:
+            values = self._manager.get(position, attrs=self._attrs)
+        return position, values
+
+
+class SortScan(Scan):
+    """All atoms of one type in a user-defined sort order.
+
+    Uses a redundant :class:`SortOrder` when one matches the criterion;
+    otherwise the sort is performed explicitly into a temporary order
+    (which is exactly what the paper allows — the scan works either way).
+    Start and stop conditions bound the delivered key range.
+    """
+
+    def __init__(self, manager: "AtomManager", type_name: str,
+                 sort_attrs: list[str],
+                 search: SearchArgument | None = None,
+                 start: Any = None, stop: Any = None,
+                 include_start: bool = True, include_stop: bool = True,
+                 reverse: bool = False) -> None:
+        super().__init__()
+        self._manager = manager
+        self._type_name = type_name
+        self._sort_attrs = tuple(sort_attrs)
+        self._search = search
+        self._start = start
+        self._stop = stop
+        self._include_start = include_start
+        self._include_stop = include_stop
+        self._reverse = reverse
+        self._support: SortOrder | None = None
+        for structure in manager.structures_for(type_name, "sort_order"):
+            assert isinstance(structure, SortOrder)
+            if structure.sort_attrs == self._sort_attrs:
+                self._support = structure
+                break
+        self.used_sort_order = self._support is not None
+        # "It may engage an access path if available" (paper, 3.2): a
+        # B*-tree over the sort attributes delivers the value order free.
+        self._path_support: AccessPath | None = None
+        if self._support is None:
+            for structure in manager.structures_for(type_name,
+                                                    "access_path"):
+                assert isinstance(structure, AccessPath)
+                if structure.attrs == self._sort_attrs and \
+                        structure.method == "btree":
+                    self._path_support = structure
+                    break
+        self.used_access_path = self._path_support is not None
+
+    def _snapshot(self) -> list[Surrogate]:
+        if self._support is not None:
+            return list(self._support.iterate(
+                start=self._start, stop=self._stop,
+                include_start=self._include_start,
+                include_stop=self._include_stop, reverse=self._reverse,
+            ))
+        if self._path_support is not None:
+            condition = KeyCondition(
+                start=self._start, stop=self._stop,
+                include_start=self._include_start,
+                include_stop=self._include_stop,
+                descending=self._reverse,
+            )
+            conditions = [condition] + \
+                [KeyCondition()] * (len(self._sort_attrs) - 1)
+            return [s for _key, s in self._path_support.scan(conditions)]
+        # Explicit sort into a temporary order.
+        entries: list[tuple[Any, Surrogate]] = []
+        for surrogate, values in self._manager.atoms_of_type(self._type_name):
+            key = make_key(tuple(values.get(a) for a in self._sort_attrs))
+            if self._start is not None:
+                lo = make_key(self._start)
+                if key < lo or (key == lo and not self._include_start):
+                    continue
+            if self._stop is not None:
+                hi = make_key(self._stop)
+                if hi < key or (key == hi and not self._include_stop):
+                    continue
+            entries.append((key, surrogate))
+        entries.sort(key=lambda e: (e[0], e[1]), reverse=self._reverse)
+        return [surrogate for _key, surrogate in entries]
+
+    def _deliver(self, position: Surrogate):
+        if not self._manager.exists(position):
+            return None
+        values: dict[str, Any] | None = None
+        if self._support is not None:
+            values = self._support.read(position)
+            if values is not None:
+                self._manager.counters.bump("reads_from_sort_order")
+        if values is None:
+            values = self._manager.get(position)
+        if self._search is not None and not self._search.matches(values):
+            return None
+        return position, values
+
+
+class AccessPathScan(Scan):
+    """Scan over an access path with per-key conditions and directions.
+
+    Key-sequential access comes for free from the path's value order; with
+    n keys the caller chooses start/stop conditions and direction for every
+    key individually.
+    """
+
+    def __init__(self, manager: "AtomManager", path: AccessPath,
+                 conditions: list[KeyCondition] | None = None,
+                 search: SearchArgument | None = None) -> None:
+        super().__init__()
+        self._manager = manager
+        self._path = path
+        self._conditions = conditions
+        self._search = search
+
+    def _snapshot(self) -> list[Surrogate]:
+        return [s for _key, s in self._path.scan(self._conditions)]
+
+    def _deliver(self, position: Surrogate):
+        if not self._manager.exists(position):
+            return None
+        values = self._manager.get(position)
+        if self._search is not None and not self._search.matches(values):
+            return None
+        return position, values
+
+
+class ClusterSearchArgument:
+    """A search argument decidable in one pass through a single cluster.
+
+    Quantifies a simple term over the member atoms with a given label:
+    ``exists`` (default) or ``all`` (single-scan property [DPS86]).
+    """
+
+    def __init__(self, label: str, term: SearchArgument,
+                 quantifier: str = "exists") -> None:
+        if quantifier not in ("exists", "all"):
+            raise AccessError("quantifier must be 'exists' or 'all'")
+        self.label = label
+        self.term = term
+        self.quantifier = quantifier
+
+    def matches(self, members: dict[str, list[dict[str, Any]]]) -> bool:
+        atoms = members.get(self.label, [])
+        if self.quantifier == "exists":
+            return any(self.term.matches(atom) for atom in atoms)
+        return all(self.term.matches(atom) for atom in atoms)
+
+
+class AtomClusterTypeScan(Scan):
+    """All characteristic atoms of an atom-cluster type.
+
+    Delivers (root surrogate, characteristic atom) pairs; the optional
+    cluster search argument is evaluated in one pass through each cluster.
+    """
+
+    def __init__(self, manager: "AtomManager", cluster: AtomCluster,
+                 search: ClusterSearchArgument | None = None) -> None:
+        super().__init__()
+        self._manager = manager
+        self._cluster = cluster
+        self._search = search
+
+    def _snapshot(self) -> list[Surrogate]:
+        return self._cluster.roots()
+
+    def _deliver(self, position: Surrogate):
+        if not self._manager.exists(position):
+            return None
+        if self._search is not None:
+            members = self._cluster.read_cluster(position)
+            if not self._search.matches(members):
+                return None
+        return position, self._cluster.characteristic(position)
+
+
+class AtomClusterScan(Scan):
+    """All atoms of one type within one single atom cluster."""
+
+    def __init__(self, manager: "AtomManager", cluster: AtomCluster,
+                 root: Surrogate, member_type: str,
+                 search: SearchArgument | None = None) -> None:
+        super().__init__()
+        self._manager = manager
+        self._cluster = cluster
+        self._root = root
+        self._member_type = member_type
+        self._search = search
+
+    def _snapshot(self) -> list[Surrogate]:
+        return [
+            member for member in
+            self._cluster.members_of(self._root)
+            if member.atom_type == self._member_type
+        ]
+
+    def _deliver(self, position: Surrogate):
+        if not self._manager.exists(position):
+            return None
+        values = self._cluster.read_member(self._root, position)
+        if self._search is not None and not self._search.matches(values):
+            return None
+        return position, values

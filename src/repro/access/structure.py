@@ -1,0 +1,73 @@
+"""Abstract interface of the LDL-installable tuning structures.
+
+All tuning mechanisms — atom clusters as well as access paths, sort orders,
+and partitions — generate *additional storage structures* which materialise
+homogeneous or heterogeneous result sets (paper, 3.2).  Such a redundant
+structure may be generated and dropped at any time; it is maintained by the
+access system and invisible at the MAD interface.
+
+Concrete structures implement this interface; the atom manager calls the
+hooks on every atom operation.  A structure with ``deferred = True`` is not
+rewritten during a modify — the placement is merely marked stale and a
+refresh is queued (deferred update), limiting the immediate overhead of
+redundancy.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any
+
+from repro.mad.types import Surrogate
+
+
+class StorageStructure(ABC):
+    """One redundant storage structure over a single atom type."""
+
+    #: Structure kind tag: 'access_path', 'sort_order', 'partition', 'cluster'.
+    kind: str = "?"
+    #: True when modifies are propagated lazily (deferred update).
+    deferred: bool = False
+
+    def __init__(self, name: str, atom_type: str) -> None:
+        self.name = name
+        self.atom_type = atom_type
+
+    @property
+    def structure_id(self) -> str:
+        """Key under which placements are filed in the address table."""
+        return f"{self.kind}:{self.name}"
+
+    @property
+    def watched_types(self) -> tuple[str, ...]:
+        """Atom types whose operations this structure must observe.
+
+        Single-type structures watch only their own type; atom clusters
+        watch every member type of their heterogeneous atom set.
+        """
+        return (self.atom_type,)
+
+    # -- maintenance hooks -------------------------------------------------------
+
+    @abstractmethod
+    def on_insert(self, surrogate: Surrogate, values: dict[str, Any]) -> None:
+        """A new atom of the structure's type was inserted."""
+
+    @abstractmethod
+    def on_delete(self, surrogate: Surrogate, values: dict[str, Any]) -> None:
+        """An atom was deleted (``values`` is its last stored state)."""
+
+    @abstractmethod
+    def on_modify(self, surrogate: Surrogate, old: dict[str, Any],
+                  new: dict[str, Any]) -> None:
+        """An atom changed.  Immediate structures update their copy here;
+        deferred structures only adjust in-memory indexes — the record
+        refresh happens in :meth:`refresh`."""
+
+    def refresh(self, surrogate: Surrogate, values: dict[str, Any]) -> None:
+        """Bring the structure's copy of the atom up to date (deferred
+        update propagation).  Default: nothing to do."""
+
+    @abstractmethod
+    def drop(self) -> None:
+        """Release all storage held by the structure."""

@@ -1,0 +1,15 @@
+"""Application layers (AL): class-specific extensions on top of PRIMA.
+
+Since application objects require quite complex mapping functions identical
+for an entire class of applications (e.g. 3D-CAD), PRIMA extracts such
+mapping functions into 'application layers' — the top-most DBMS layer,
+tailoring PRIMA services to application classes (paper, section 4 and
+Fig. 3.1's "application layer").
+
+:mod:`repro.al.cad` is the 3D-CAD instance, in the spirit of the KUNICAD
+tool [HHLM87] the authors built to study these workloads.
+"""
+
+from repro.al.cad import CadWorkbench
+
+__all__ = ["CadWorkbench"]

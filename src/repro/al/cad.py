@@ -1,0 +1,203 @@
+"""A 3D-CAD application layer over the MAD interface.
+
+The workbench offers application-oriented objects (boxes, assemblies,
+bounding hulls) and hides the molecule plumbing: geometry construction,
+assembly management, explosion (bill of materials), and simple geometric
+transformations are all implemented *against the MAD interface* — exactly
+the "class-specific extension deriving application-oriented objects under
+DBMS control" the paper proposes.
+
+    >>> from repro import Prima
+    >>> from repro.al.cad import CadWorkbench
+    >>> bench = CadWorkbench(Prima())
+    >>> lid = bench.create_box((0, 0, 0), 4.0, description="lid")
+    >>> base = bench.create_box((0, 0, 4), 4.0, description="base")
+    >>> box = bench.assemble([lid, base], description="box assembly")
+    >>> bench.bill_of_materials(box)[0][1]
+    'box assembly'
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.db import Prima
+from repro.errors import PrimaError
+from repro.mad.types import Surrogate
+from repro.workloads.brep import (
+    FIG_2_3_DDL,
+    FIG_2_3_MOLECULE_TYPES,
+    BrepDatabase,
+    build_box,
+)
+
+
+class CadWorkbench:
+    """Application-oriented solid modeling on top of a Prima instance."""
+
+    def __init__(self, db: Prima | None = None) -> None:
+        self.db = db if db is not None else Prima()
+        if not self.db.schema.has_atom_type("solid"):
+            self.db.execute_script(FIG_2_3_DDL)
+            self.db.execute_script(FIG_2_3_MOLECULE_TYPES)
+        self._handles = BrepDatabase(self.db)
+        self._next_solid_no = self._max_existing("solid", "solid_no") + 1
+        self._next_brep_no = self._max_existing("brep", "brep_no") + 1
+
+    def _max_existing(self, type_name: str, attr: str) -> int:
+        best = 0
+        for _s, values in self.db.access.atoms.atoms_of_type(type_name):
+            number = values.get(attr)
+            if isinstance(number, int) and number > best:
+                best = number
+        return best
+
+    # -- construction -----------------------------------------------------------
+
+    def create_box(self, origin: tuple[float, float, float], size: float,
+                   description: str = "box") -> int:
+        """Create a primitive box solid; returns its solid_no."""
+        if size <= 0:
+            raise PrimaError("box size must be positive")
+        brep = build_box(self.db, self._next_brep_no, origin, size,
+                         self._handles)
+        self._next_brep_no += 1
+        solid_no = self._next_solid_no
+        self._next_solid_no += 1
+        solid = self.db.access.insert("solid", {
+            "solid_no": solid_no,
+            "description": description,
+            "brep": brep,
+        })
+        self._handles.solids.append(solid)
+        return solid_no
+
+    def assemble(self, part_nos: Iterable[int],
+                 description: str = "assembly") -> int:
+        """Compose existing solids into a new composite solid."""
+        parts = [self._solid(no) for no in part_nos]
+        if not parts:
+            raise PrimaError("an assembly needs at least one part")
+        solid_no = self._next_solid_no
+        self._next_solid_no += 1
+        solid = self.db.access.insert("solid", {
+            "solid_no": solid_no,
+            "description": description,
+            "sub": parts,
+        })
+        self._handles.solids.append(solid)
+        return solid_no
+
+    def _solid(self, solid_no: int) -> Surrogate:
+        surrogate = self.db.access.atoms.find_by_key("solid", solid_no)
+        if surrogate is None:
+            raise PrimaError(f"no solid with solid_no {solid_no}")
+        return surrogate
+
+    # -- application-oriented retrieval ---------------------------------------------
+
+    def bill_of_materials(self, solid_no: int) -> list[tuple[int, str, int]]:
+        """The explosion of an assembly: (solid_no, description, depth)
+        rows in pre-order — the piece_list molecule, post-processed."""
+        result = self.db.query(
+            f"SELECT ALL FROM piece_list "
+            f"WHERE piece_list (0).solid_no = {solid_no}"
+        )
+        if not result:
+            return []
+        rows: list[tuple[int, str, int]] = []
+
+        def walk(molecule, depth: int) -> None:
+            rows.append((molecule.atom["solid_no"],
+                         molecule.atom["description"], depth))
+            for comps in molecule.components.values():
+                for comp in comps:
+                    walk(comp, depth + 1)
+
+        walk(result[0], 0)
+        return rows
+
+    def primitive_parts(self, solid_no: int) -> list[int]:
+        """solid_nos of the leaf solids under an assembly."""
+        return [no for no, _description, _depth
+                in self.bill_of_materials(solid_no)
+                if self.db.access.get(self._solid(no)).get("brep")]
+
+    def where_used(self, solid_no: int) -> list[int]:
+        """solid_nos of the assemblies directly using this part — the
+        *symmetric* direction, one back-reference away."""
+        values = self.db.access.get(self._solid(solid_no))
+        return sorted(
+            self.db.access.get(parent)["solid_no"]
+            for parent in values.get("super") or []
+        )
+
+    def bounding_hull(self, solid_no: int) -> tuple[float, ...] | None:
+        """The axis-aligned hull of all boxes under a solid."""
+        corners: list[tuple[float, ...]] = []
+        for part_no in self.primitive_parts(solid_no):
+            values = self.db.access.get(self._solid(part_no))
+            brep = values.get("brep")
+            if brep is None:
+                continue
+            hull = self.db.access.get(brep)["hull"]
+            corners.append(tuple(hull))
+        if not corners:
+            return None
+        mins = [min(c[axis] for c in corners) for axis in range(3)]
+        maxs = [max(c[axis + 3] for c in corners) for axis in range(3)]
+        return (*mins, *maxs)
+
+    # -- application-oriented updates ----------------------------------------------------
+
+    def translate(self, solid_no: int,
+                  delta: tuple[float, float, float]) -> int:
+        """Move every point of a solid's geometry; returns points moved.
+
+        The geometry is reached over the molecule structure and updated
+        through the access system (back-references untouched: placement is
+        a data attribute).
+        """
+        dx, dy, dz = delta
+        moved = 0
+        for part_no in self.primitive_parts(solid_no) or [solid_no]:
+            values = self.db.access.get(self._solid(part_no))
+            brep = values.get("brep")
+            if brep is None:
+                continue
+            brep_values = self.db.access.get(brep)
+            for point in brep_values["points"]:
+                placement = self.db.access.get(point)["placement"]
+                self.db.access.modify(point, {"placement": {
+                    "x_coord": placement["x_coord"] + dx,
+                    "y_coord": placement["y_coord"] + dy,
+                    "z_coord": placement["z_coord"] + dz,
+                }})
+                moved += 1
+            hull = brep_values["hull"]
+            self.db.access.modify(brep, {"hull": [
+                hull[0] + dx, hull[1] + dy, hull[2] + dz,
+                hull[3] + dx, hull[4] + dy, hull[5] + dz,
+            ]})
+        return moved
+
+    def disassemble(self, solid_no: int) -> int:
+        """Remove an assembly level, releasing its parts; returns the
+        number of disconnected parts."""
+        surrogate = self._solid(solid_no)
+        values = self.db.access.get(surrogate)
+        parts = values.get("sub") or []
+        if not parts:
+            raise PrimaError(f"solid {solid_no} is not an assembly")
+        self.db.access.modify(surrogate, {"sub": []})
+        self.db.access.delete(surrogate)
+        return len(parts)
+
+    # -- reporting ----------------------------------------------------------------------------
+
+    def statistics(self) -> dict[str, int]:
+        atoms = self.db.access.atoms
+        return {
+            type_name: atoms.count(type_name)
+            for type_name in ("solid", "brep", "face", "edge", "point")
+        }

@@ -1,0 +1,14 @@
+"""Baseline data models for the Fig. 2.1 comparison.
+
+The paper's Fig. 2.1 contrasts three ways of modeling boundary
+representations: the **hierarchical** approach (IMS-like, redundant copies
+of shared components, no upward traversal), the **network** approach
+(CODASYL-like, no redundancy but extra relation records and indirection),
+and MAD's **direct and symmetric** approach.  These baselines make the
+comparison executable and measurable.
+"""
+
+from repro.baselines.hierarchical import HierarchicalStore
+from repro.baselines.network import NetworkStore
+
+__all__ = ["HierarchicalStore", "NetworkStore"]

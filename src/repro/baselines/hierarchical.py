@@ -1,0 +1,143 @@
+"""The hierarchical (IMS-like) baseline of Fig. 2.1.
+
+Modeling BREP hierarchically forces each shared component under every
+parent: every face stores its *own copies* of its border edges, and every
+edge copy stores its own copies of its endpoints.  "A substantial portion
+of redundancy is introduced: there are several independent representations
+for every edge and every point.  Since the DBMS is not aware of this
+redundancy, it must be handled by the application" (paper, 2.1).
+
+The store measures exactly the quantities the figure argues about:
+
+* ``record_count`` / ``byte_size`` — the redundancy overhead,
+* ``reverse_traversal_cost`` — finding the faces of a point requires a
+  full scan of the hierarchy (no upward pointers), while MAD follows the
+  symmetric back-references directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.access.encoding import encoded_size
+from repro.db import Prima
+from repro.mad.types import Surrogate
+
+
+@dataclass
+class _Segment:
+    """One hierarchical segment occurrence (IMS terminology)."""
+
+    kind: str
+    values: dict[str, Any]
+    children: list["_Segment"] = field(default_factory=list)
+
+
+class HierarchicalStore:
+    """brep → face → edge → point with physical copies at every level."""
+
+    def __init__(self) -> None:
+        self._roots: list[_Segment] = []
+        self.record_count = 0
+        self.byte_size = 0
+
+    # -- loading -------------------------------------------------------------------
+
+    def load_from_prima(self, db: Prima) -> None:
+        """Replicate every brep molecule of ``db`` hierarchically."""
+        result = db.query("SELECT ALL FROM brep-face-edge-point")
+        for molecule in result:
+            root = self._segment("brep", _strip(molecule.atom))
+            self._roots.append(root)
+            for face in molecule.component_list("face"):
+                face_seg = self._segment("face", _strip(face.atom))
+                root.children.append(face_seg)
+                for edge in face.component_list("edge"):
+                    edge_seg = self._segment("edge", _strip(edge.atom))
+                    face_seg.children.append(edge_seg)
+                    for point in edge.component_list("point"):
+                        # A fresh copy per occurrence: THE redundancy.
+                        edge_seg.children.append(
+                            self._segment("point", _strip(point.atom))
+                        )
+
+    def _segment(self, kind: str, values: dict[str, Any]) -> _Segment:
+        self.record_count += 1
+        self.byte_size += encoded_size(values)
+        return _Segment(kind, values)
+
+    # -- metrics -----------------------------------------------------------------------
+
+    def counts_by_kind(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+
+        def visit(segment: _Segment) -> None:
+            out[segment.kind] = out.get(segment.kind, 0) + 1
+            for child in segment.children:
+                visit(child)
+
+        for root in self._roots:
+            visit(root)
+        return out
+
+    # -- traversals ---------------------------------------------------------------------
+
+    def downward_traversal(self, brep_no: int) -> tuple[int, int]:
+        """faces→edges→points of one brep: (atoms delivered, records
+        touched) — the direction hierarchies are good at."""
+        touched = 0
+        delivered = 0
+        for root in self._roots:
+            touched += 1
+            if root.values.get("brep_no") != brep_no:
+                continue
+
+            def visit(segment: _Segment) -> None:
+                nonlocal touched, delivered
+                for child in segment.children:
+                    touched += 1
+                    delivered += 1
+                    visit(child)
+
+            visit(root)
+        return delivered, touched
+
+    def reverse_traversal_cost(self, x: float, y: float, z: float) -> tuple[int, int]:
+        """Faces containing the point at (x,y,z): (faces found, records
+        touched).  Without upward pointers the whole database is scanned,
+        and the answer is assembled from redundant copies."""
+        touched = 0
+        faces: set[int] = set()
+
+        def visit(segment: _Segment, face_id: int | None) -> None:
+            nonlocal touched
+            touched += 1
+            if segment.kind == "face":
+                face_id = id(segment)
+            if segment.kind == "point":
+                placement = segment.values.get("placement") or {}
+                if (placement.get("x_coord"), placement.get("y_coord"),
+                        placement.get("z_coord")) == (x, y, z):
+                    if face_id is not None:
+                        faces.add(face_id)
+            for child in segment.children:
+                visit(child, face_id)
+
+        for root in self._roots:
+            visit(root, None)
+        return len(faces), touched
+
+
+def _strip(atom: dict[str, Any]) -> dict[str, Any]:
+    """Drop surrogate-valued attributes: the hierarchical model has no
+    references — containment is physical."""
+    out: dict[str, Any] = {}
+    for name, value in atom.items():
+        if isinstance(value, Surrogate):
+            continue
+        if isinstance(value, list) and value and \
+                isinstance(value[0], Surrogate):
+            continue
+        out[name] = value
+    return out

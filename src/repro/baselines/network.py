@@ -1,0 +1,111 @@
+"""The network (CODASYL-like) baseline of Fig. 2.1.
+
+The network approach avoids redundancy, but at the cost of introducing a
+number of 'relation records' that represent n:m relationships (paper,
+2.1): every face-edge and edge-point connection becomes its own link
+record sitting between the two entity records.  Traversal is symmetric but
+pays an extra indirection hop through the link record in both directions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.access.encoding import encoded_size
+from repro.db import Prima
+from repro.mad.types import Surrogate
+
+
+@dataclass
+class _Record:
+    kind: str
+    values: dict[str, Any]
+
+
+class NetworkStore:
+    """Entity records plus relation records, owner/member chains."""
+
+    def __init__(self) -> None:
+        self._entities: dict[Surrogate, _Record] = {}
+        #: link kind -> list of (owner, member) pairs (the relation records)
+        self._links: dict[str, list[tuple[Surrogate, Surrogate]]] = {}
+        self.record_count = 0
+        self.byte_size = 0
+        self.link_record_count = 0
+
+    # -- loading -------------------------------------------------------------------
+
+    def load_from_prima(self, db: Prima) -> None:
+        """Replicate the brep databases' entities and connections."""
+        for type_name in ("brep", "face", "edge", "point"):
+            for surrogate, values in db.access.atoms.atoms_of_type(type_name):
+                stripped = {
+                    name: value for name, value in values.items()
+                    if not isinstance(value, Surrogate)
+                    and not (isinstance(value, list) and value
+                             and isinstance(value[0], Surrogate))
+                }
+                self._entities[surrogate] = _Record(type_name, stripped)
+                self.record_count += 1
+                self.byte_size += encoded_size(stripped)
+        self._load_links(db, "brep_face", "brep", "faces")
+        self._load_links(db, "face_edge", "face", "border")
+        self._load_links(db, "edge_point", "edge", "boundary")
+
+    def _load_links(self, db: Prima, link_kind: str, owner_type: str,
+                    attr: str) -> None:
+        links = self._links.setdefault(link_kind, [])
+        for owner, values in db.access.atoms.atoms_of_type(owner_type):
+            for member in values.get(attr) or []:
+                links.append((owner, member))
+                self.record_count += 1
+                self.link_record_count += 1
+                # A CODASYL link record: two pointers plus set chains.
+                self.byte_size += 16
+
+    # -- traversals ---------------------------------------------------------------------
+
+    def members_of(self, link_kind: str,
+                   owner: Surrogate) -> tuple[list[Surrogate], int]:
+        """(members, records touched): owner -> link records -> members."""
+        touched = 0
+        members: list[Surrogate] = []
+        for link_owner, member in self._links.get(link_kind, []):
+            touched += 1                      # walking the set chain
+            if link_owner == owner:
+                members.append(member)
+                touched += 1                  # fetching the member record
+        return members, touched
+
+    def owners_of(self, link_kind: str,
+                  member: Surrogate) -> tuple[list[Surrogate], int]:
+        """(owners, records touched): symmetric reverse traversal, again
+        through the link records."""
+        touched = 0
+        owners: list[Surrogate] = []
+        for owner, link_member in self._links.get(link_kind, []):
+            touched += 1
+            if link_member == member:
+                owners.append(owner)
+                touched += 1
+        return owners, touched
+
+    def faces_of_point(self, point: Surrogate) -> tuple[set[Surrogate], int]:
+        """point -> edges -> faces through two link-record sets."""
+        edges, touched1 = self.owners_of("edge_point", point)
+        faces: set[Surrogate] = set()
+        touched = touched1
+        for edge in edges:
+            edge_faces, t = self.owners_of("face_edge", edge)
+            faces.update(edge_faces)
+            touched += t
+        return faces, touched
+
+    def counts_by_kind(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for record in self._entities.values():
+            out[record.kind] = out.get(record.kind, 0) + 1
+        for kind, links in self._links.items():
+            out[f"link:{kind}"] = len(links)
+        return out

@@ -1,0 +1,48 @@
+"""Cost model of the workstation-host connection.
+
+The original system coupled engineering workstations to a database server
+over a LAN; the claim under test (benchmark A9) is that the *set-oriented*
+MAD interface is a major prerequisite to reduce communication overhead.
+The substitution (DESIGN.md §5) is a message/byte cost model: every request
+or response is one message paying a fixed latency plus size/bandwidth.
+Absolute parameters resemble a 1987 10-Mbit LAN with heavy per-message
+software overhead; only the ratios matter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Service-time parameters (milliseconds / bytes-per-ms)."""
+
+    #: Fixed software+protocol overhead per message.
+    per_message_ms: float = 5.0
+    #: Usable bandwidth (10 Mbit/s ≈ 1250 bytes/ms at protocol efficiency 1).
+    bytes_per_ms: float = 1250.0
+
+    def transfer_ms(self, nbytes: int) -> float:
+        return self.per_message_ms + nbytes / self.bytes_per_ms
+
+
+@dataclass
+class NetworkStats:
+    """Accumulated communication accounting of one coupling session."""
+
+    messages: int = 0
+    bytes_sent: int = 0
+    comm_time_ms: float = 0.0
+
+    def account(self, model: NetworkModel, nbytes: int) -> None:
+        self.messages += 1
+        self.bytes_sent += nbytes
+        self.comm_time_ms += model.transfer_ms(nbytes)
+
+    def snapshot(self) -> dict[str, float | int]:
+        return {
+            "messages": self.messages,
+            "bytes_sent": self.bytes_sent,
+            "comm_time_ms": round(self.comm_time_ms, 3),
+        }

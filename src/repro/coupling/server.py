@@ -1,0 +1,141 @@
+"""The host side: PRIMA behind a message interface.
+
+The server executes molecule queries on behalf of workstations and accepts
+checked-in modifications at commit time (checkout/checkin, [KLMP84]).
+Every entry point accounts one request and one response message against the
+network model.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.access.encoding import encoded_size
+from repro.coupling.network import NetworkModel, NetworkStats
+from repro.data.result import ResultSet
+from repro.db import Prima
+from repro.errors import CouplingError
+from repro.mad.types import Surrogate
+
+
+class PrimaServer:
+    """Message-oriented facade over a Prima instance."""
+
+    def __init__(self, db: Prima, model: NetworkModel | None = None) -> None:
+        self.db = db
+        self.model = model if model is not None else NetworkModel()
+        self.stats = NetworkStats()
+
+    # -- internals ---------------------------------------------------------------
+
+    def _message(self, nbytes: int) -> None:
+        self.stats.account(self.model, nbytes)
+
+    @staticmethod
+    def _molecule_bytes(result: ResultSet) -> int:
+        total = 0
+        for molecule in result:
+            for _label, atom in molecule.atoms():
+                total += encoded_size(atom)
+        return total
+
+    # -- set-oriented interface (the MAD interface across the wire) -----------------
+
+    def query(self, mql: str) -> ResultSet:
+        """One request, one response carrying the complete molecule set."""
+        self._message(len(mql.encode("utf-8")))          # request
+        result = self.db.query(mql)
+        self._message(self._molecule_bytes(result))      # response
+        return result
+
+    def checkin(self, modifications: dict[Surrogate, dict[str, Any]],
+                deletions: list[Surrogate] | None = None,
+                creations: list[tuple[Surrogate, dict[str, Any]]] | None
+                = None) -> dict[Surrogate, Surrogate]:
+        """Apply a workstation's object buffer in one message.
+
+        ``creations`` carries atoms created locally under *temporary*
+        surrogates; they are inserted here and the mapping temporary →
+        real surrogate is returned (and billed into the ack message).
+        References among new atoms are remapped, in two phases so cyclic
+        n:m references among creations work.
+        """
+        payload = sum(encoded_size(values)
+                      for values in modifications.values())
+        payload += sum(encoded_size(values) for _t, values in creations or [])
+        payload += 16 * len(deletions or [])
+        self._message(payload)                            # request
+
+        mapping: dict[Surrogate, Surrogate] = {}
+        deferred_refs: list[tuple[Surrogate, dict[str, Any]]] = []
+        for temp, values in creations or []:
+            plain = {k: v for k, v in values.items()
+                     if not _mentions_temp(v, creations or [])}
+            refs = {k: v for k, v in values.items() if k not in plain}
+            real = self.db.access.insert(temp.atom_type, plain)
+            mapping[temp] = real
+            if refs:
+                deferred_refs.append((real, refs))
+        for real, refs in deferred_refs:
+            self.db.access.modify(real, _remap(refs, mapping))
+
+        for surrogate, values in modifications.items():
+            if not self.db.access.atoms.exists(surrogate):
+                raise CouplingError(
+                    f"checkin of unknown atom {surrogate}"
+                )
+            self.db.access.modify(surrogate, _remap(values, mapping))
+        for surrogate in deletions or []:
+            self.db.access.delete(surrogate)
+        self.db.commit()
+        self._message(8 + 24 * len(mapping))              # ack + mapping
+        return mapping
+
+    # -- record-at-a-time interface (the conventional baseline) ------------------------
+
+
+
+    def query_roots(self, mql: str) -> list[Surrogate]:
+        """Baseline step 1: ship only the qualifying root surrogates."""
+        self._message(len(mql.encode("utf-8")))
+        result = self.db.query(mql)
+        roots = [molecule.surrogate for molecule in result]
+        self._message(16 * max(len(roots), 1))
+        return roots
+
+    def fetch_atom(self, surrogate: Surrogate) -> dict[str, Any]:
+        """Baseline step 2..n: one round trip per atom."""
+        self._message(16)                                 # request
+        values = self.db.access.get(surrogate)
+        self._message(encoded_size(values))               # response
+        return values
+
+# ---------------------------------------------------------------------------
+# checkin helpers: temporary-surrogate remapping
+# ---------------------------------------------------------------------------
+
+def _is_temp(value: Any, creations) -> bool:
+    return isinstance(value, Surrogate) and \
+        any(temp == value for temp, _v in creations)
+
+
+def _mentions_temp(value: Any, creations) -> bool:
+    if _is_temp(value, creations):
+        return True
+    if isinstance(value, list):
+        return any(_mentions_temp(item, creations) for item in value)
+    return False
+
+
+def _remap(values: dict[str, Any],
+           mapping: dict[Surrogate, Surrogate]) -> dict[str, Any]:
+    out: dict[str, Any] = {}
+    for key, value in values.items():
+        if isinstance(value, Surrogate):
+            out[key] = mapping.get(value, value)
+        elif isinstance(value, list):
+            out[key] = [mapping.get(v, v) if isinstance(v, Surrogate) else v
+                        for v in value]
+        else:
+            out[key] = value
+    return out

@@ -1,0 +1,22 @@
+"""The data system of PRIMA (paper, section 3.1)."""
+
+from repro.data.executor import DataSystem
+from repro.data.plan import QueryPlan, RootAccess
+from repro.data.predicates import PredicateEvaluator, path_values
+from repro.data.result import ResultSet
+from repro.data.simplification import conjuncts, sargable_root_terms, simplify
+from repro.data.validation import MoleculeTypeCatalog, Validator
+
+__all__ = [
+    "DataSystem",
+    "MoleculeTypeCatalog",
+    "PredicateEvaluator",
+    "QueryPlan",
+    "ResultSet",
+    "RootAccess",
+    "Validator",
+    "conjuncts",
+    "path_values",
+    "sargable_root_terms",
+    "simplify",
+]

@@ -1,0 +1,630 @@
+"""The data system: translating MQL statements into access-system calls.
+
+The main task of the data system is to perform the complex mapping of the
+molecule-oriented interface onto the atom-oriented interface of the access
+system (paper, 3.1).  The stages follow the paper's modular data system:
+
+1. **query validation and modification** — syntax/semantics checks,
+   resolution of predefined molecule types, hierarchical resolution
+   (:mod:`repro.data.validation`);
+2. **query simplification** — qualification normal form
+   (:mod:`repro.data.simplification`);
+3. **query preparation** — the processing plan: root access selection,
+   cluster matching, recursion strategy (:mod:`repro.data.plan`);
+4. **molecule management** — the molecule-type scan implemented here:
+   deriving root atoms, constructing molecules by association traversal or
+   from an atom cluster, evaluating the residual qualification, applying
+   (qualified) projections.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from repro.access.access_path import AccessPath
+from repro.access.cluster import AtomCluster
+from repro.access.multidim import KeyCondition
+from repro.access.scans import AccessPathScan, AtomTypeScan, SearchArgument
+from repro.access.system import AccessSystem
+from repro.data.plan import QueryPlan, RootAccess
+from repro.data.predicates import PredicateEvaluator, path_values
+from repro.data.result import ResultSet
+from repro.data.simplification import sargable_root_terms, simplify
+from repro.data.validation import MoleculeTypeCatalog, Validator
+from repro.errors import ExecutionError, ValidationError
+from repro.mad.molecule import Molecule, MoleculeType, StructureNode
+from repro.mad.types import Surrogate, reference_values
+from repro.mql.ast import (
+    CreateAtomType,
+    DefineMoleculeType,
+    DeleteStatement,
+    DropAtomType,
+    DropMoleculeType,
+    EmptyLiteral,
+    Expr,
+    InsertStatement,
+    Literal,
+    ModifyStatement,
+    Path,
+    Projection,
+    RefLookup,
+    SelectStatement,
+    Statement,
+)
+from repro.mad.schema import AtomType
+
+
+class DataSystem:
+    """Executes validated MQL statements against the access system."""
+
+    def __init__(self, access: AccessSystem,
+                 catalog: MoleculeTypeCatalog | None = None) -> None:
+        self.access = access
+        self.schema = access.schema
+        self.catalog = catalog if catalog is not None else MoleculeTypeCatalog()
+        self.validator = Validator(self.schema, self.catalog)
+        self.evaluator = PredicateEvaluator(resolve_ref=self._resolve_ref)
+        from repro.data.statistics import StatisticsCatalog
+        #: Meta-data statistics for the optimizer (collected by ANALYZE).
+        self.statistics = StatisticsCatalog(access)
+        #: Predicates above this estimated selectivity scan instead of
+        #: using an access path (the A5 crossover).
+        self.scan_threshold = 0.30
+        #: Set after DDL; queries verify symmetry once before running.
+        self._symmetry_checked = False
+
+    # ------------------------------------------------------------ dispatch --
+
+    def execute(self, statement: Statement) -> ResultSet:
+        """Execute one parsed MQL statement."""
+        if isinstance(statement, CreateAtomType):
+            return self._create_atom_type(statement)
+        if isinstance(statement, DropAtomType):
+            return self._drop_atom_type(statement)
+        if isinstance(statement, DefineMoleculeType):
+            return self._define_molecule_type(statement)
+        if isinstance(statement, DropMoleculeType):
+            self.catalog.drop(statement.name)
+            return ResultSet(affected=0)
+        self._ensure_symmetry()
+        if isinstance(statement, SelectStatement):
+            return self.select(statement)
+        if isinstance(statement, InsertStatement):
+            return self._insert(statement)
+        if isinstance(statement, DeleteStatement):
+            return self._delete(statement)
+        if isinstance(statement, ModifyStatement):
+            return self._modify(statement)
+        raise ExecutionError(f"unsupported statement {type(statement).__name__}")
+
+    def _ensure_symmetry(self) -> None:
+        if not self._symmetry_checked:
+            self.schema.check_symmetry()
+            self._symmetry_checked = True
+
+    # ------------------------------------------------------------------ DDL --
+
+    def _create_atom_type(self, statement: CreateAtomType) -> ResultSet:
+        atom_type = AtomType(statement.name, statement.attributes,
+                             keys=statement.keys)
+        self.schema.create_atom_type(atom_type)
+        self.access.atoms.register_atom_type(statement.name)
+        self._symmetry_checked = False
+        return ResultSet(affected=0)
+
+    def _drop_atom_type(self, statement: DropAtomType) -> ResultSet:
+        if self.access.atoms.count(statement.name):
+            raise ExecutionError(
+                f"atom type {statement.name!r} still has atoms"
+            )
+        self.schema.drop_atom_type(statement.name)
+        self.access.atoms.unregister_atom_type(statement.name)
+        return ResultSet(affected=0)
+
+    def _define_molecule_type(self,
+                              statement: DefineMoleculeType) -> ResultSet:
+        self._ensure_symmetry()
+        structure = self.validator.resolve_structure(statement.structure)
+        self.catalog.define(MoleculeType(statement.name, structure))
+        return ResultSet(affected=0)
+
+    # ------------------------------------------------------------- queries --
+
+    def plan_select(self, statement: SelectStatement) -> QueryPlan:
+        """Validation + simplification + preparation, without execution."""
+        structure = self.validator.resolve_structure(statement.from_clause)
+        self.validator.check_select(statement, structure)
+        where = simplify(statement.where)
+        order_by = self._validate_order_by(statement, structure)
+        root_access = self._choose_root_access(structure, where)
+        order_served = False
+        if order_by and root_access.kind == "atom_type_scan" and \
+                not root_access.detail.get("search"):
+            # A matching (all-ascending) sort order delivers the requested
+            # order for free — the paper's sort scan as root access.
+            sort_access = self._matching_sort_order(structure, order_by)
+            if sort_access is not None:
+                root_access = sort_access
+                order_served = True
+        cluster = self._matching_cluster(structure)
+        return QueryPlan(
+            structure=structure,
+            root_access=root_access,
+            cluster_name=cluster.name if cluster is not None else None,
+            residual_where=where,
+            projection=statement.projection,
+            order_by=order_by,
+            order_served_by_access=order_served,
+        )
+
+    def _validate_order_by(self, statement: SelectStatement,
+                           structure: StructureNode) -> list[tuple[str, bool]]:
+        out: list[tuple[str, bool]] = []
+        root_type = self.schema.atom_type(structure.atom_type)
+        for item in statement.order_by:
+            parts = item.path.parts
+            if len(parts) == 2 and parts[0] == structure.label:
+                attr = parts[1]
+            elif len(parts) == 1:
+                attr = parts[0]
+            else:
+                raise ValidationError(
+                    f"ORDER BY supports root attributes only, got "
+                    f"{'.'.join(parts)!r}"
+                )
+            if attr not in root_type.attributes:
+                raise ValidationError(
+                    f"atom type {root_type.name!r} has no attribute "
+                    f"{attr!r} (ORDER BY)"
+                )
+            out.append((attr, item.descending))
+        return out
+
+    def _matching_sort_order(self, structure: StructureNode,
+                             order_by: list[tuple[str, bool]]
+                             ) -> RootAccess | None:
+        if any(descending for _attr, descending in order_by):
+            return None
+        attrs = tuple(attr for attr, _d in order_by)
+        from repro.access.sort_order import SortOrder
+        for candidate in self.access.atoms.structures_for(
+                structure.atom_type, "sort_order"):
+            assert isinstance(candidate, SortOrder)
+            if candidate.sort_attrs == attrs:
+                return RootAccess("sort_scan", structure.atom_type, {
+                    "order": candidate.name,
+                    "attrs": attrs,
+                })
+        return None
+
+    def select(self, statement: SelectStatement) -> ResultSet:
+        plan = self.plan_select(statement)
+        molecules: list[Molecule] = []
+        cluster = (self.access.atoms.structure(plan.cluster_name)
+                   if plan.cluster_name is not None else None)
+        assert cluster is None or isinstance(cluster, AtomCluster)
+        for root in self._root_atoms(plan.root_access):
+            molecule = self.construct_molecule(plan.structure, root, cluster)
+            if plan.residual_where is not None and \
+                    not self.evaluator.matches(plan.residual_where, molecule):
+                continue
+            molecules.append(molecule)
+        if plan.order_by and not plan.order_served_by_access:
+            molecules = self._sort_molecules(molecules, plan.order_by)
+        for molecule in molecules:
+            self._apply_projection(molecule, plan.projection, plan.structure)
+        return ResultSet(molecules, plan_text=plan.explain())
+
+    @staticmethod
+    def _sort_molecules(molecules: list[Molecule],
+                        order_by: list[tuple[str, bool]]) -> list[Molecule]:
+        """Explicit final sort (stable, per-attribute direction)."""
+        from repro.access.btree import make_key
+        out = list(molecules)
+        # Stable sorts compose right-to-left for multi-attribute order.
+        for attr, descending in reversed(order_by):
+            out.sort(key=lambda m: make_key(m.atom.get(attr)),
+                     reverse=descending)
+        return out
+
+    # -- root access ----------------------------------------------------------------
+
+    def _choose_root_access(self, structure: StructureNode,
+                            where: Expr | None) -> RootAccess:
+        root_type = self.schema.atom_type(structure.atom_type)
+        terms = sargable_root_terms(where, structure.label,
+                                    set(root_type.attributes))
+        # 1. Exact KEYS_ARE lookup.
+        eq_terms = {attr: value for attr, op, value in terms if op == "="}
+        if root_type.keys and set(root_type.keys) <= set(eq_terms):
+            key = tuple(eq_terms[attr] for attr in root_type.keys)
+            return RootAccess("key_lookup", root_type.name, {"key": key})
+        # 2. Access path whose first attribute carries a condition — unless
+        #    the meta-data statistics say the predicate is so unselective
+        #    that the atom-type scan wins (the A5 crossover).
+        for path in self.access.atoms.structures_for(root_type.name,
+                                                     "access_path"):
+            assert isinstance(path, AccessPath)
+            bounds = _range_for(terms, path.attrs[0])
+            if bounds is not None:
+                attr_terms = [(a, op, v) for a, op, v in terms
+                              if a == path.attrs[0]]
+                estimate = self.statistics.selectivity(root_type.name,
+                                                       attr_terms)
+                if estimate is not None and estimate > self.scan_threshold:
+                    continue   # statistics veto: scan instead
+                conditions = [bounds] + [KeyCondition()] * (len(path.attrs) - 1)
+                return RootAccess("access_path", root_type.name, {
+                    "path": path.name,
+                    "conditions": conditions,
+                    "range": _render_bounds(path.attrs[0], bounds),
+                    "selectivity": estimate,
+                })
+        # 3. Atom-type scan; push simple terms down as a search argument.
+        search_terms = [(attr, op, value) for attr, op, value in terms
+                        if op in ("=", "!=", "<", "<=", ">", ">=")]
+        return RootAccess("atom_type_scan", root_type.name,
+                          {"search": search_terms})
+
+    def _root_atoms(self, root_access: RootAccess) -> Iterator[Surrogate]:
+        atoms = self.access.atoms
+        if root_access.kind == "key_lookup":
+            surrogate = atoms.find_by_key(root_access.atom_type,
+                                          root_access.detail["key"])
+            if surrogate is not None:
+                yield surrogate
+            return
+        if root_access.kind == "access_path":
+            path = atoms.structure(root_access.detail["path"])
+            assert isinstance(path, AccessPath)
+            scan = AccessPathScan(atoms, path,
+                                  root_access.detail["conditions"])
+            for surrogate, _values in scan:
+                yield surrogate
+            return
+        if root_access.kind == "sort_scan":
+            from repro.access.scans import SortScan
+            scan: Any = SortScan(atoms, root_access.atom_type,
+                                 list(root_access.detail["attrs"]))
+            for surrogate, _values in scan:
+                yield surrogate
+            return
+        search_terms = root_access.detail.get("search") or []
+        search = SearchArgument(*search_terms) if search_terms else None
+        scan = AtomTypeScan(atoms, root_access.atom_type, search=search)
+        for surrogate, _values in scan:
+            yield surrogate
+
+    # -- molecule construction ----------------------------------------------------------
+
+    def _matching_cluster(self,
+                          structure: StructureNode) -> AtomCluster | None:
+        """An atom cluster whose structure equals the query structure."""
+        for candidate in self.access.atoms.structures_for(
+                structure.atom_type, "cluster"):
+            assert isinstance(candidate, AtomCluster)
+            if _signature(candidate.structure) == _signature(structure):
+                return candidate
+        return None
+
+    def construct_molecule(self, structure: StructureNode, root: Surrogate,
+                           cluster: AtomCluster | None = None) -> Molecule:
+        """Assemble one molecule, preferring the materialised cluster."""
+        if cluster is not None and root in cluster.roots():
+            fetched: dict[Surrogate, dict[str, Any]] = {}
+            label_types = {node.label: node.atom_type
+                           for node in cluster.structure.walk()}
+            for label, atoms in cluster.read_cluster(root).items():
+                id_attr = self.schema.atom_type(label_types[label]) \
+                    .identifier_attr
+                for atom in atoms:
+                    fetched[atom[id_attr]] = atom
+            self.access.counters.bump("molecules_from_cluster")
+            return self._build(structure, root, fetched)
+        self.access.counters.bump("molecules_from_traversal")
+        return self._build(structure, root, None)
+
+    def _fetch(self, surrogate: Surrogate,
+               fetched: dict[Surrogate, dict[str, Any]] | None) -> dict[str, Any]:
+        if fetched is not None and surrogate in fetched:
+            return fetched[surrogate]
+        return self.access.atoms.get(surrogate)
+
+    def _build(self, node: StructureNode, surrogate: Surrogate,
+               fetched: dict[Surrogate, dict[str, Any]] | None,
+               ancestors: frozenset[Surrogate] = frozenset()) -> Molecule:
+        atom = self._fetch(surrogate, fetched)
+        molecule = Molecule(node, atom)
+        for child in node.children:
+            assert child.via is not None
+            attr_type = self.schema.atom_type(node.atom_type) \
+                .attr(child.via.source_attr)
+            targets = reference_values(attr_type,
+                                       atom.get(child.via.source_attr))
+            for target in targets:
+                if not self.access.atoms.exists(target):
+                    continue
+                if child.recursive:
+                    component = self._build_recursive(child, target, fetched,
+                                                      ancestors | {surrogate})
+                else:
+                    component = self._build(child, target, fetched, ancestors)
+                molecule.add_component(child.label, component)
+        return molecule
+
+    def _build_recursive(self, node: StructureNode, surrogate: Surrogate,
+                         fetched: dict[Surrogate, dict[str, Any]] | None,
+                         ancestors: frozenset[Surrogate]) -> Molecule:
+        """Level-wise recursion: expand the incoming association until the
+        frontier is exhausted; ancestor atoms stop cycles."""
+        atom = self._fetch(surrogate, fetched)
+        molecule = Molecule(node, atom)
+        assert node.via is not None
+        attr_type = self.schema.atom_type(node.atom_type) \
+            .attr(node.via.source_attr)
+        targets = reference_values(attr_type, atom.get(node.via.source_attr))
+        for target in targets:
+            if target in ancestors or target == surrogate:
+                continue   # cycle protection
+            if not self.access.atoms.exists(target):
+                continue
+            component = self._build_recursive(node, target, fetched,
+                                              ancestors | {surrogate})
+            molecule.add_component(node.label, component)
+        # Non-recursive children below the recursion node apply per level.
+        for child in node.children:
+            assert child.via is not None
+            child_type = self.schema.atom_type(node.atom_type) \
+                .attr(child.via.source_attr)
+            for target in reference_values(child_type,
+                                           atom.get(child.via.source_attr)):
+                if self.access.atoms.exists(target):
+                    molecule.add_component(
+                        child.label,
+                        self._build(child, target, fetched, ancestors),
+                    )
+        return molecule
+
+    # -- projection -------------------------------------------------------------------------
+
+    def _apply_projection(self, molecule: Molecule, projection: Projection,
+                          structure: StructureNode) -> None:
+        if projection.select_all:
+            return
+        keep: dict[str, Any] = {}
+        for item in projection.items:
+            if item.subquery is not None:
+                keep[item.label] = ("qualified", item.subquery)
+                continue
+            assert item.path is not None
+            label, attr = self.validator._resolve_path(  # noqa: SLF001
+                item.path, structure, allow_label_only=True
+            )
+            if attr is None:
+                keep[label] = "all"
+            else:
+                entry = keep.get(label)
+                if isinstance(entry, set):
+                    entry.add(attr)
+                elif entry is None:
+                    keep[label] = {attr}
+                # 'all' swallows attribute items
+
+        # Effective rule per label: explicit items win; a subtree without
+        # any explicit rule under an 'all' node inherits 'all'; nodes on
+        # the path to a kept node stay as structural glue (identifier
+        # only); everything else is pruned.
+        effective: dict[str, Any] = {}
+        glue: set[str] = set()
+
+        def subtree_has_rule(node: StructureNode) -> bool:
+            return node.label in keep or \
+                any(subtree_has_rule(child) for child in node.children)
+
+        def assign(node: StructureNode, under_all: bool) -> bool:
+            rule = keep.get(node.label)
+            if rule is None and under_all and not subtree_has_rule(node):
+                rule = "all"
+            effective[node.label] = rule
+            kept_below = False
+            next_under_all = rule == "all"
+            for child in node.children:
+                if assign(child, next_under_all):
+                    kept_below = True
+            if rule is None and (kept_below or node.label in keep):
+                glue.add(node.label)
+            return kept_below or rule is not None
+
+        assign(structure, under_all=False)
+        self._project_molecule(molecule, effective, glue)
+
+    def _project_molecule(self, molecule: Molecule, effective: dict[str, Any],
+                          glue: set[str]) -> None:
+        label = molecule.node.label
+        identifier = self.schema.atom_type(molecule.node.atom_type) \
+            .identifier_attr
+        rule = effective.get(label)
+        if rule == "all":
+            pass
+        elif isinstance(rule, set):
+            molecule.atom = {identifier: molecule.atom.get(identifier),
+                             **{a: molecule.atom.get(a) for a in sorted(rule)}}
+        elif isinstance(rule, tuple) and rule[0] == "qualified":
+            subquery: SelectStatement = rule[1]
+            if not subquery.projection.select_all:
+                attrs = [item.path.parts[-1]
+                         for item in subquery.projection.items
+                         if item.path is not None]
+                molecule.atom = {
+                    identifier: molecule.atom.get(identifier),
+                    **{a: molecule.atom.get(a) for a in attrs},
+                }
+        else:
+            # structural glue only: identifier
+            molecule.atom = {identifier: molecule.atom.get(identifier)}
+        for child_label, comps in list(molecule.components.items()):
+            child_rule = effective.get(child_label)
+            if child_rule is None and child_label not in glue:
+                del molecule.components[child_label]
+                continue
+            if isinstance(child_rule, tuple) and child_rule[0] == "qualified":
+                subquery = child_rule[1]
+                if subquery.where is not None:
+                    comps = [
+                        comp for comp in comps
+                        if self.evaluator.matches(subquery.where, comp)
+                    ]
+                    molecule.components[child_label] = comps
+            for comp in comps:
+                self._project_molecule(comp, effective, glue)
+
+    # ------------------------------------------------------------------- DML --
+
+    def _resolve_ref(self, type_name: str, key: tuple) -> Surrogate | None:
+        return self.access.atoms.find_by_key(type_name, key)
+
+    def _resolve_value(self, expr: Expr | list[Expr]) -> Any:
+        if isinstance(expr, list):
+            return [self._resolve_value(item) for item in expr]
+        if isinstance(expr, Literal):
+            return expr.value
+        if isinstance(expr, EmptyLiteral):
+            return []
+        if isinstance(expr, RefLookup):
+            surrogate = self._resolve_ref(expr.type_name, expr.key)
+            if surrogate is None:
+                raise ExecutionError(
+                    f"REF {expr.type_name}({', '.join(map(repr, expr.key))}) "
+                    f"matches no atom"
+                )
+            return surrogate
+        raise ExecutionError(f"unsupported value expression {expr!r}")
+
+    def _insert(self, statement: InsertStatement) -> ResultSet:
+        values = {
+            attr: self._resolve_value(value)
+            for attr, value in statement.assignments
+        }
+        atom_type = self.schema.atom_type(statement.type_name)
+        # EMPTY on a single reference means NULL.
+        for attr, value in list(values.items()):
+            if value == [] and not hasattr(atom_type.attr(attr), "element"):
+                values[attr] = None
+        surrogate = self.access.insert(statement.type_name, values)
+        return ResultSet(inserted=surrogate, affected=1)
+
+    def _qualifying_molecules(self, from_clause, where) -> tuple[ResultSet, StructureNode]:
+        query = SelectStatement(Projection(select_all=True), from_clause,
+                                where)
+        plan = self.plan_select(query)
+        result = self.select(query)
+        return result, plan.structure
+
+    def _delete(self, statement: DeleteStatement) -> ResultSet:
+        result, structure = self._qualifying_molecules(
+            statement.from_clause, statement.where
+        )
+        if statement.labels:
+            known = set(structure.labels())
+            unknown = set(statement.labels) - known
+            if unknown:
+                raise ValidationError(
+                    f"DELETE names unknown labels {sorted(unknown)}"
+                )
+        id_attrs = {
+            node.label: self.schema.atom_type(node.atom_type).identifier_attr
+            for node in structure.walk()
+        }
+        victims: list[Surrogate] = []
+        seen: set[Surrogate] = set()
+        for molecule in result:
+            for label, atom in molecule.atoms():
+                if statement.labels and label not in statement.labels:
+                    continue
+                surrogate = atom[id_attrs[label]]
+                if surrogate not in seen:
+                    seen.add(surrogate)
+                    victims.append(surrogate)
+        for surrogate in victims:
+            if self.access.atoms.exists(surrogate):
+                self.access.delete(surrogate)
+        return ResultSet(affected=len(victims))
+
+    def _modify(self, statement: ModifyStatement) -> ResultSet:
+        result, structure = self._qualifying_molecules(
+            statement.from_clause, statement.where
+        )
+        if structure.find(statement.label) is None:
+            raise ValidationError(
+                f"MODIFY names unknown label {statement.label!r}"
+            )
+        changes = {
+            attr: self._resolve_value(value)
+            for attr, value in statement.assignments
+        }
+        node = structure.find(statement.label)
+        assert node is not None
+        id_attr = self.schema.atom_type(node.atom_type).identifier_attr
+        touched: set[Surrogate] = set()
+        for molecule in result:
+            for label, atom in molecule.atoms():
+                if label != statement.label:
+                    continue
+                surrogate = atom[id_attr]
+                if surrogate in touched:
+                    continue
+                touched.add(surrogate)
+                self.access.modify(surrogate, dict(changes))
+        return ResultSet(affected=len(touched))
+
+
+# ---------------------------------------------------------------------------
+# helpers
+# ---------------------------------------------------------------------------
+
+def _signature(node: StructureNode) -> tuple:
+    via = node.via.source_attr if node.via is not None else None
+    return (
+        node.atom_type,
+        via,
+        node.recursive,
+        tuple(sorted(_signature(child) for child in node.children)),
+    )
+
+
+def _range_for(terms: list[tuple[str, str, Any]],
+               attr: str) -> KeyCondition | None:
+    """Combine the sargable terms on ``attr`` into one key condition."""
+    start = stop = None
+    include_start = include_stop = True
+    found = False
+    for term_attr, op, value in terms:
+        if term_attr != attr:
+            continue
+        if op == "=":
+            return KeyCondition(start=value, stop=value)
+        if op == ">":
+            start, include_start, found = value, False, True
+        elif op == ">=":
+            start, include_start, found = value, True, True
+        elif op == "<":
+            stop, include_stop, found = value, False, True
+        elif op == "<=":
+            stop, include_stop, found = value, True, True
+    if not found:
+        return None
+    return KeyCondition(start=start, stop=stop,
+                        include_start=include_start,
+                        include_stop=include_stop)
+
+
+def _render_bounds(attr: str, condition: KeyCondition) -> str:
+    parts = []
+    if condition.start is not None:
+        op = ">=" if condition.include_start else ">"
+        parts.append(f"{attr} {op} {condition.start!r}")
+    if condition.stop is not None:
+        op = "<=" if condition.include_stop else "<"
+        parts.append(f"{attr} {op} {condition.stop!r}")
+    return " AND ".join(parts) or attr
+

@@ -1,0 +1,87 @@
+"""Processing plans (paper, 3.1: "query preparation creates a finer
+grained processing plan").
+
+A plan records the decisions of the molecule-type-specific optimization:
+how the root atoms are accessed (key lookup, access-path scan, sort scan,
+or atom-type scan with a pushed-down search argument), whether an atom
+cluster materialises the molecule structure, and which qualification
+remains to be evaluated per molecule.  ``explain()`` renders the plan for
+tests, examples, and benchmark reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.mad.molecule import StructureNode
+from repro.mql.ast import Expr, Projection
+
+
+@dataclass
+class RootAccess:
+    """How the root atom set is produced."""
+
+    kind: str                     # 'key_lookup' | 'access_path' | 'atom_type_scan'
+    atom_type: str
+    #: key lookup: the KEYS_ARE value; access path: path name + conditions.
+    detail: dict[str, Any] = field(default_factory=dict)
+
+    def explain(self) -> str:
+        if self.kind == "key_lookup":
+            return (f"KEY LOOKUP {self.atom_type} "
+                    f"(key = {self.detail.get('key')!r})")
+        if self.kind == "access_path":
+            return (f"ACCESS PATH SCAN {self.detail.get('path')} ON "
+                    f"{self.atom_type} ({self.detail.get('range')})")
+        if self.kind == "sort_scan":
+            return (f"SORT SCAN {self.detail.get('order')} ON "
+                    f"{self.atom_type} "
+                    f"({', '.join(self.detail.get('attrs', ()))})")
+        terms = self.detail.get("search")
+        suffix = f" (search: {terms})" if terms else ""
+        return f"ATOM TYPE SCAN {self.atom_type}{suffix}"
+
+
+@dataclass
+class QueryPlan:
+    """The full processing plan of one SELECT."""
+
+    structure: StructureNode
+    root_access: RootAccess
+    cluster_name: str | None          # atom cluster materialising the structure
+    residual_where: Expr | None       # evaluated per constructed molecule
+    projection: Projection
+    recursion_strategy: str = "level-wise"
+    #: (root attribute, descending) pairs of the ORDER BY clause.
+    order_by: list[tuple[str, bool]] = field(default_factory=list)
+    #: True when the root access already delivers the requested order.
+    order_served_by_access: bool = False
+
+    def explain(self) -> str:
+        lines = [f"MOLECULE TYPE SCAN {self.structure!r}"]
+        lines.append(f"  root: {self.root_access.explain()}")
+        if self.cluster_name is not None:
+            lines.append(
+                f"  construction: ATOM CLUSTER {self.cluster_name} "
+                f"(one page-sequence transfer per molecule)"
+            )
+        else:
+            lines.append("  construction: association traversal (base records)")
+        if any(node.recursive for node in self.structure.walk()):
+            lines.append(f"  recursion: {self.recursion_strategy}")
+        if self.residual_where is not None:
+            lines.append("  select: residual qualification per molecule")
+        if self.order_by:
+            rendered = ", ".join(
+                f"{attr} {'DESC' if desc else 'ASC'}"
+                for attr, desc in self.order_by
+            )
+            how = "from the sort order (free)" if \
+                self.order_served_by_access else "explicit final sort"
+            lines.append(f"  order: {rendered} — {how}")
+        if self.projection.select_all:
+            lines.append("  project: ALL")
+        else:
+            lines.append(f"  project: {len(self.projection.items)} item(s)")
+        return "\n".join(lines)

@@ -1,0 +1,61 @@
+"""Result sets: what the data system hands back across the MAD interface.
+
+A result set is a set of molecules (heterogeneous record sets) plus the
+plan that produced it; the one-molecule-at-a-time interface of the paper's
+molecule management maps onto iteration.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from repro.mad.molecule import Molecule
+from repro.mad.types import Surrogate
+
+
+class ResultSet:
+    """An ordered set of molecules (or DML outcome)."""
+
+    def __init__(self, molecules: list[Molecule] | None = None,
+                 plan_text: str = "", affected: int = 0,
+                 inserted: Surrogate | None = None) -> None:
+        self.molecules = molecules if molecules is not None else []
+        self.plan_text = plan_text
+        #: Atoms touched by a DML statement.
+        self.affected = affected
+        #: Surrogate produced by an INSERT.
+        self.inserted = inserted
+
+    def __len__(self) -> int:
+        return len(self.molecules)
+
+    def __iter__(self) -> Iterator[Molecule]:
+        return iter(self.molecules)
+
+    def __getitem__(self, index: int) -> Molecule:
+        return self.molecules[index]
+
+    def to_dicts(self) -> list[dict[str, Any]]:
+        """Plain-data rendering of every molecule."""
+        return [m.to_dict() for m in self.molecules]
+
+    def atom_count(self) -> int:
+        """Distinct atoms across all molecules in the set."""
+        seen: set[Surrogate] = set()
+
+        def visit(molecule: Molecule) -> None:
+            seen.add(molecule.surrogate)
+            for comps in molecule.components.values():
+                for comp in comps:
+                    visit(comp)
+
+        for molecule in self.molecules:
+            visit(molecule)
+        return len(seen)
+
+    def __repr__(self) -> str:
+        if self.inserted is not None:
+            return f"ResultSet(inserted={self.inserted})"
+        if self.affected:
+            return f"ResultSet(affected={self.affected})"
+        return f"ResultSet({len(self.molecules)} molecules)"

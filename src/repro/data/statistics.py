@@ -1,0 +1,190 @@
+"""Meta-data statistics for the molecule-type-specific optimization.
+
+Query preparation exploits "information from the meta-data" and the
+molecule-type-specific optimization "has to be aware of access methods,
+sort orders, partitions of atom types, and physical clusters" (paper,
+3.1).  This module supplies the quantitative half of that awareness:
+
+* per atom type — cardinality;
+* per scalar attribute — min / max / distinct-estimate, collected by a
+  single pass over the base containers;
+* per association — average fan-out (how many components one parent
+  contributes), which prices molecule construction.
+
+Statistics are collected on demand (``ANALYZE``-style) and consumed by the
+planner's selectivity estimator: a range predicate whose estimated
+selectivity exceeds the scan threshold is answered by the atom-type scan
+even when an access path exists — the crossover benchmark A5 measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.access.btree import make_key
+from repro.access.system import AccessSystem
+from repro.mad.types import Surrogate, is_reference, reference_values
+
+
+@dataclass
+class AttributeStatistics:
+    """Value distribution summary of one scalar attribute."""
+
+    count: int = 0
+    nulls: int = 0
+    minimum: Any = None
+    maximum: Any = None
+    distinct: int = 0
+
+    def selectivity(self, op: str, value: Any) -> float:
+        """Estimated fraction of atoms satisfying ``attr op value``.
+
+        Equality uses 1/distinct; ranges interpolate linearly between the
+        observed minimum and maximum for numeric attributes and fall back
+        to 1/3 otherwise (the classic System R default).
+        """
+        if self.count == 0:
+            return 0.0
+        if op == "=":
+            return 1.0 / max(self.distinct, 1)
+        if op == "!=":
+            return 1.0 - 1.0 / max(self.distinct, 1)
+        if not isinstance(value, (int, float)) or \
+                not isinstance(self.minimum, (int, float)) or \
+                not isinstance(self.maximum, (int, float)) or \
+                self.maximum == self.minimum:
+            return 1.0 / 3.0
+        span = self.maximum - self.minimum
+        position = (value - self.minimum) / span
+        position = min(max(position, 0.0), 1.0)
+        if op in ("<", "<="):
+            return position
+        if op in (">", ">="):
+            return 1.0 - position
+        return 1.0 / 3.0
+
+
+@dataclass
+class TypeStatistics:
+    """Statistics of one atom type."""
+
+    cardinality: int = 0
+    attributes: dict[str, AttributeStatistics] = field(default_factory=dict)
+    #: reference attribute -> average number of targets per atom.
+    fanout: dict[str, float] = field(default_factory=dict)
+
+
+class StatisticsCatalog:
+    """Collects and serves meta-data statistics (ANALYZE on demand)."""
+
+    def __init__(self, access: AccessSystem) -> None:
+        self._access = access
+        self._types: dict[str, TypeStatistics] = {}
+
+    # -- collection ----------------------------------------------------------------
+
+    def analyze(self, type_name: str | None = None) -> int:
+        """Collect statistics for one atom type (or every type); returns
+        the number of atoms examined."""
+        names = ([type_name] if type_name is not None
+                 else self._access.schema.atom_type_names())
+        examined = 0
+        for name in names:
+            examined += self._analyze_one(name)
+        return examined
+
+    def _analyze_one(self, type_name: str) -> int:
+        atom_type = self._access.schema.atom_type(type_name)
+        stats = TypeStatistics()
+        distinct: dict[str, set] = {a: set() for a in atom_type.data_attrs()}
+        ref_totals: dict[str, int] = {
+            a: 0 for a in atom_type.reference_attrs()
+        }
+        for _s, values in self._access.atoms.atoms_of_type(type_name):
+            stats.cardinality += 1
+            for attr in distinct:
+                column = stats.attributes.setdefault(
+                    attr, AttributeStatistics())
+                value = values.get(attr)
+                column.count += 1
+                if value is None:
+                    column.nulls += 1
+                    continue
+                try:
+                    key = make_key(value)
+                except Exception:
+                    continue   # RECORD/ARRAY values carry no order stats
+                if column.minimum is None or key < make_key(column.minimum):
+                    column.minimum = value
+                if column.maximum is None or make_key(column.maximum) < key:
+                    column.maximum = value
+                if len(distinct[attr]) < 10_000:
+                    distinct[attr].add(repr(value))
+            for attr in ref_totals:
+                ref_totals[attr] += len(reference_values(
+                    atom_type.attr(attr), values.get(attr)))
+        for attr, seen in distinct.items():
+            if attr in stats.attributes:
+                stats.attributes[attr].distinct = len(seen)
+        if stats.cardinality:
+            stats.fanout = {
+                attr: total / stats.cardinality
+                for attr, total in ref_totals.items()
+            }
+        self._types[type_name] = stats
+        return stats.cardinality
+
+    # -- queries the planner asks --------------------------------------------------------
+
+    def has_statistics(self, type_name: str) -> bool:
+        return type_name in self._types
+
+    def type_statistics(self, type_name: str) -> TypeStatistics | None:
+        return self._types.get(type_name)
+
+    def cardinality(self, type_name: str) -> int | None:
+        stats = self._types.get(type_name)
+        return stats.cardinality if stats is not None else None
+
+    def selectivity(self, type_name: str,
+                    terms: list[tuple[str, str, Any]]) -> float | None:
+        """Combined selectivity of conjunctive sargable terms (independence
+        assumption); None without statistics."""
+        stats = self._types.get(type_name)
+        if stats is None:
+            return None
+        result = 1.0
+        for attr, op, value in terms:
+            column = stats.attributes.get(attr)
+            if column is None:
+                continue
+            result *= column.selectivity(op, value)
+        return result
+
+    def estimated_molecule_size(self, structure) -> float:
+        """Expected atoms per molecule of a structure (fan-out product).
+
+        Used to price molecule construction ("the molecule-type-specific
+        optimization"); recursion contributes its fan-out geometrically,
+        capped at the type's cardinality.
+        """
+        def expected(node) -> float:
+            stats = self._types.get(node.atom_type)
+            total = 1.0
+            for child in node.children:
+                fanout = 1.0
+                if stats is not None and child.via is not None:
+                    fanout = stats.fanout.get(child.via.source_attr, 1.0)
+                total += fanout * expected(child)
+            if node.recursive and node.via is not None and \
+                    stats is not None:
+                fanout = stats.fanout.get(node.via.source_attr, 0.0)
+                # geometric series sum for fanout < 1, else cap at card.
+                if fanout < 1.0:
+                    total *= 1.0 / max(1.0 - fanout, 1e-6)
+                else:
+                    total = float(stats.cardinality or total)
+            return total
+
+        return expected(structure)

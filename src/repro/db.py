@@ -1,0 +1,154 @@
+"""The PRIMA facade: one object wiring all kernel layers together.
+
+The conceptually simplest system structure uses PRIMA without additional
+components as a 'complete' DBMS: the services at the MAD interface are
+directly made available to its users (paper, section 4).  :class:`Prima`
+is that configuration — storage system, access system, and data system
+stacked per Fig. 3.1, plus the LDL entry point for the administrator.
+
+    >>> db = Prima()
+    >>> db.execute("CREATE ATOM_TYPE city (city_id: IDENTIFIER, "
+    ...            "name: CHAR_VAR) KEYS_ARE (name)")
+    ResultSet(affected=0)
+    >>> db.execute("INSERT city (name = 'Kaiserslautern')").inserted
+    city#1
+    >>> len(db.query("SELECT ALL FROM city"))
+    1
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.access.integrity import Violation, verify_database
+from repro.access.system import AccessSystem
+from repro.data.executor import DataSystem
+from repro.data.result import ResultSet
+from repro.data.validation import MoleculeTypeCatalog
+from repro.errors import PrimaError
+from repro.ldl.executor import LdlExecutor
+from repro.mad.schema import Schema
+from repro.mad.types import Surrogate
+from repro.mql.parser import parse, parse_script
+from repro.storage.disk import DiskGeometry
+from repro.storage.system import StorageSystem
+
+
+class Prima:
+    """A complete single-user PRIMA instance."""
+
+    def __init__(self, buffer_capacity: int = 256 * 8192,
+                 policy: str = "modified-lru",
+                 partitioned_buffer: bool = False,
+                 geometry: DiskGeometry | None = None) -> None:
+        self.storage = StorageSystem(
+            buffer_capacity=buffer_capacity, policy=policy,
+            partitioned=partitioned_buffer, geometry=geometry,
+        )
+        self.schema = Schema()
+        self.access = AccessSystem(self.storage, self.schema)
+        self.catalog = MoleculeTypeCatalog()
+        self.data = DataSystem(self.access, self.catalog)
+        self.ldl = LdlExecutor(self.access, self.data.validator)
+
+    # -- MQL ----------------------------------------------------------------------
+
+    def execute(self, mql: str) -> ResultSet:
+        """Parse and execute one MQL statement."""
+        return self.data.execute(parse(mql))
+
+    def execute_script(self, mql: str) -> list[ResultSet]:
+        """Parse and execute a ';'-separated MQL script."""
+        return [self.data.execute(stmt) for stmt in parse_script(mql)]
+
+    def query(self, mql: str) -> ResultSet:
+        """Alias of :meth:`execute` for read-only statements."""
+        return self.execute(mql)
+
+    def explain(self, mql: str) -> str:
+        """The processing plan of a SELECT, without executing it."""
+        statement = parse(mql)
+        from repro.mql.ast import SelectStatement
+        if not isinstance(statement, SelectStatement):
+            raise PrimaError("EXPLAIN supports SELECT statements only")
+        self.data._ensure_symmetry()  # noqa: SLF001
+        return self.data.plan_select(statement).explain()
+
+    # -- LDL ------------------------------------------------------------------------
+
+    def execute_ldl(self, ldl: str) -> list[str]:
+        """Execute a ';'-separated LDL script (tuning structures)."""
+        self.data._ensure_symmetry()  # noqa: SLF001
+        return self.ldl.execute_script(ldl)
+
+    # -- programmatic atom access (the access-system interface) ----------------------
+
+    def insert_atom(self, type_name: str,
+                    values: dict[str, Any] | None = None) -> Surrogate:
+        """Insert one atom directly (bypassing MQL)."""
+        return self.access.insert(type_name, values)
+
+    def get_atom(self, surrogate: Surrogate,
+                 attrs: list[str] | None = None) -> dict[str, Any]:
+        """Read one atom directly."""
+        return self.access.get(surrogate, attrs)
+
+    def modify_atom(self, surrogate: Surrogate,
+                    values: dict[str, Any]) -> None:
+        """Modify one atom directly."""
+        self.access.modify(surrogate, values)
+
+    def delete_atom(self, surrogate: Surrogate) -> None:
+        """Delete one atom directly."""
+        self.access.delete(surrogate)
+
+    # -- optimizer meta-data -----------------------------------------------------------
+
+    def analyze(self, type_name: str | None = None) -> int:
+        """Collect optimizer statistics (cardinalities, value ranges,
+        association fan-outs); returns the atoms examined.  See
+        :mod:`repro.data.statistics`."""
+        return self.data.statistics.analyze(type_name)
+
+    # -- introspection ----------------------------------------------------------------
+
+    def dump_ddl(self) -> str:
+        """Regenerate the MQL DDL of the current catalog (round-trips
+        through the parser; see :mod:`repro.mad.ddl`)."""
+        from repro.mad.ddl import dump_schema
+        return dump_schema(self.schema, self.catalog)
+
+    # -- persistence -------------------------------------------------------------------
+
+    def save(self, path) -> int:
+        """Checkpoint this instance to a file (see repro.persistence)."""
+        from repro.persistence import save
+        return save(self, path)
+
+    @staticmethod
+    def load(path) -> "Prima":
+        """Restore a checkpointed instance (see repro.persistence)."""
+        from repro.persistence import load
+        return load(path)
+
+    # -- maintenance ---------------------------------------------------------------------
+
+    def commit(self) -> None:
+        """Propagate deferred updates and flush dirty pages."""
+        self.access.propagate_deferred()
+        self.storage.flush()
+
+    def verify_integrity(self) -> list[Violation]:
+        """Run the database-wide structural-integrity verification."""
+        return verify_database(self.access.atoms)
+
+    def io_report(self) -> dict[str, Any]:
+        """Disk/buffer/access counters for benchmark reporting."""
+        report = dict(self.storage.io_report())
+        report.update(self.access.counters.snapshot())
+        return report
+
+    def reset_accounting(self) -> None:
+        """Zero all counters (data is untouched)."""
+        self.storage.reset_accounting()
+        self.access.counters.reset()

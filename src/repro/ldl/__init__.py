@@ -1,0 +1,31 @@
+"""LDL: the load definition language (paper, 2.3).
+
+The database administrator uses LDL to provide 'hints' to the access
+system, which creates appropriate storage structures, tailored access
+paths, and special tuning mechanisms — all transparent at the MAD
+interface.
+"""
+
+from repro.ldl.executor import LdlExecutor
+from repro.ldl.parser import (
+    CreateAccessPath,
+    CreateAtomCluster,
+    CreatePartition,
+    CreateSortOrder,
+    DropStructure,
+    LdlStatement,
+    parse_ldl,
+    parse_ldl_script,
+)
+
+__all__ = [
+    "CreateAccessPath",
+    "CreateAtomCluster",
+    "CreatePartition",
+    "CreateSortOrder",
+    "DropStructure",
+    "LdlExecutor",
+    "LdlStatement",
+    "parse_ldl",
+    "parse_ldl_script",
+]

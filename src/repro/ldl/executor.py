@@ -1,0 +1,64 @@
+"""LDL executor: installs and drops tuning structures.
+
+The statements only serve to improve performance — they are controlled by
+the access system and are not visible to the application referencing the
+MAD interface (paper, 2.3).  Tests assert this transparency: query results
+are identical with and without any set of LDL structures.
+"""
+
+from __future__ import annotations
+
+from repro.access.system import AccessSystem
+from repro.data.validation import Validator
+from repro.errors import ParseError
+from repro.ldl.parser import (
+    CreateAccessPath,
+    CreateAtomCluster,
+    CreatePartition,
+    CreateSortOrder,
+    DropStructure,
+    LdlStatement,
+    parse_ldl_script,
+)
+
+
+class LdlExecutor:
+    """Applies parsed LDL statements to the access system."""
+
+    def __init__(self, access: AccessSystem, validator: Validator) -> None:
+        self._access = access
+        self._validator = validator
+
+    def execute(self, statement: LdlStatement) -> str:
+        """Execute one statement; returns a short confirmation string."""
+        if isinstance(statement, CreateAccessPath):
+            self._access.create_access_path(
+                statement.name, statement.atom_type, statement.attrs,
+                method=statement.method,
+            )
+            return (f"access path {statement.name} on {statement.atom_type}"
+                    f"({', '.join(statement.attrs)}) using {statement.method}")
+        if isinstance(statement, CreateSortOrder):
+            self._access.create_sort_order(
+                statement.name, statement.atom_type, statement.attrs
+            )
+            return (f"sort order {statement.name} on {statement.atom_type}"
+                    f"({', '.join(statement.attrs)})")
+        if isinstance(statement, CreatePartition):
+            self._access.create_partition(
+                statement.name, statement.atom_type, statement.attrs
+            )
+            return (f"partition {statement.name} on {statement.atom_type}"
+                    f"({', '.join(statement.attrs)})")
+        if isinstance(statement, CreateAtomCluster):
+            structure = self._validator.resolve_structure(statement.structure)
+            self._access.create_cluster(statement.name, structure)
+            return f"atom cluster {statement.name} from {structure!r}"
+        if isinstance(statement, DropStructure):
+            self._access.drop_structure(statement.name)
+            return f"dropped {statement.name}"
+        raise ParseError(f"unsupported LDL statement {statement!r}")
+
+    def execute_script(self, text: str) -> list[str]:
+        """Parse and execute a ';'-separated LDL script."""
+        return [self.execute(stmt) for stmt in parse_ldl_script(text)]

@@ -1,0 +1,7 @@
+"""MQL: the Molecule Query Language front end (paper, 2.2 / Table 2.1)."""
+
+from repro.mql import ast
+from repro.mql.lexer import Token, tokenize
+from repro.mql.parser import Parser, parse, parse_script
+
+__all__ = ["Parser", "Token", "ast", "parse", "parse_script", "tokenize"]

@@ -1,0 +1,243 @@
+"""Abstract syntax trees for MQL statements.
+
+The node set covers the full language exemplified in the paper: DDL
+(Fig. 2.3), queries with vertical/horizontal access, recursion, branching
+structures, quantified qualification and qualified projection (Table 2.1),
+and molecule DML (section 2.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.mad.types import AttrType
+
+
+# ---------------------------------------------------------------------------
+# FROM clause: molecule structures
+# ---------------------------------------------------------------------------
+
+@dataclass
+class FromNode:
+    """One node of the FROM-clause structure expression.
+
+    ``name`` is an atom type name (or, at the root, possibly a predefined
+    molecule type name, resolved during validation).  ``via_attr`` is the
+    explicit reference attribute when the association is ambiguous, as in
+    ``solid.sub-solid``; ``recursive`` marks ``(RECURSIVE)`` nodes.
+    """
+
+    name: str
+    via_attr: str | None = None
+    children: list["FromNode"] = field(default_factory=list)
+    recursive: bool = False
+
+    def render(self) -> str:
+        out = self.name if self.via_attr is None else \
+            f"{self.name}.{self.via_attr}"
+        if self.recursive:
+            out += " (RECURSIVE)"
+        if len(self.children) == 1:
+            out += "-" + self.children[0].render()
+        elif self.children:
+            out += "-(" + ", ".join(c.render() for c in self.children) + ")"
+        return out
+
+
+# ---------------------------------------------------------------------------
+# WHERE clause: qualification expressions
+# ---------------------------------------------------------------------------
+
+class Expr:
+    """Base class of qualification expressions."""
+
+
+@dataclass
+class Literal(Expr):
+    value: Any
+
+    def __repr__(self) -> str:
+        return f"Lit({self.value!r})"
+
+
+@dataclass
+class EmptyLiteral(Expr):
+    """The EMPTY keyword: an empty reference/repeating-group value."""
+
+
+@dataclass
+class Path(Expr):
+    """An attribute path: ``label.attr.field...`` or bare ``attr``.
+
+    ``level`` carries the recursion-level subscript of seed qualifications
+    such as ``piece_list (0).solid_no`` (None when absent).
+    """
+
+    parts: tuple[str, ...]
+    level: int | None = None
+
+    def __repr__(self) -> str:
+        head = ".".join(self.parts)
+        return f"Path({head}@{self.level})" if self.level is not None \
+            else f"Path({head})"
+
+
+@dataclass
+class Comparison(Expr):
+    op: str
+    left: Expr
+    right: Expr
+
+
+@dataclass
+class And(Expr):
+    parts: list[Expr]
+
+
+@dataclass
+class Or(Expr):
+    parts: list[Expr]
+
+
+@dataclass
+class Not(Expr):
+    inner: Expr
+
+
+@dataclass
+class Quantified(Expr):
+    """EXISTS / EXISTS_AT_LEAST (n) / EXISTS_EXACTLY (n) / FOR_ALL over the
+    component molecules with a given label: ``EXISTS_AT_LEAST (2) edge:
+    edge.length > 1.0E2``."""
+
+    quantifier: str                 # 'exists', 'at_least', 'exactly', 'all'
+    count: int | None
+    label: str
+    condition: Expr
+
+
+@dataclass
+class RefLookup(Expr):
+    """``REF type (key...)``: the surrogate of the atom with this key."""
+
+    type_name: str
+    key: tuple[Any, ...]
+
+
+# ---------------------------------------------------------------------------
+# SELECT clause: projections
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ProjectionItem:
+    """One item of the projection list.
+
+    * ``Path`` with one part: keep a whole component subtree (by label) or
+      a root attribute — resolved during validation.
+    * ``Path`` with two parts: keep one attribute of one label.
+    * ``subquery``: qualified projection — ``face := SELECT ... FROM face
+      WHERE ...`` filters and projects the components with that label.
+    """
+
+    path: Path | None = None
+    label: str | None = None
+    subquery: "SelectStatement | None" = None
+
+
+@dataclass
+class Projection:
+    """Either ALL or a list of projection items."""
+
+    select_all: bool = False
+    items: list[ProjectionItem] = field(default_factory=list)
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+class Statement:
+    """Base class of all MQL statements."""
+
+
+@dataclass
+class OrderItem:
+    """One ORDER BY item: a root-attribute path plus direction."""
+
+    path: Path
+    descending: bool = False
+
+
+@dataclass
+class SelectStatement(Statement):
+    projection: Projection
+    from_clause: FromNode
+    where: Expr | None = None
+    #: Result ordering over root attributes (the 'sorting' functional
+    #: descriptor of query preparation, paper 3.1).
+    order_by: list[OrderItem] = field(default_factory=list)
+
+
+@dataclass
+class CreateAtomType(Statement):
+    name: str
+    attributes: list[tuple[str, AttrType]]
+    keys: tuple[str, ...] = ()
+
+
+@dataclass
+class DropAtomType(Statement):
+    name: str
+
+
+@dataclass
+class DefineMoleculeType(Statement):
+    name: str
+    structure: FromNode
+
+
+@dataclass
+class DropMoleculeType(Statement):
+    name: str
+
+
+@dataclass
+class InsertStatement(Statement):
+    """INSERT <atom type> (attr = value, ...).
+
+    Values are literal expressions, bracketed lists, or REF lookups; the
+    executor resolves them to stored attribute values.
+    """
+
+    type_name: str
+    assignments: list[tuple[str, Expr | list[Expr]]]
+
+
+@dataclass
+class DeleteStatement(Statement):
+    """DELETE <ALL | label list> FROM <structure> WHERE <qual>.
+
+    ALL removes whole molecules; a label list removes just those component
+    atoms, automatically disconnecting them from the surrounding molecules
+    (paper, 2.2).
+    """
+
+    labels: list[str]              # empty list means ALL
+    from_clause: FromNode
+    where: Expr | None = None
+
+
+@dataclass
+class ModifyStatement(Statement):
+    """MODIFY <label> SET attr = value, ... FROM <structure> WHERE <qual>.
+
+    Sets attributes on the qualifying atoms with the given label; reference
+    assignments connect/disconnect components with automatic back-reference
+    maintenance.
+    """
+
+    label: str
+    assignments: list[tuple[str, Expr | list[Expr]]]
+    from_clause: FromNode
+    where: Expr | None = None

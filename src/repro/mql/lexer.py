@@ -1,0 +1,151 @@
+"""Lexer for MQL (Molecule Query Language) and LDL.
+
+MQL follows the example of SQL [X3H286] and its derivates (paper, 2.2).
+The token set covers the constructs exemplified in the paper: Fig. 2.3's
+DDL, Table 2.1's queries (including ``EXISTS_AT_LEAST (2) edge:``,
+``piece_list (0).solid_no``, ``:=`` qualified projection, scientific float
+literals such as ``1.9E4``), and the DML statements of section 2.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import LexerError
+
+#: Multi-character operators, longest first.
+_OPERATORS = [":=", "<=", ">=", "!=", "<>", "=", "<", ">", "(", ")", ",",
+              ":", ".", "-", "{", "}", "[", "]", ";", "*"]
+
+#: Reserved words (case-insensitive); everything else is an identifier.
+KEYWORDS = {
+    "SELECT", "FROM", "WHERE", "ALL", "AND", "OR", "NOT",
+    "EXISTS", "EXISTS_AT_LEAST", "EXISTS_EXACTLY", "FOR_ALL",
+    "EMPTY", "TRUE", "FALSE", "NULL",
+    "CREATE", "DROP", "DEFINE", "ATOM_TYPE", "MOLECULE_TYPE",
+    "MOLECULE", "TYPE", "KEYS_ARE", "RECURSIVE",
+    "INSERT", "DELETE", "MODIFY", "SET", "INTO", "REF",
+    "IDENTIFIER", "INTEGER", "REAL", "BOOLEAN", "CHAR_VAR", "BYTE_VAR",
+    "REF_TO", "SET_OF", "LIST_OF", "ARRAY_OF", "RECORD", "END", "VAR",
+    "HULL_DIM",
+    # LDL keywords
+    "ACCESS", "PATH", "SORT", "ORDER", "PARTITION", "ATOM_CLUSTER",
+    "ON", "USING", "BTREE", "GRID",
+    # result ordering (the data system's 'sorting' functional descriptor)
+    "BY", "ASC", "DESC",
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position (1-based)."""
+
+    kind: str        # 'KEYWORD', 'IDENT', 'INT', 'FLOAT', 'STRING', 'OP', 'EOF'
+    value: str
+    line: int
+    column: int
+
+    def is_keyword(self, *words: str) -> bool:
+        return self.kind == "KEYWORD" and self.value in words
+
+    def is_op(self, *ops: str) -> bool:
+        return self.kind == "OP" and self.value in ops
+
+    def __repr__(self) -> str:
+        return f"{self.kind}:{self.value}"
+
+
+def tokenize(text: str) -> list[Token]:
+    """Split MQL/LDL source text into tokens (comments are ``(* ... *)``)."""
+    tokens: list[Token] = []
+    pos = 0
+    line = 1
+    col = 1
+    length = len(text)
+
+    def advance(n: int) -> None:
+        nonlocal pos, line, col
+        for _ in range(n):
+            if pos < length and text[pos] == "\n":
+                line += 1
+                col = 1
+            else:
+                col += 1
+            pos += 1
+
+    while pos < length:
+        ch = text[pos]
+        # whitespace
+        if ch in " \t\r\n":
+            advance(1)
+            continue
+        # comments: (* ... *) as in the paper's examples
+        if text.startswith("(*", pos):
+            end = text.find("*)", pos + 2)
+            if end == -1:
+                raise LexerError("unterminated comment", line, col)
+            advance(end + 2 - pos)
+            continue
+        # string literal
+        if ch in ("'", '"'):
+            quote = ch
+            end = pos + 1
+            while end < length and text[end] != quote:
+                if text[end] == "\n":
+                    raise LexerError("unterminated string literal", line, col)
+                end += 1
+            if end >= length:
+                raise LexerError("unterminated string literal", line, col)
+            tokens.append(Token("STRING", text[pos + 1:end], line, col))
+            advance(end + 1 - pos)
+            continue
+        # number: INT or FLOAT with scientific notation (1.9E4, 1.0E2)
+        if ch.isdigit():
+            end = pos
+            is_float = False
+            while end < length and text[end].isdigit():
+                end += 1
+            if end < length and text[end] == "." and \
+                    end + 1 < length and text[end + 1].isdigit():
+                is_float = True
+                end += 1
+                while end < length and text[end].isdigit():
+                    end += 1
+            if end < length and text[end] in "eE":
+                probe = end + 1
+                if probe < length and text[probe] in "+-":
+                    probe += 1
+                if probe < length and text[probe].isdigit():
+                    is_float = True
+                    end = probe
+                    while end < length and text[end].isdigit():
+                        end += 1
+            kind = "FLOAT" if is_float else "INT"
+            tokens.append(Token(kind, text[pos:end], line, col))
+            advance(end - pos)
+            continue
+        # identifier / keyword
+        if ch.isalpha() or ch == "_":
+            end = pos
+            while end < length and (text[end].isalnum() or text[end] == "_"):
+                end += 1
+            word = text[pos:end]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token("KEYWORD", upper, line, col))
+            else:
+                tokens.append(Token("IDENT", word, line, col))
+            advance(end - pos)
+            continue
+        # operators
+        for op in _OPERATORS:
+            if text.startswith(op, pos):
+                value = "!=" if op == "<>" else op
+                tokens.append(Token("OP", value, line, col))
+                advance(len(op))
+                break
+        else:
+            raise LexerError(f"unexpected character {ch!r}", line, col)
+
+    tokens.append(Token("EOF", "", line, col))
+    return tokens

@@ -1,0 +1,714 @@
+"""Recursive-descent parser for MQL.
+
+Grammar summary (see the module docstrings of :mod:`repro.mql.lexer` and
+:mod:`repro.mql.ast` for the construct inventory)::
+
+    statement   := select | create_at | drop_at | define_mt | drop_mt
+                 | insert | delete | modify
+    select      := SELECT projection FROM structure [WHERE qual]
+    projection  := ALL | proj_item (',' proj_item)*
+    proj_item   := IDENT ':=' select            -- qualified projection
+                 | path
+                 | '(' proj_item (',' proj_item)* ')'
+    structure   := node (('-' node_or_branch) | branch)*
+    node        := IDENT ['.' IDENT] ['(' RECURSIVE ')']
+    branch      := '(' structure (',' structure)* ')'
+    qual        := or_expr
+    or_expr     := and_expr (OR and_expr)*
+    and_expr    := not_expr (AND not_expr)*
+    not_expr    := NOT not_expr | primary
+    primary     := quantified | '(' qual ')' | comparison
+    quantified  := (EXISTS | FOR_ALL | EXISTS_AT_LEAST '(' INT ')'
+                    | EXISTS_EXACTLY '(' INT ')') IDENT ':' or_expr
+    comparison  := operand ('=' | '!=' | '<' | '<=' | '>' | '>=') operand
+    operand     := literal | EMPTY | path | ref_lookup
+    path        := IDENT ['(' INT ')'] ('.' IDENT)*
+    ref_lookup  := REF IDENT '(' literal (',' literal)* ')'
+
+The chain ``a-b-c`` nests c under b under a; ``a.x-b`` names the reference
+attribute ``x`` of ``a`` used for the edge to ``b``; ``a-b (c, d)`` makes c
+and d children of b; ``a.x-a (RECURSIVE)`` declares recursion.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import ParseError
+from repro.mad.types import (
+    BOOLEAN,
+    BYTE_VAR,
+    CHAR_VAR,
+    IDENTIFIER,
+    INTEGER,
+    REAL,
+    ArrayType,
+    AttrType,
+    CharVarType,
+    ListType,
+    RecordType,
+    ReferenceType,
+    SetType,
+)
+from repro.mql.ast import (
+    And,
+    Comparison,
+    CreateAtomType,
+    DefineMoleculeType,
+    DeleteStatement,
+    DropAtomType,
+    DropMoleculeType,
+    EmptyLiteral,
+    Expr,
+    FromNode,
+    InsertStatement,
+    Literal,
+    ModifyStatement,
+    Not,
+    Or,
+    OrderItem,
+    Path,
+    Projection,
+    ProjectionItem,
+    Quantified,
+    RefLookup,
+    SelectStatement,
+    Statement,
+)
+from repro.mql.lexer import Token, tokenize
+
+
+class Parser:
+    """One-statement-at-a-time recursive-descent parser."""
+
+    def __init__(self, text: str) -> None:
+        self._tokens = tokenize(text)
+        self._pos = 0
+
+    # -- token plumbing -----------------------------------------------------------
+
+    def _peek(self, ahead: int = 0) -> Token:
+        index = min(self._pos + ahead, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._pos]
+        if token.kind != "EOF":
+            self._pos += 1
+        return token
+
+    def _error(self, message: str) -> ParseError:
+        token = self._peek()
+        return ParseError(
+            f"{message} at line {token.line}, column {token.column} "
+            f"(near {token.value!r})"
+        )
+
+    def _expect_op(self, op: str) -> Token:
+        token = self._peek()
+        if not token.is_op(op):
+            raise self._error(f"expected {op!r}")
+        return self._advance()
+
+    def _expect_keyword(self, *words: str) -> Token:
+        token = self._peek()
+        if not token.is_keyword(*words):
+            raise self._error(f"expected {' or '.join(words)}")
+        return self._advance()
+
+    def _expect_ident(self) -> str:
+        token = self._peek()
+        if token.kind != "IDENT":
+            raise self._error("expected an identifier")
+        return self._advance().value
+
+    def _expect_int(self) -> int:
+        token = self._peek()
+        if token.kind != "INT":
+            raise self._error("expected an integer")
+        return int(self._advance().value)
+
+    # -- entry points ---------------------------------------------------------------
+
+    def parse_statement(self) -> Statement:
+        """Parse exactly one statement (trailing ';' optional)."""
+        statement = self._statement()
+        if self._peek().is_op(";"):
+            self._advance()
+        if self._peek().kind != "EOF":
+            raise self._error("unexpected trailing input")
+        return statement
+
+    def parse_script(self) -> list[Statement]:
+        """Parse a ';'-separated sequence of statements."""
+        statements: list[Statement] = []
+        while self._peek().kind != "EOF":
+            statements.append(self._statement())
+            while self._peek().is_op(";"):
+                self._advance()
+        return statements
+
+    # -- statement dispatch -------------------------------------------------------------
+
+    def _statement(self) -> Statement:
+        token = self._peek()
+        if token.is_keyword("SELECT"):
+            return self._select()
+        if token.is_keyword("CREATE"):
+            return self._create()
+        if token.is_keyword("DROP"):
+            return self._drop()
+        if token.is_keyword("DEFINE"):
+            return self._define_molecule_type()
+        if token.is_keyword("INSERT"):
+            return self._insert()
+        if token.is_keyword("DELETE"):
+            return self._delete()
+        if token.is_keyword("MODIFY"):
+            return self._modify()
+        raise self._error("expected a statement")
+
+    # -- SELECT ----------------------------------------------------------------------------
+
+    def _select(self) -> SelectStatement:
+        self._expect_keyword("SELECT")
+        projection = self._projection()
+        self._expect_keyword("FROM")
+        structure = self._structure()
+        where = None
+        if self._peek().is_keyword("WHERE"):
+            self._advance()
+            where = self._qual()
+        order_by: list[OrderItem] = []
+        if self._peek().is_keyword("ORDER"):
+            self._advance()
+            self._expect_keyword("BY")
+            while True:
+                path = self._path()
+                descending = False
+                if self._peek().is_keyword("ASC"):
+                    self._advance()
+                elif self._peek().is_keyword("DESC"):
+                    self._advance()
+                    descending = True
+                order_by.append(OrderItem(path, descending))
+                if self._peek().is_op(","):
+                    self._advance()
+                    continue
+                break
+        return SelectStatement(projection, structure, where, order_by)
+
+    def _projection(self) -> Projection:
+        if self._peek().is_keyword("ALL"):
+            self._advance()
+            return Projection(select_all=True)
+        items: list[ProjectionItem] = []
+        self._projection_items(items)
+        return Projection(select_all=False, items=items)
+
+    def _projection_items(self, items: list) -> None:
+        while True:
+            items.append(self._projection_item(items))
+            if self._peek().is_op(","):
+                self._advance()
+                continue
+            break
+
+    def _projection_item(self, items: list) -> ProjectionItem:
+        token = self._peek()
+        if token.is_op("("):
+            # Grouping parentheses: flatten inner items into the list and
+            # return the first of them.
+            self._advance()
+            inner: list[ProjectionItem] = []
+            self._projection_items(inner)
+            self._expect_op(")")
+            first, *rest = inner
+            items.extend(rest)
+            return first
+        if token.kind != "IDENT":
+            raise self._error("expected a projection item")
+        # Qualified projection: label := SELECT ...
+        if self._peek(1).is_op(":="):
+            label = self._expect_ident()
+            self._advance()   # :=
+            subquery = self._select()
+            return ProjectionItem(label=label, subquery=subquery)
+        path = self._path()
+        return ProjectionItem(path=path)
+
+    # -- FROM structures ----------------------------------------------------------------------
+
+    def _structure(self) -> FromNode:
+        root = self._node()
+        current = root
+        pending_attr = current.via_attr
+        current.via_attr = None    # the root itself is reached over nothing
+        while True:
+            token = self._peek()
+            if token.is_op("-"):
+                self._advance()
+                if self._peek().is_op("("):
+                    self._branch(current, pending_attr)
+                    pending_attr = None
+                    break
+                nxt = self._node()
+                child_attr = pending_attr
+                pending_attr = nxt.via_attr
+                nxt.via_attr = child_attr
+                current.children.append(nxt)
+                current = nxt
+            elif token.is_op("(") and not self._peek(1).is_keyword("RECURSIVE"):
+                self._branch(current, pending_attr)
+                pending_attr = None
+                break
+            else:
+                break
+        if pending_attr is not None:
+            raise self._error(
+                f"dangling reference attribute {pending_attr!r} in FROM clause"
+            )
+        return root
+
+    def _branch(self, parent: FromNode, pending_attr: str | None) -> None:
+        if pending_attr is not None:
+            raise self._error(
+                "an explicit reference attribute cannot precede a branch"
+            )
+        self._expect_op("(")
+        while True:
+            child = self._structure()
+            parent.children.append(child)
+            if self._peek().is_op(","):
+                self._advance()
+                continue
+            break
+        self._expect_op(")")
+
+    def _node(self) -> FromNode:
+        name = self._expect_ident()
+        via_attr = None
+        if self._peek().is_op(".") and self._peek(1).kind == "IDENT":
+            self._advance()
+            via_attr = self._expect_ident()
+        recursive = False
+        if self._peek().is_op("(") and self._peek(1).is_keyword("RECURSIVE"):
+            self._advance()
+            self._advance()
+            self._expect_op(")")
+            recursive = True
+        # NOTE: via_attr is stored temporarily on the node itself; the
+        # chain logic in _structure() moves it onto the *next* node, since
+        # "solid.sub-solid" names solid's attribute for the edge to the
+        # next node.
+        return FromNode(name=name, via_attr=via_attr, recursive=recursive)
+
+    # -- WHERE expressions ------------------------------------------------------------------------
+
+    def _qual(self) -> Expr:
+        return self._or_expr()
+
+    def _or_expr(self) -> Expr:
+        parts = [self._and_expr()]
+        while self._peek().is_keyword("OR"):
+            self._advance()
+            parts.append(self._and_expr())
+        return parts[0] if len(parts) == 1 else Or(parts)
+
+    def _and_expr(self) -> Expr:
+        parts = [self._not_expr()]
+        while self._peek().is_keyword("AND"):
+            self._advance()
+            parts.append(self._not_expr())
+        return parts[0] if len(parts) == 1 else And(parts)
+
+    def _not_expr(self) -> Expr:
+        if self._peek().is_keyword("NOT"):
+            self._advance()
+            return Not(self._not_expr())
+        return self._primary()
+
+    def _primary(self) -> Expr:
+        token = self._peek()
+        if token.is_keyword("EXISTS", "EXISTS_AT_LEAST", "EXISTS_EXACTLY",
+                            "FOR_ALL"):
+            return self._quantified()
+        if token.is_op("("):
+            self._advance()
+            inner = self._qual()
+            self._expect_op(")")
+            return inner
+        return self._comparison()
+
+    def _quantified(self) -> Quantified:
+        word = self._advance().value
+        count: int | None = None
+        if word == "EXISTS":
+            quantifier = "exists"
+        elif word == "FOR_ALL":
+            quantifier = "all"
+        else:
+            quantifier = "at_least" if word == "EXISTS_AT_LEAST" else "exactly"
+            self._expect_op("(")
+            count = self._expect_int()
+            self._expect_op(")")
+        label = self._expect_ident()
+        self._expect_op(":")
+        condition = self._or_expr()
+        return Quantified(quantifier, count, label, condition)
+
+    def _comparison(self) -> Expr:
+        left = self._operand()
+        token = self._peek()
+        if not token.is_op("=", "!=", "<", "<=", ">", ">="):
+            raise self._error("expected a comparison operator")
+        op = self._advance().value
+        right = self._operand()
+        return Comparison(op, left, right)
+
+    def _operand(self) -> Expr:
+        token = self._peek()
+        if token.is_keyword("EMPTY"):
+            self._advance()
+            return EmptyLiteral()
+        if token.is_keyword("TRUE"):
+            self._advance()
+            return Literal(True)
+        if token.is_keyword("FALSE"):
+            self._advance()
+            return Literal(False)
+        if token.is_keyword("NULL"):
+            self._advance()
+            return Literal(None)
+        if token.is_keyword("REF"):
+            return self._ref_lookup()
+        if token.kind == "INT":
+            return Literal(int(self._advance().value))
+        if token.kind == "FLOAT":
+            return Literal(float(self._advance().value))
+        if token.kind == "STRING":
+            return Literal(self._advance().value)
+        if token.kind == "IDENT":
+            return self._path()
+        raise self._error("expected a value or attribute path")
+
+    def _path(self) -> Path:
+        parts = [self._expect_ident()]
+        level: int | None = None
+        if self._peek().is_op("(") and self._peek(1).kind == "INT" and \
+                self._peek(2).is_op(")"):
+            self._advance()
+            level = self._expect_int()
+            self._advance()
+        while self._peek().is_op(".") and self._peek(1).kind == "IDENT":
+            self._advance()
+            parts.append(self._expect_ident())
+        return Path(tuple(parts), level=level)
+
+    def _ref_lookup(self) -> RefLookup:
+        self._expect_keyword("REF")
+        type_name = self._expect_ident()
+        self._expect_op("(")
+        key: list[Any] = [self._literal_value()]
+        while self._peek().is_op(","):
+            self._advance()
+            key.append(self._literal_value())
+        self._expect_op(")")
+        return RefLookup(type_name, tuple(key))
+
+    def _literal_value(self) -> Any:
+        token = self._peek()
+        if token.kind == "INT":
+            return int(self._advance().value)
+        if token.kind == "FLOAT":
+            return float(self._advance().value)
+        if token.kind == "STRING":
+            return self._advance().value
+        if token.is_keyword("TRUE"):
+            self._advance()
+            return True
+        if token.is_keyword("FALSE"):
+            self._advance()
+            return False
+        if token.is_keyword("NULL"):
+            self._advance()
+            return None
+        raise self._error("expected a literal value")
+
+    # -- DDL -----------------------------------------------------------------------------------------
+
+    def _create(self) -> Statement:
+        self._expect_keyword("CREATE")
+        self._expect_keyword("ATOM_TYPE")
+        name = self._expect_ident()
+        self._expect_op("(")
+        attributes: list[tuple[str, AttrType]] = []
+        while True:
+            names = [self._expect_ident()]
+            # Grouped names share one type: "x, y, z : REAL".
+            while self._grouped_name_follows():
+                self._advance()
+                names.append(self._expect_ident())
+            self._expect_op(":")
+            attr_type = self._type()
+            for attr_name in names:
+                attributes.append((attr_name, attr_type))
+            if self._peek().is_op(","):
+                self._advance()
+                continue
+            break
+        self._expect_op(")")
+        keys: tuple[str, ...] = ()
+        if self._peek().is_keyword("KEYS_ARE"):
+            self._advance()
+            self._expect_op("(")
+            key_list = [self._expect_ident()]
+            while self._peek().is_op(","):
+                self._advance()
+                key_list.append(self._expect_ident())
+            self._expect_op(")")
+            keys = tuple(key_list)
+        return CreateAtomType(name, attributes, keys)
+
+    def _type(self) -> AttrType:
+        token = self._peek()
+        if token.is_keyword("IDENTIFIER"):
+            self._advance()
+            return IDENTIFIER
+        if token.is_keyword("INTEGER"):
+            self._advance()
+            return INTEGER
+        if token.is_keyword("REAL"):
+            self._advance()
+            return REAL
+        if token.is_keyword("BOOLEAN"):
+            self._advance()
+            return BOOLEAN
+        if token.is_keyword("BYTE_VAR"):
+            self._advance()
+            return BYTE_VAR
+        if token.is_keyword("CHAR_VAR"):
+            self._advance()
+            if self._peek().is_op("("):
+                self._advance()
+                length = self._expect_int()
+                self._expect_op(")")
+                return CharVarType(max_length=length)
+            return CHAR_VAR
+        if token.is_keyword("HULL_DIM"):
+            # HULL_DIM(n): an n-dimensional bounding hull — two corner
+            # points, i.e. 2n REAL values (Fig. 2.3 uses HULL_DIM(3)).
+            self._advance()
+            self._expect_op("(")
+            dims = self._expect_int()
+            self._expect_op(")")
+            return ArrayType(REAL, 2 * dims)
+        if token.is_keyword("REF_TO"):
+            self._advance()
+            self._expect_op("(")
+            target_type = self._expect_ident()
+            self._expect_op(".")
+            target_attr = self._expect_ident()
+            self._expect_op(")")
+            return ReferenceType(target_type, target_attr)
+        if token.is_keyword("SET_OF"):
+            self._advance()
+            self._expect_op("(")
+            element = self._type()
+            self._expect_op(")")
+            min_card, max_card = 0, None
+            if self._peek().is_op("(") and (
+                self._peek(1).kind == "INT"
+            ):
+                self._advance()
+                min_card = self._expect_int()
+                self._expect_op(",")
+                if self._peek().is_keyword("VAR"):
+                    self._advance()
+                    max_card = None
+                else:
+                    max_card = self._expect_int()
+                self._expect_op(")")
+            return SetType(element, min_card, max_card)
+        if token.is_keyword("LIST_OF"):
+            self._advance()
+            self._expect_op("(")
+            element = self._type()
+            self._expect_op(")")
+            return ListType(element)
+        if token.is_keyword("ARRAY_OF"):
+            self._advance()
+            self._expect_op("(")
+            element = self._type()
+            self._expect_op(",")
+            length = self._expect_int()
+            self._expect_op(")")
+            return ArrayType(element, length)
+        if token.is_keyword("RECORD"):
+            self._advance()
+            fields: list[tuple[str, AttrType]] = []
+            while not self._peek().is_keyword("END"):
+                names = [self._expect_ident()]
+                # Fig. 2.3 groups record fields: "x_coord, y_coord,
+                # z_coord : REAL".
+                while self._grouped_name_follows():
+                    self._advance()
+                    names.append(self._expect_ident())
+                self._expect_op(":")
+                field_type = self._type()
+                for field_name in names:
+                    fields.append((field_name, field_type))
+                if self._peek().is_op(","):
+                    self._advance()
+            self._expect_keyword("END")
+            return RecordType(tuple(fields))
+        raise self._error("expected an attribute type")
+
+    def _grouped_name_follows(self) -> bool:
+        """True when ", ident" continues a grouped name list (the ident is
+        followed by another ',' or the ':' of the shared type)."""
+        return (self._peek().is_op(",") and self._peek(1).kind == "IDENT"
+                and (self._peek(2).is_op(":") or self._peek(2).is_op(",")))
+
+    def _drop(self) -> Statement:
+        self._expect_keyword("DROP")
+        token = self._peek()
+        if token.is_keyword("ATOM_TYPE"):
+            self._advance()
+            return DropAtomType(self._expect_ident())
+        if token.is_keyword("MOLECULE_TYPE"):
+            self._advance()
+            return DropMoleculeType(self._expect_ident())
+        if token.is_keyword("MOLECULE"):
+            self._advance()
+            self._expect_keyword("TYPE")
+            return DropMoleculeType(self._expect_ident())
+        raise self._error("expected ATOM_TYPE or MOLECULE TYPE")
+
+    def _define_molecule_type(self) -> DefineMoleculeType:
+        self._expect_keyword("DEFINE")
+        token = self._peek()
+        if token.is_keyword("MOLECULE_TYPE"):
+            self._advance()
+        else:
+            self._expect_keyword("MOLECULE")
+            self._expect_keyword("TYPE")
+        name = self._expect_ident()
+        self._expect_keyword("FROM")
+        structure = self._structure()
+        return DefineMoleculeType(name, structure)
+
+    # -- DML -----------------------------------------------------------------------------------------
+
+    def _assignments(self) -> list[tuple[str, Expr | list[Expr]]]:
+        assignments: list[tuple[str, Expr | list[Expr]]] = []
+        while True:
+            attr = self._expect_ident()
+            self._expect_op("=")
+            assignments.append((attr, self._value_expr()))
+            if self._peek().is_op(","):
+                self._advance()
+                continue
+            break
+        return assignments
+
+    def _value_expr(self) -> Expr | list[Expr]:
+        token = self._peek()
+        if token.is_op("["):
+            self._advance()
+            items: list[Expr] = []
+            if not self._peek().is_op("]"):
+                while True:
+                    item = self._value_expr()
+                    if isinstance(item, list):
+                        raise self._error("nested lists are not supported")
+                    items.append(item)
+                    if self._peek().is_op(","):
+                        self._advance()
+                        continue
+                    break
+            self._expect_op("]")
+            return items
+        if token.is_op("{"):
+            # record literal: {x_coord = 1.0, y_coord = 2.0}
+            self._advance()
+            record: dict[str, Any] = {}
+            if not self._peek().is_op("}"):
+                while True:
+                    field_name = self._expect_ident()
+                    self._expect_op("=")
+                    value = self._value_expr()
+                    if isinstance(value, list):
+                        record[field_name] = [
+                            v.value if isinstance(v, Literal) else v
+                            for v in value
+                        ]
+                    elif isinstance(value, Literal):
+                        record[field_name] = value.value
+                    else:
+                        raise self._error(
+                            "record fields take literal values only"
+                        )
+                    if self._peek().is_op(","):
+                        self._advance()
+                        continue
+                    break
+            self._expect_op("}")
+            return Literal(record)
+        if token.is_keyword("EMPTY"):
+            self._advance()
+            return EmptyLiteral()
+        if token.is_keyword("REF"):
+            return self._ref_lookup()
+        return Literal(self._literal_value())
+
+    def _insert(self) -> InsertStatement:
+        self._expect_keyword("INSERT")
+        if self._peek().is_keyword("INTO"):
+            self._advance()
+        type_name = self._expect_ident()
+        self._expect_op("(")
+        assignments = self._assignments()
+        self._expect_op(")")
+        return InsertStatement(type_name, assignments)
+
+    def _delete(self) -> DeleteStatement:
+        self._expect_keyword("DELETE")
+        labels: list[str] = []
+        if self._peek().is_keyword("ALL"):
+            self._advance()
+        else:
+            labels.append(self._expect_ident())
+            while self._peek().is_op(","):
+                self._advance()
+                labels.append(self._expect_ident())
+        self._expect_keyword("FROM")
+        structure = self._structure()
+        where = None
+        if self._peek().is_keyword("WHERE"):
+            self._advance()
+            where = self._qual()
+        return DeleteStatement(labels, structure, where)
+
+    def _modify(self) -> ModifyStatement:
+        self._expect_keyword("MODIFY")
+        label = self._expect_ident()
+        self._expect_keyword("SET")
+        assignments = self._assignments()
+        self._expect_keyword("FROM")
+        structure = self._structure()
+        where = None
+        if self._peek().is_keyword("WHERE"):
+            self._advance()
+            where = self._qual()
+        return ModifyStatement(label, assignments, structure, where)
+
+
+def parse(text: str) -> Statement:
+    """Parse one MQL statement."""
+    return Parser(text).parse_statement()
+
+
+def parse_script(text: str) -> list[Statement]:
+    """Parse a ';'-separated MQL script."""
+    return Parser(text).parse_script()

@@ -1,0 +1,22 @@
+"""Semantic parallelism: decomposition, conflicts, simulated scheduling
+(paper, section 4; [HHM86])."""
+
+from repro.parallel.decompose import SemanticDecomposer, UnitOfWork
+from repro.parallel.scheduler import (
+    ScheduleReport,
+    ScheduledUnit,
+    build_conflict_edges,
+    simulate,
+)
+from repro.parallel.api import ParallelQueryResult, parallel_select
+
+__all__ = [
+    "ParallelQueryResult",
+    "ScheduleReport",
+    "ScheduledUnit",
+    "SemanticDecomposer",
+    "UnitOfWork",
+    "build_conflict_edges",
+    "parallel_select",
+    "simulate",
+]

@@ -1,0 +1,38 @@
+"""Convenience entry point: run one MQL SELECT with semantic parallelism.
+
+``parallel_select(db, mql, processors)`` decomposes the query into DUs,
+executes them (measuring per-DU cost), verifies the result equals the
+serial execution, and reports the simulated multi-processor schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.result import ResultSet
+from repro.db import Prima
+from repro.parallel.decompose import SemanticDecomposer
+from repro.parallel.scheduler import ScheduleReport, simulate
+
+
+@dataclass
+class ParallelQueryResult:
+    """Molecules plus the simulated schedule."""
+
+    result: ResultSet
+    report: ScheduleReport
+
+    def __repr__(self) -> str:
+        return f"ParallelQueryResult({len(self.result)} molecules, " \
+               f"{self.report.explain()})"
+
+
+def parallel_select(db: Prima, mql: str,
+                    processors: int = 4) -> ParallelQueryResult:
+    """Execute a molecule query with semantic parallelism on a simulated
+    ``processors``-way PRIMA."""
+    decomposer = SemanticDecomposer(db.data)
+    plan, units = decomposer.decompose_select(mql)
+    result = decomposer.run_all(plan, units)
+    report = simulate(units, processors)
+    return ParallelQueryResult(result=result, report=report)

@@ -1,0 +1,183 @@
+"""Semantic decomposition of single user operations (paper, section 4).
+
+Engineering applications with their 'sizable' operations on complex objects
+incorporate substantial portions of inherent parallelism.  PRIMA defines
+*semantic decomposition*: units of work (DUs) decomposed from a single user
+operation allow for inherent semantic parallelism when they do not conflict
+with each other at the level of decomposition.
+
+For a molecule query, the natural decomposition is **one DU per candidate
+molecule**: deriving the root atoms is a (cheap) sequential prologue; the
+expensive part — constructing each molecule, evaluating its qualification,
+projecting it — is independent per molecule as long as the units' read/
+write sets do not overlap in a conflicting way.  Molecules may share atoms
+(non-disjoint complex objects), which is harmless for retrieval (read/read)
+but serialises DML units.
+
+Each DU records its read and write sets and its *measured cost* (atom
+reads performed), which the scheduler uses as service time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.data.executor import DataSystem
+from repro.data.plan import QueryPlan
+from repro.data.result import ResultSet
+from repro.errors import DecompositionError
+from repro.mad.molecule import Molecule
+from repro.mad.types import Surrogate
+from repro.mql.ast import SelectStatement
+from repro.mql.parser import parse
+
+
+@dataclass
+class UnitOfWork:
+    """One decomposed unit (DU): construct and qualify one molecule."""
+
+    index: int
+    root: Surrogate
+    #: Atoms this DU reads (filled during execution).
+    read_set: set[Surrogate] = field(default_factory=set)
+    #: Atoms this DU writes (empty for retrieval).
+    write_set: set[Surrogate] = field(default_factory=set)
+    #: Service time in cost units (atom reads), measured during execution.
+    cost: float = 0.0
+    #: The DU's result (a molecule, or None when disqualified).
+    result: Molecule | None = None
+
+    def conflicts_with(self, other: "UnitOfWork") -> bool:
+        """True when the two units conflict at decomposition level
+        (write/write or read/write intersection)."""
+        if self.write_set & other.write_set:
+            return True
+        if self.write_set & other.read_set:
+            return True
+        if self.read_set & other.write_set:
+            return True
+        return False
+
+
+class SemanticDecomposer:
+    """Decomposes a molecule query into per-molecule units of work."""
+
+    def __init__(self, data: DataSystem) -> None:
+        self._data = data
+
+    def decompose_select(self, mql: str) -> tuple[QueryPlan, list[UnitOfWork]]:
+        """Parse + plan a SELECT and create one (unexecuted) DU per root."""
+        statement = parse(mql)
+        if not isinstance(statement, SelectStatement):
+            raise DecompositionError(
+                "semantic decomposition operates on SELECT statements"
+            )
+        self._data._ensure_symmetry()  # noqa: SLF001
+        plan = self._data.plan_select(statement)
+        roots = list(self._data._root_atoms(plan.root_access))  # noqa: SLF001
+        units = [UnitOfWork(index=i, root=root)
+                 for i, root in enumerate(roots)]
+        return plan, units
+
+    def execute_unit(self, plan: QueryPlan, unit: UnitOfWork) -> None:
+        """Run one DU: construct, qualify, project; measure its cost.
+
+        Cost is the number of atom reads the unit performed — the dominant
+        quantity of molecule construction and a deterministic, hardware-
+        independent service time for the scheduler.
+        """
+        data = self._data
+        counters = data.access.counters
+        before = counters.get("atoms_read")
+        cluster = None
+        if plan.cluster_name is not None:
+            structure = data.access.atoms.structure(plan.cluster_name)
+            from repro.access.cluster import AtomCluster
+            assert isinstance(structure, AtomCluster)
+            cluster = structure
+        molecule = data.construct_molecule(plan.structure, unit.root, cluster)
+        for _label, atom in molecule.atoms():
+            for value in atom.values():
+                if isinstance(value, Surrogate):
+                    unit.read_set.add(value)
+        if plan.residual_where is None or \
+                data.evaluator.matches(plan.residual_where, molecule):
+            data._apply_projection(  # noqa: SLF001
+                molecule, plan.projection, plan.structure
+            )
+            unit.result = molecule
+        unit.cost = max(counters.get("atoms_read") - before, 1)
+
+    def run_all(self, plan: QueryPlan,
+                units: list[UnitOfWork]) -> ResultSet:
+        """Execute every DU (serially — the scheduler replays the costs)
+        and assemble the molecule set in DU order."""
+        for unit in units:
+            self.execute_unit(plan, unit)
+        molecules = [u.result for u in units if u.result is not None]
+        return ResultSet(molecules, plan_text=plan.explain())
+
+    # -- DML decomposition ----------------------------------------------------------
+
+    def decompose_modify(self, mql: str) -> tuple[Any, list[UnitOfWork]]:
+        """Decompose a MODIFY statement into one DU per qualifying
+        molecule.
+
+        Each DU's write set contains the atoms (with the target label) it
+        will modify; because molecules may overlap (n:m associations,
+        shared components), write sets of different DUs can intersect —
+        those units conflict at decomposition level and the scheduler
+        serialises them, preserving single-user semantics.
+        """
+        from repro.mql.ast import ModifyStatement, Projection
+        statement = parse(mql)
+        if not isinstance(statement, ModifyStatement):
+            raise DecompositionError(
+                "decompose_modify operates on MODIFY statements"
+            )
+        self._data._ensure_symmetry()  # noqa: SLF001
+        query = SelectStatement(Projection(select_all=True),
+                                statement.from_clause, statement.where)
+        plan = self._data.plan_select(query)
+        node = plan.structure.find(statement.label)
+        if node is None:
+            raise DecompositionError(
+                f"MODIFY names unknown label {statement.label!r}"
+            )
+        roots = list(self._data._root_atoms(plan.root_access))  # noqa: SLF001
+        units = [UnitOfWork(index=i, root=root)
+                 for i, root in enumerate(roots)]
+        return (statement, plan), units
+
+    def execute_modify_unit(self, context, unit: UnitOfWork) -> None:
+        """Run one MODIFY DU: qualify, locate target atoms, apply."""
+        statement, plan = context
+        data = self._data
+        counters = data.access.counters
+        before = counters.get("atoms_read")
+        molecule = data.construct_molecule(plan.structure, unit.root, None)
+        for _label, atom in molecule.atoms():
+            for value in atom.values():
+                if isinstance(value, Surrogate):
+                    unit.read_set.add(value)
+        qualified = plan.residual_where is None or \
+            data.evaluator.matches(plan.residual_where, molecule)
+        if qualified:
+            node = plan.structure.find(statement.label)
+            assert node is not None
+            id_attr = data.schema.atom_type(node.atom_type).identifier_attr
+            changes = {
+                attr: data._resolve_value(value)  # noqa: SLF001
+                for attr, value in statement.assignments
+            }
+            targets: list[Surrogate] = []
+            for label, atom in molecule.atoms():
+                if label == statement.label:
+                    surrogate = atom[id_attr]
+                    if surrogate not in unit.write_set:
+                        unit.write_set.add(surrogate)
+                        targets.append(surrogate)
+            for surrogate in targets:
+                data.access.modify(surrogate, dict(changes))
+        unit.cost = max(counters.get("atoms_read") - before, 1)

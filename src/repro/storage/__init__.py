@@ -1,0 +1,48 @@
+"""The storage system of PRIMA (paper, section 3.3).
+
+Provides segments with five page sizes, a database buffer whose LRU is
+modified to handle mixed page sizes, and page sequences as arbitrary-length
+containers transferred by chained I/O.
+"""
+
+from repro.storage.buffer import BufferManager, PartitionedBufferManager
+from repro.storage.constants import DEFAULT_PAGE_SIZE, PAGE_SIZES, check_page_size
+from repro.storage.disk import DiskGeometry, SimulatedDisk
+from repro.storage.page import (
+    PAGE_TYPE_DATA,
+    PAGE_TYPE_FREE,
+    PAGE_TYPE_META,
+    PAGE_TYPE_SEQUENCE_COMPONENT,
+    PAGE_TYPE_SEQUENCE_HEADER,
+    Page,
+    PageId,
+)
+from repro.storage.page_sequence import PageSequenceManager
+from repro.storage.replacement import FIFO, Clock, ModifiedLRU, make_policy
+from repro.storage.segment import Segment, SegmentDirectory
+from repro.storage.system import StorageSystem
+
+__all__ = [
+    "BufferManager",
+    "Clock",
+    "DEFAULT_PAGE_SIZE",
+    "DiskGeometry",
+    "FIFO",
+    "ModifiedLRU",
+    "PAGE_SIZES",
+    "PAGE_TYPE_DATA",
+    "PAGE_TYPE_FREE",
+    "PAGE_TYPE_META",
+    "PAGE_TYPE_SEQUENCE_COMPONENT",
+    "PAGE_TYPE_SEQUENCE_HEADER",
+    "Page",
+    "PageId",
+    "PageSequenceManager",
+    "PartitionedBufferManager",
+    "Segment",
+    "SegmentDirectory",
+    "SimulatedDisk",
+    "StorageSystem",
+    "check_page_size",
+    "make_policy",
+]

@@ -1,0 +1,36 @@
+"""Storage-system constants.
+
+The storage system of PRIMA supports pages of different length.  The page
+size of each segment can be chosen to be 1/2, 1, 2, 4 or 8 KByte; the
+number of sizes is restricted to these five values because the file manager
+of the underlying operating system supports exactly these block sizes
+(paper, section 3.3).
+"""
+
+from __future__ import annotations
+
+from repro.errors import PageSizeError
+
+#: The five legal page/block sizes in bytes (1/2, 1, 2, 4, 8 KByte).
+PAGE_SIZES: tuple[int, ...] = (512, 1024, 2048, 4096, 8192)
+
+#: Default page size for segments that do not choose one explicitly.
+DEFAULT_PAGE_SIZE: int = 8192
+
+#: Bytes reserved at the start of every page for the common page header
+#: ("used for identification, description, and fault tolerance").
+PAGE_HEADER_SIZE: int = 16
+
+#: Bytes per entry in the slot directory that grows from the page end.
+SLOT_ENTRY_SIZE: int = 4
+
+
+def check_page_size(size: int) -> int:
+    """Validate ``size`` against the five supported sizes and return it."""
+    if size not in PAGE_SIZES:
+        supported = ", ".join(str(s) for s in PAGE_SIZES)
+        raise PageSizeError(
+            f"unsupported page size {size}; the file manager supports "
+            f"exactly these block sizes: {supported}"
+        )
+    return size

@@ -1,0 +1,126 @@
+"""The storage system facade: segments + buffer + page sequences.
+
+This is the interface the access system programs against (Fig. 3.1:
+"page allocation structures -> page-oriented").  It bundles
+
+* a :class:`~repro.storage.segment.SegmentDirectory` over a simulated disk,
+* a buffer manager (single size-aware buffer or static partitions),
+* page allocation with buffered first writes,
+* and the :class:`~repro.storage.page_sequence.PageSequenceManager`.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.errors import PageNotFoundError
+from repro.storage.buffer import BufferManager, PartitionedBufferManager
+from repro.storage.constants import DEFAULT_PAGE_SIZE
+from repro.storage.disk import DiskGeometry, SimulatedDisk
+from repro.storage.page import PAGE_TYPE_DATA, Page, PageId
+from repro.storage.segment import Segment, SegmentDirectory
+from repro.util.stats import Counters
+
+
+class StorageSystem:
+    """Everything below the access system, behind one object."""
+
+    def __init__(self, buffer_capacity: int = 256 * 8192,
+                 policy: str = "modified-lru",
+                 partitioned: bool = False,
+                 geometry: DiskGeometry | None = None) -> None:
+        self.counters = Counters()
+        self.disk = SimulatedDisk(geometry=geometry)
+        self.segments = SegmentDirectory(self.disk)
+        if partitioned:
+            self.buffer: BufferManager | PartitionedBufferManager = (
+                PartitionedBufferManager(self.disk, buffer_capacity,
+                                         counters=self.counters)
+            )
+        else:
+            self.buffer = BufferManager(self.disk, buffer_capacity,
+                                        policy=policy, counters=self.counters)
+        # Imported here to avoid a module cycle (page_sequence needs the
+        # StorageSystem type only for annotations).
+        from repro.storage.page_sequence import PageSequenceManager
+        self.sequences = PageSequenceManager(self)
+
+    # -- segments ---------------------------------------------------------------
+
+    def create_segment(self, name: str, page_size: int = DEFAULT_PAGE_SIZE) -> Segment:
+        """Create a segment whose pages all have ``page_size`` bytes."""
+        return self.segments.create(name, page_size)
+
+    def drop_segment(self, name: str) -> None:
+        """Drop a segment, discarding its buffered pages without write-back."""
+        self.buffer.drop_segment_pages(name)
+        self.segments.drop(name)
+
+    def segment(self, name: str) -> Segment:
+        return self.segments.get(name)
+
+    # -- pages ---------------------------------------------------------------------
+
+    def allocate_page(self, segment_name: str,
+                      page_type: int = PAGE_TYPE_DATA) -> PageId:
+        """Allocate and buffer a fresh page; returns its id (page unfixed)."""
+        segment = self.segments.get(segment_name)
+        page_id, page = segment.allocate(page_type)
+        self.buffer.fix_new(page_id, page)
+        self.buffer.unfix(page_id, dirty=True)
+        return page_id
+
+    def free_page(self, page_id: PageId) -> None:
+        """Free a page; its buffered image is discarded."""
+        segment = self.segments.get(page_id.segment)
+        if not segment.owns(page_id.page_no):
+            raise PageNotFoundError(f"page {page_id} is not allocated")
+        # Evict silently: freed pages must not be written back.
+        frames = getattr(self.buffer, "_frames", None)
+        if frames is not None and page_id in frames:
+            frame = frames.pop(page_id)
+            self.buffer._used_bytes -= frame.page.size  # noqa: SLF001
+            self.buffer.policy.on_evict(page_id)
+        elif isinstance(self.buffer, PartitionedBufferManager):
+            part = self.buffer.partition(segment.page_size)
+            if page_id in part._frames:  # noqa: SLF001
+                frame = part._frames.pop(page_id)  # noqa: SLF001
+                part._used_bytes -= frame.page.size  # noqa: SLF001
+                part.policy.on_evict(page_id)
+        segment.free(page_id.page_no)
+
+    def fix(self, page_id: PageId) -> Page:
+        """Pin a page in the buffer (loading it on a miss)."""
+        return self.buffer.fix(page_id)
+
+    def unfix(self, page_id: PageId, dirty: bool = False) -> None:
+        """Release a pin, optionally marking the page modified."""
+        self.buffer.unfix(page_id, dirty)
+
+    @contextmanager
+    def page(self, page_id: PageId, write: bool = False) -> Iterator[Page]:
+        """Scoped fix/unfix: ``with storage.page(pid, write=True) as p: ...``"""
+        page = self.fix(page_id)
+        try:
+            yield page
+        finally:
+            self.unfix(page_id, dirty=write)
+
+    def flush(self) -> None:
+        """Write every dirty buffered page back to disk."""
+        self.buffer.flush()
+
+    # -- reporting --------------------------------------------------------------
+
+    def io_report(self) -> dict[str, float | int]:
+        """Disk and buffer counters in one dictionary (for benchmarks)."""
+        report: dict[str, float | int] = dict(self.disk.counters.snapshot())
+        report.update(self.counters.snapshot())
+        report["io_time_ms"] = round(self.disk.io_time_ms, 3)
+        return report
+
+    def reset_accounting(self) -> None:
+        """Zero disk and buffer counters (resident pages are kept)."""
+        self.disk.reset_accounting()
+        self.counters.reset()

@@ -1,0 +1,21 @@
+"""Nested transactions and hierarchical locking (paper, section 4)."""
+
+from repro.txn.locks import LockManager
+from repro.txn.nested import (
+    ABORTED,
+    ACTIVE,
+    COMMITTED,
+    Transaction,
+    TransactionManager,
+    UndoRecord,
+)
+
+__all__ = [
+    "ABORTED",
+    "ACTIVE",
+    "COMMITTED",
+    "LockManager",
+    "Transaction",
+    "TransactionManager",
+    "UndoRecord",
+]

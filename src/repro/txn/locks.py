@@ -1,0 +1,97 @@
+"""Hierarchical locks with Moss's nested-transaction rules [Mo81].
+
+A (sub)transaction may acquire a lock if every conflicting holder is one of
+its *ancestors* (which are suspended while the child runs).  On commit, a
+subtransaction's locks are **inherited upward** by its parent (retained);
+on abort they are released.  Lock modes are classic S/X.
+
+The lock manager is non-blocking: a conflicting request raises
+:class:`~repro.errors.LockConflictError` immediately — the single-user
+kernel never waits, and the semantic-parallelism scheduler serialises
+conflicting units of work before they run.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Hashable
+
+from repro.errors import LockConflictError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.txn.nested import Transaction
+
+#: Lock mode compatibility: S/S is the only compatible pair.
+_COMPATIBLE = {("S", "S"): True, ("S", "X"): False,
+               ("X", "S"): False, ("X", "X"): False}
+
+
+class LockManager:
+    """Lock table over arbitrary hashable resources (surrogates, types)."""
+
+    def __init__(self) -> None:
+        #: resource -> {transaction: mode}
+        self._table: dict[Hashable, dict["Transaction", str]] = {}
+
+    # -- acquisition -------------------------------------------------------------
+
+    def acquire(self, txn: "Transaction", resource: Hashable,
+                mode: str) -> None:
+        """Grant ``mode`` on ``resource`` to ``txn`` or raise on conflict."""
+        if mode not in ("S", "X"):
+            raise ValueError(f"unknown lock mode {mode!r}")
+        holders = self._table.setdefault(resource, {})
+        current = holders.get(txn)
+        if current == "X" or current == mode:
+            return   # already held (same or stronger)
+        ancestors = set(txn.ancestors())
+        for holder, held_mode in holders.items():
+            if holder is txn or holder in ancestors:
+                continue   # own/ancestor locks never conflict (Moss rule)
+            if not _COMPATIBLE[(held_mode, mode)] or \
+                    not _COMPATIBLE[(mode, held_mode)]:
+                raise LockConflictError(
+                    f"{txn.name} cannot lock {resource!r} in {mode}: held "
+                    f"in {held_mode} by {holder.name}"
+                )
+        holders[txn] = mode
+
+    # -- release / inheritance ----------------------------------------------------------
+
+    def release_all(self, txn: "Transaction") -> int:
+        """Drop every lock of an aborting transaction."""
+        released = 0
+        for resource in list(self._table):
+            if txn in self._table[resource]:
+                del self._table[resource][txn]
+                released += 1
+                if not self._table[resource]:
+                    del self._table[resource]
+        return released
+
+    def inherit(self, child: "Transaction", parent: "Transaction") -> int:
+        """Move a committing child's locks to its parent (upward
+        inheritance); the parent keeps the stronger mode on overlap."""
+        moved = 0
+        for resource in list(self._table):
+            holders = self._table[resource]
+            child_mode = holders.pop(child, None)
+            if child_mode is None:
+                continue
+            parent_mode = holders.get(parent)
+            if parent_mode is None or (parent_mode == "S" and
+                                       child_mode == "X"):
+                holders[parent] = child_mode
+            moved += 1
+        return moved
+
+    # -- inspection ----------------------------------------------------------------------
+
+    def holders(self, resource: Hashable) -> dict["Transaction", str]:
+        return dict(self._table.get(resource, {}))
+
+    def locks_of(self, txn: "Transaction") -> dict[Hashable, str]:
+        return {
+            resource: holders[txn]
+            for resource, holders in self._table.items()
+            if txn in holders
+        }

@@ -1,0 +1,207 @@
+"""Nested transactions (paper, section 4; [Mo81]).
+
+PRIMA refines the concept of nested transactions as a generic mechanism for
+all its proposed uses: fine-grained intra-transaction parallelism and
+*selective in-transaction recovery* in various failure events.  The
+implementation provides:
+
+* a transaction tree — any transaction may begin subtransactions; the
+  parent is suspended while a child runs;
+* per-transaction undo logs — aborting a subtransaction rolls back exactly
+  its own effects (selective recovery), leaving the parent intact;
+* upward inheritance — on commit a child's undo records and locks move to
+  the parent, so aborting the parent later still undoes everything;
+* hierarchical S/X locks following Moss's rules (see
+  :mod:`repro.txn.locks`).
+
+Atom operations issued through a transaction are applied to the access
+system immediately (no-force, steal is irrelevant for the in-memory buffer
+— the undo log carries all recovery information).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+from repro.access.system import AccessSystem
+from repro.errors import TransactionStateError
+from repro.mad.types import Surrogate
+from repro.txn.locks import LockManager
+
+#: Transaction states.
+ACTIVE = "active"
+COMMITTED = "committed"
+ABORTED = "aborted"
+
+
+@dataclass
+class UndoRecord:
+    """One logged operation with the data needed to reverse it."""
+
+    op: str                      # 'insert' | 'modify' | 'delete'
+    surrogate: Surrogate
+    before: dict[str, Any] | None     # state before (modify/delete)
+
+
+class Transaction:
+    """One node of the transaction tree."""
+
+    _counter = 0
+
+    def __init__(self, manager: "TransactionManager",
+                 parent: "Transaction | None") -> None:
+        Transaction._counter += 1
+        self.name = f"T{Transaction._counter}"
+        self._manager = manager
+        self.parent = parent
+        self.state = ACTIVE
+        self.children: list[Transaction] = []
+        self._active_child: Transaction | None = None
+        self._undo: list[UndoRecord] = []
+
+    # -- tree navigation ------------------------------------------------------------
+
+    def ancestors(self) -> Iterator["Transaction"]:
+        node = self.parent
+        while node is not None:
+            yield node
+            node = node.parent
+
+    @property
+    def depth(self) -> int:
+        return sum(1 for _ in self.ancestors())
+
+    def _require_runnable(self) -> None:
+        if self.state != ACTIVE:
+            raise TransactionStateError(f"{self.name} is {self.state}")
+        if self._active_child is not None:
+            raise TransactionStateError(
+                f"{self.name} is suspended while child "
+                f"{self._active_child.name} runs"
+            )
+
+    # -- subtransactions ---------------------------------------------------------------
+
+    def begin_nested(self) -> "Transaction":
+        """Start a subtransaction; this transaction suspends until the
+        child commits or aborts."""
+        self._require_runnable()
+        child = Transaction(self._manager, self)
+        self.children.append(child)
+        self._active_child = child
+        return child
+
+    # -- atom operations (logged) ---------------------------------------------------------
+
+    def insert(self, type_name: str,
+               values: dict[str, Any] | None = None) -> Surrogate:
+        """Insert an atom under this transaction (X lock, undo logged)."""
+        self._require_runnable()
+        surrogate = self._access.insert(type_name, values)
+        self._manager.locks.acquire(self, surrogate, "X")
+        self._undo.append(UndoRecord("insert", surrogate, None))
+        return surrogate
+
+    def get(self, surrogate: Surrogate,
+            attrs: list[str] | None = None) -> dict[str, Any]:
+        """Read an atom under this transaction (S lock)."""
+        self._require_runnable()
+        self._manager.locks.acquire(self, surrogate, "S")
+        return self._access.get(surrogate, attrs)
+
+    def modify(self, surrogate: Surrogate, values: dict[str, Any]) -> None:
+        """Modify an atom under this transaction (X lock, undo logged).
+
+        Back-reference side effects on partner atoms are rolled back by
+        restoring this atom's reference attributes — symmetry maintenance
+        re-adjusts the partners during undo exactly as it did during do.
+        """
+        self._require_runnable()
+        self._manager.locks.acquire(self, surrogate, "X")
+        before = self._access.get(surrogate)
+        self._access.modify(surrogate, values)
+        identifier = self._access.schema.atom_type(surrogate.atom_type) \
+            .identifier_attr
+        before.pop(identifier, None)
+        self._undo.append(UndoRecord("modify", surrogate, before))
+
+    def delete(self, surrogate: Surrogate) -> None:
+        """Delete an atom under this transaction (X lock, undo logged)."""
+        self._require_runnable()
+        self._manager.locks.acquire(self, surrogate, "X")
+        before = self._access.get(surrogate)
+        identifier = self._access.schema.atom_type(surrogate.atom_type) \
+            .identifier_attr
+        before.pop(identifier, None)
+        self._access.delete(surrogate)
+        self._undo.append(UndoRecord("delete", surrogate, before))
+
+    @property
+    def _access(self) -> AccessSystem:
+        return self._manager.access
+
+    # -- commit / abort -------------------------------------------------------------------------
+
+    def commit(self) -> None:
+        """Commit: effects become the parent's (or durable at the top)."""
+        self._require_runnable()
+        self.state = COMMITTED
+        if self.parent is not None:
+            # Upward inheritance of undo information and locks.
+            self.parent._undo.extend(self._undo)
+            self._manager.locks.inherit(self, self.parent)
+            self.parent._active_child = None
+        else:
+            self._manager.locks.release_all(self)
+            self._access.propagate_deferred()
+        self._undo = []
+
+    def abort(self) -> None:
+        """Abort: selectively undo exactly this transaction's effects
+        (including those inherited from committed children)."""
+        if self.state != ACTIVE:
+            raise TransactionStateError(f"{self.name} is {self.state}")
+        if self._active_child is not None:
+            self._active_child.abort()
+        for record in reversed(self._undo):
+            self._apply_undo(record)
+        self._undo = []
+        self.state = ABORTED
+        self._manager.locks.release_all(self)
+        if self.parent is not None:
+            self.parent._active_child = None
+
+    def _apply_undo(self, record: UndoRecord) -> None:
+        atoms = self._access.atoms
+        if record.op == "insert":
+            if atoms.exists(record.surrogate):
+                atoms.delete(record.surrogate)
+        elif record.op == "modify":
+            assert record.before is not None
+            if atoms.exists(record.surrogate):
+                atoms.modify(record.surrogate, record.before)
+        elif record.op == "delete":
+            assert record.before is not None
+            atoms.restore_atom(record.surrogate, record.before)
+
+    # -- inspection ---------------------------------------------------------------------------------
+
+    @property
+    def undo_length(self) -> int:
+        return len(self._undo)
+
+    def __repr__(self) -> str:
+        return f"Transaction({self.name}, {self.state}, depth={self.depth})"
+
+
+class TransactionManager:
+    """Factory and shared state (lock table) for transaction trees."""
+
+    def __init__(self, access: AccessSystem) -> None:
+        self.access = access
+        self.locks = LockManager()
+
+    def begin(self) -> Transaction:
+        """Start a new top-level transaction."""
+        return Transaction(self, parent=None)

@@ -1,0 +1,5 @@
+"""Shared utilities: instrumentation counters and small helpers."""
+
+from repro.util.stats import Counters, Instrumented
+
+__all__ = ["Counters", "Instrumented"]

@@ -1,0 +1,63 @@
+"""Instrumentation counters used across all PRIMA layers.
+
+The original prototype argued mostly in terms of *counts* — block
+transfers, page fixes, atoms touched, messages sent.  Every layer of the
+reproduction therefore carries a :class:`Counters` object so benchmarks can
+report the same quantities the paper reasons about.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterator
+
+
+class Counters:
+    """A named bag of monotonically increasing integer counters."""
+
+    __slots__ = ("_values",)
+
+    def __init__(self) -> None:
+        self._values: Counter[str] = Counter()
+
+    def bump(self, name: str, amount: int = 1) -> None:
+        """Increase counter ``name`` by ``amount`` (default 1)."""
+        self._values[name] += amount
+
+    def get(self, name: str) -> int:
+        """Current value of counter ``name`` (0 if never bumped)."""
+        return self._values.get(name, 0)
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        self._values.clear()
+
+    def snapshot(self) -> dict[str, int]:
+        """A plain-dict copy of all counters, sorted by name."""
+        return {name: self._values[name] for name in sorted(self._values)}
+
+    def diff(self, earlier: dict[str, int]) -> dict[str, int]:
+        """Counters gained since ``earlier`` (a prior :meth:`snapshot`)."""
+        result: dict[str, int] = {}
+        for name, value in self._values.items():
+            delta = value - earlier.get(name, 0)
+            if delta:
+                result[name] = delta
+        return dict(sorted(result.items()))
+
+    def __iter__(self) -> Iterator[tuple[str, int]]:
+        return iter(sorted(self._values.items()))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(f"{k}={v}" for k, v in self)
+        return f"Counters({inner})"
+
+
+class Instrumented:
+    """Mixin giving a component a :attr:`counters` bag.
+
+    Components may share one bag (pass it in) or own a private one.
+    """
+
+    def __init__(self, counters: Counters | None = None) -> None:
+        self.counters = counters if counters is not None else Counters()

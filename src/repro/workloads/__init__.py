@@ -1,0 +1,7 @@
+"""Workload generators for the three investigated application areas
+(paper, section 1): 3D solid modeling (BREP), VLSI circuit design, and
+map handling in geographic information systems."""
+
+from repro.workloads import brep, gis, vlsi
+
+__all__ = ["brep", "gis", "vlsi"]

@@ -1,0 +1,238 @@
+"""BREP workload: 3D solids in boundary representation (paper, Fig. 2.1/2.3).
+
+Generates databases against the *exact* schema of Fig. 2.3 — five atom
+types (solid, brep, face, edge, point) with the paper's association types
+and cardinality restrictions, plus the four molecule type definitions of
+Fig. 2.3c.  Every generated solid is a box (cuboid): 1 brep, 6 faces, 12
+edges, 8 points, with the full n:m meshing (each edge borders 2 faces,
+each point joins 3 edges and 3 faces).
+
+The generator plants the keys the Table 2.1 queries use verbatim:
+``brep_no = 1713`` (first brep) and ``solid_no = 4711`` (first root solid
+of the assembly hierarchy), and builds a recursive sub/super assembly tree
+over the solids so ``piece_list`` molecules are non-trivial.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.db import Prima
+from repro.mad.types import Surrogate
+
+#: The Fig. 2.3 schema, verbatim modulo OCR repairs.
+FIG_2_3_DDL = """
+CREATE ATOM_TYPE solid
+( solid_id    : IDENTIFIER,
+  solid_no    : INTEGER,
+  description : CHAR_VAR,
+  sub         : SET_OF (REF_TO (solid.super)),
+  super       : SET_OF (REF_TO (solid.sub)),
+  brep        : REF_TO (brep.solid) )
+KEYS_ARE (solid_no);
+
+CREATE ATOM_TYPE brep
+( brep_id : IDENTIFIER,
+  brep_no : INTEGER,
+  hull    : HULL_DIM (3),
+  solid   : REF_TO (solid.brep),
+  faces   : SET_OF (REF_TO (face.brep)) (4,VAR),
+  edges   : SET_OF (REF_TO (edge.brep)) (6,VAR),
+  points  : SET_OF (REF_TO (point.brep)) (4,VAR) )
+KEYS_ARE (brep_no);
+
+CREATE ATOM_TYPE face
+( face_id    : IDENTIFIER,
+  square_dim : REAL,
+  border     : SET_OF (REF_TO (edge.face)) (3,VAR),
+  crosspoint : SET_OF (REF_TO (point.face)) (3,VAR),
+  brep       : REF_TO (brep.faces) );
+
+CREATE ATOM_TYPE edge
+( edge_id  : IDENTIFIER,
+  length   : REAL,
+  boundary : SET_OF (REF_TO (point.line)) (2,VAR),
+  face     : SET_OF (REF_TO (face.border)) (2,VAR),
+  brep     : REF_TO (brep.edges) );
+
+CREATE ATOM_TYPE point
+( point_id  : IDENTIFIER,
+  placement : RECORD x_coord, y_coord, z_coord : REAL, END,
+  line      : SET_OF (REF_TO (edge.boundary)) (1,VAR),
+  face      : SET_OF (REF_TO (face.crosspoint)) (1,VAR),
+  brep      : REF_TO (brep.points) )
+"""
+
+#: The molecule type definitions of Fig. 2.3c, verbatim.
+FIG_2_3_MOLECULE_TYPES = """
+DEFINE MOLECULE TYPE edge_obj  FROM edge - point;
+DEFINE MOLECULE TYPE face_obj  FROM face - edge_obj;
+DEFINE MOLECULE TYPE brep_obj  FROM brep - face_obj;
+DEFINE MOLECULE TYPE piece_list FROM solid.sub - solid (RECURSIVE)
+"""
+
+#: The box topology: 8 corners, 12 edges (corner index pairs), 6 faces
+#: (edge index quadruples).
+_CORNERS = [(x, y, z) for z in (0.0, 1.0) for y in (0.0, 1.0)
+            for x in (0.0, 1.0)]
+_EDGES = [
+    (0, 1), (1, 3), (3, 2), (2, 0),          # bottom ring
+    (4, 5), (5, 7), (7, 6), (6, 4),          # top ring
+    (0, 4), (1, 5), (3, 7), (2, 6),          # verticals
+]
+_FACES = [
+    (0, 1, 2, 3),      # bottom
+    (4, 5, 6, 7),      # top
+    (0, 9, 4, 8),      # front
+    (2, 11, 6, 10),    # back
+    (3, 8, 7, 11),     # left
+    (1, 10, 5, 9),     # right
+]
+
+#: Keys planted for the Table 2.1 queries.
+TABLE_2_1_BREP_NO = 1713
+TABLE_2_1_SOLID_NO = 4711
+
+
+@dataclass
+class BrepDatabase:
+    """Handles to a generated BREP database."""
+
+    db: Prima
+    solids: list[Surrogate] = field(default_factory=list)
+    breps: list[Surrogate] = field(default_factory=list)
+    faces: list[Surrogate] = field(default_factory=list)
+    edges: list[Surrogate] = field(default_factory=list)
+    points: list[Surrogate] = field(default_factory=list)
+
+    def counts(self) -> dict[str, int]:
+        return {
+            "solid": len(self.solids),
+            "brep": len(self.breps),
+            "face": len(self.faces),
+            "edge": len(self.edges),
+            "point": len(self.points),
+        }
+
+
+def install_schema(db: Prima, molecule_types: bool = True) -> None:
+    """Run the Fig. 2.3 DDL (and molecule type definitions) on ``db``."""
+    db.execute_script(FIG_2_3_DDL)
+    if molecule_types:
+        db.execute_script(FIG_2_3_MOLECULE_TYPES)
+
+
+def build_box(db: Prima, brep_no: int, origin: tuple[float, float, float],
+              size: float, handles: BrepDatabase) -> Surrogate:
+    """Insert one box solid (its brep, faces, edges, points); returns the
+    *brep* surrogate.  The caller attaches it to a solid."""
+    access = db.access
+    ox, oy, oz = origin
+
+    point_ids: list[Surrogate] = []
+    for cx, cy, cz in _CORNERS:
+        point_ids.append(access.insert("point", {
+            "placement": {
+                "x_coord": ox + cx * size,
+                "y_coord": oy + cy * size,
+                "z_coord": oz + cz * size,
+            },
+        }))
+    edge_ids: list[Surrogate] = []
+    for a, b in _EDGES:
+        edge_ids.append(access.insert("edge", {
+            "length": size,
+            "boundary": [point_ids[a], point_ids[b]],
+        }))
+    face_ids: list[Surrogate] = []
+    for quad in _FACES:
+        border = [edge_ids[e] for e in quad]
+        corner_set: list[Surrogate] = []
+        for e in quad:
+            for endpoint in _EDGES[e]:
+                if point_ids[endpoint] not in corner_set:
+                    corner_set.append(point_ids[endpoint])
+        face_ids.append(access.insert("face", {
+            "square_dim": size * size,
+            "border": border,
+            "crosspoint": corner_set,
+        }))
+    brep = access.insert("brep", {
+        "brep_no": brep_no,
+        "hull": [ox, oy, oz, ox + size, oy + size, oz + size],
+        "faces": face_ids,
+        "edges": edge_ids,
+        "points": point_ids,
+    })
+    handles.breps.append(brep)
+    handles.faces.extend(face_ids)
+    handles.edges.extend(edge_ids)
+    handles.points.extend(point_ids)
+    return brep
+
+
+def generate(db: Prima | None = None, n_solids: int = 8,
+             assembly_fanout: int = 2, seed: int = 1987,
+             molecule_types: bool = True) -> BrepDatabase:
+    """Generate a BREP database of ``n_solids`` box solids.
+
+    The solids form an assembly forest: consecutive groups of
+    ``assembly_fanout`` solids become the sub-parts of a composite solid,
+    recursively, giving the piece_list molecules real depth.  The first
+    assembly root gets ``solid_no = 4711``; brep numbers count up from
+    ``1713`` (Table 2.1 seeds).
+    """
+    if db is None:
+        db = Prima()
+    install_schema(db, molecule_types=molecule_types)
+    rng = random.Random(seed)
+    handles = BrepDatabase(db)
+    access = db.access
+
+    # Primitive solids, each with a full box BREP.
+    primitive_nos = list(range(1, n_solids + 1))
+    for index, solid_no in enumerate(primitive_nos):
+        size = 1.0 + rng.random() * 9.0
+        origin = (rng.uniform(0, 100), rng.uniform(0, 100), rng.uniform(0, 100))
+        brep = build_box(db, TABLE_2_1_BREP_NO + index, origin, size, handles)
+        solid = access.insert("solid", {
+            "solid_no": solid_no,
+            "description": f"box solid {solid_no}",
+            "brep": brep,
+        })
+        handles.solids.append(solid)
+
+    # Assembly hierarchy: group primitives under composite solids.
+    next_no = TABLE_2_1_SOLID_NO
+    layer = list(handles.solids)
+    while len(layer) > 1:
+        next_layer: list[Surrogate] = []
+        for start in range(0, len(layer), assembly_fanout):
+            group = layer[start:start + assembly_fanout]
+            if len(group) == 1:
+                next_layer.append(group[0])
+                continue
+            composite = access.insert("solid", {
+                "solid_no": next_no,
+                "description": f"assembly {next_no}",
+                "sub": group,
+            })
+            next_no += 1
+            handles.solids.append(composite)
+            next_layer.append(composite)
+        layer = next_layer
+    # The topmost assembly keeps solid_no 4711 only when it was created
+    # first; re-number it explicitly so Table 2.1b always finds its seed.
+    if layer and next_no != TABLE_2_1_SOLID_NO:
+        root = layer[0]
+        root_values = access.get(root)
+        if root_values.get("sub"):
+            current = root_values["solid_no"]
+            if current != TABLE_2_1_SOLID_NO:
+                holder = access.atoms.find_by_key("solid", TABLE_2_1_SOLID_NO)
+                if holder is not None and holder != root:
+                    access.modify(holder, {"solid_no": -int(current)})
+                access.modify(root, {"solid_no": TABLE_2_1_SOLID_NO})
+    db.commit()
+    return handles

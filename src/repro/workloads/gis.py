@@ -1,0 +1,156 @@
+"""Map handling / GIS workload (paper, section 1; [HHLM87]).
+
+Schema: a planar map partition with **real n:m sharing** — the structures
+the paper calls meshed:
+
+* ``map`` — a map sheet grouping regions (n:m — border regions belong to
+  two adjacent sheets);
+* ``region`` — an areal feature bounded by border lines (n:m — interior
+  lines separate exactly two regions, so almost every line is shared);
+* ``line`` — a polyline bounded by two nodes;
+* ``node`` — a junction point shared by up to four lines.
+
+The generator lays out a ``rows × cols`` grid of square regions: every
+interior grid line is shared by its two neighbouring regions — precisely
+the non-disjoint molecule situation of [BB84].
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.db import Prima
+from repro.mad.types import Surrogate
+
+GIS_DDL = """
+CREATE ATOM_TYPE map
+( map_id  : IDENTIFIER,
+  map_no  : INTEGER,
+  title   : CHAR_VAR,
+  regions : SET_OF (REF_TO (region.maps)) )
+KEYS_ARE (map_no);
+
+CREATE ATOM_TYPE region
+( region_id : IDENTIFIER,
+  region_no : INTEGER,
+  land_use  : CHAR_VAR,
+  area      : REAL,
+  maps      : SET_OF (REF_TO (map.regions)),
+  border    : SET_OF (REF_TO (line.regions)) (3,VAR) )
+KEYS_ARE (region_no);
+
+CREATE ATOM_TYPE line
+( line_id : IDENTIFIER,
+  length  : REAL,
+  regions : SET_OF (REF_TO (region.border)) (1,2),
+  nodes   : SET_OF (REF_TO (node.lines)) (2,2) );
+
+CREATE ATOM_TYPE node
+( node_id : IDENTIFIER,
+  x, y    : REAL,
+  lines   : SET_OF (REF_TO (line.nodes)) (1,4) );
+
+DEFINE MOLECULE TYPE map_sheet   FROM map - region - line - node;
+DEFINE MOLECULE TYPE region_obj  FROM region - line - node
+"""
+
+_LAND_USES = ["forest", "water", "urban", "farmland", "industrial", "park"]
+
+
+@dataclass
+class GisDatabase:
+    """Handles to a generated map database."""
+
+    db: Prima
+    maps: list[Surrogate] = field(default_factory=list)
+    regions: list[Surrogate] = field(default_factory=list)
+    lines: list[Surrogate] = field(default_factory=list)
+    nodes: list[Surrogate] = field(default_factory=list)
+
+    def counts(self) -> dict[str, int]:
+        return {"map": len(self.maps), "region": len(self.regions),
+                "line": len(self.lines), "node": len(self.nodes)}
+
+
+def generate(db: Prima | None = None, rows: int = 4, cols: int = 4,
+             sheets: int = 2, seed: int = 1987) -> GisDatabase:
+    """Generate a ``rows × cols`` region grid split over ``sheets`` maps.
+
+    Interior lines are shared by two regions (n:m), interior nodes by up
+    to four lines; map sheets split the grid column-wise with the border
+    column's regions assigned to *both* sheets (n:m map-region).
+    """
+    if db is None:
+        db = Prima()
+    db.execute_script(GIS_DDL)
+    rng = random.Random(seed)
+    handles = GisDatabase(db)
+    access = db.access
+
+    # Nodes at grid corners.
+    node_grid: dict[tuple[int, int], Surrogate] = {}
+    for r in range(rows + 1):
+        for c in range(cols + 1):
+            node = access.insert("node", {"x": float(c), "y": float(r)})
+            node_grid[(r, c)] = node
+            handles.nodes.append(node)
+
+    # Horizontal and vertical grid lines between adjacent nodes.
+    h_lines: dict[tuple[int, int], Surrogate] = {}
+    v_lines: dict[tuple[int, int], Surrogate] = {}
+    for r in range(rows + 1):
+        for c in range(cols):
+            line = access.insert("line", {
+                "length": 1.0,
+                "nodes": [node_grid[(r, c)], node_grid[(r, c + 1)]],
+            })
+            h_lines[(r, c)] = line
+            handles.lines.append(line)
+    for r in range(rows):
+        for c in range(cols + 1):
+            line = access.insert("line", {
+                "length": 1.0,
+                "nodes": [node_grid[(r, c)], node_grid[(r + 1, c)]],
+            })
+            v_lines[(r, c)] = line
+            handles.lines.append(line)
+
+    # Regions: each grid square bounded by 4 lines; interior lines are
+    # shared between neighbouring squares (the n:m meshing).
+    region_grid: dict[tuple[int, int], Surrogate] = {}
+    region_no = 1
+    for r in range(rows):
+        for c in range(cols):
+            border = [h_lines[(r, c)], h_lines[(r + 1, c)],
+                      v_lines[(r, c)], v_lines[(r, c + 1)]]
+            region = access.insert("region", {
+                "region_no": region_no,
+                "land_use": rng.choice(_LAND_USES),
+                "area": 1.0,
+                "border": border,
+            })
+            region_grid[(r, c)] = region
+            handles.regions.append(region)
+            region_no += 1
+
+    # Map sheets: column ranges with one overlapping border column.
+    sheets = max(1, min(sheets, cols))
+    per_sheet = max(1, cols // sheets)
+    for sheet_no in range(1, sheets + 1):
+        first = (sheet_no - 1) * per_sheet
+        last = cols - 1 if sheet_no == sheets else first + per_sheet
+        members = [
+            region_grid[(r, c)]
+            for r in range(rows)
+            for c in range(max(0, first - (1 if sheet_no > 1 else 0)),
+                           min(cols, last + 1))
+        ]
+        map_atom = access.insert("map", {
+            "map_no": sheet_no,
+            "title": f"sheet {sheet_no}",
+            "regions": members,
+        })
+        handles.maps.append(map_atom)
+    db.commit()
+    return handles

@@ -1,0 +1,148 @@
+"""VLSI circuit design workload (paper, section 1; [HHLM87]).
+
+Schema: a classic netlist with a recursive cell hierarchy —
+
+* ``cell`` — a circuit cell (NAND, NOR, ...); composite cells instantiate
+  sub-cells over the n:m ``subcells``/``containers`` association
+  (a standard cell is used by many composites);
+* ``pin`` — a connection point owned by exactly one cell (1:n);
+* ``net`` — an electrical net connecting many pins (1:n: a pin belongs to
+  at most one net).
+
+Typical molecule queries: the *netlist* (net-pin-cell, vertical access),
+the *cell interface* (cell-pin), and the recursive *cell explosion*
+(cell.subcells-cell (RECURSIVE)), which mirrors piece_list.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.db import Prima
+from repro.mad.types import Surrogate
+
+VLSI_DDL = """
+CREATE ATOM_TYPE cell
+( cell_id    : IDENTIFIER,
+  cell_no    : INTEGER,
+  function   : CHAR_VAR,
+  area       : REAL,
+  pins       : SET_OF (REF_TO (pin.cell)),
+  subcells   : SET_OF (REF_TO (cell.containers)),
+  containers : SET_OF (REF_TO (cell.subcells)) )
+KEYS_ARE (cell_no);
+
+CREATE ATOM_TYPE pin
+( pin_id : IDENTIFIER,
+  name   : CHAR_VAR,
+  cell   : REF_TO (cell.pins),
+  net    : REF_TO (net.pins) );
+
+CREATE ATOM_TYPE net
+( net_id   : IDENTIFIER,
+  net_no   : INTEGER,
+  signal   : CHAR_VAR,
+  pins     : SET_OF (REF_TO (pin.net)) (2,VAR) )
+KEYS_ARE (net_no);
+
+DEFINE MOLECULE TYPE netlist FROM net - pin - cell;
+DEFINE MOLECULE TYPE cell_interface FROM cell - pin;
+DEFINE MOLECULE TYPE cell_explosion FROM cell.subcells - cell (RECURSIVE)
+"""
+
+_FUNCTIONS = ["NAND", "NOR", "INV", "XOR", "DFF", "MUX", "BUF", "AOI"]
+
+
+@dataclass
+class VlsiDatabase:
+    """Handles to a generated VLSI database."""
+
+    db: Prima
+    cells: list[Surrogate] = field(default_factory=list)
+    pins: list[Surrogate] = field(default_factory=list)
+    nets: list[Surrogate] = field(default_factory=list)
+
+    def counts(self) -> dict[str, int]:
+        return {"cell": len(self.cells), "pin": len(self.pins),
+                "net": len(self.nets)}
+
+
+def generate(db: Prima | None = None, n_cells: int = 24,
+             pins_per_cell: int = 4, n_nets: int = 16,
+             composite_fanout: int = 4, seed: int = 1987) -> VlsiDatabase:
+    """Generate a netlist database with a recursive cell hierarchy.
+
+    ``n_cells`` standard cells each carry ``pins_per_cell`` pins; ``n_nets``
+    nets connect 2-5 random unconnected pins; composites of
+    ``composite_fanout`` cells stack up recursively.
+    """
+    if db is None:
+        db = Prima()
+    db.execute_script(VLSI_DDL)
+    rng = random.Random(seed)
+    handles = VlsiDatabase(db)
+    access = db.access
+
+    for cell_no in range(1, n_cells + 1):
+        cell = access.insert("cell", {
+            "cell_no": cell_no,
+            "function": rng.choice(_FUNCTIONS),
+            "area": round(rng.uniform(10.0, 500.0), 1),
+        })
+        handles.cells.append(cell)
+        for pin_index in range(pins_per_cell):
+            pin = access.insert("pin", {
+                "name": f"p{pin_index}",
+                "cell": cell,
+            })
+            handles.pins.append(pin)
+
+    unconnected = list(handles.pins)
+    rng.shuffle(unconnected)
+    for net_no in range(1, n_nets + 1):
+        width = min(rng.randint(2, 5), len(unconnected))
+        if width < 2:
+            break
+        chosen = [unconnected.pop() for _ in range(width)]
+        net = access.insert("net", {
+            "net_no": net_no,
+            "signal": f"sig_{net_no}",
+            "pins": chosen,
+        })
+        handles.nets.append(net)
+
+    # Recursive hierarchy: group standard cells under composites.
+    next_no = n_cells + 1
+    layer = list(handles.cells)
+    while len(layer) > 1:
+        next_layer: list[Surrogate] = []
+        for start in range(0, len(layer), composite_fanout):
+            group = layer[start:start + composite_fanout]
+            if len(group) == 1:
+                next_layer.append(group[0])
+                continue
+            composite = access.insert("cell", {
+                "cell_no": next_no,
+                "function": "COMPOSITE",
+                "area": 0.0,
+                "subcells": group,
+            })
+            next_no += 1
+            handles.cells.append(composite)
+            next_layer.append(composite)
+        layer = next_layer
+    db.commit()
+    return handles
+
+
+def top_cell_no(handles: VlsiDatabase) -> int | None:
+    """cell_no of the topmost composite (None for flat designs)."""
+    best: tuple[int, int] | None = None
+    for cell in handles.cells:
+        values = handles.db.access.get(cell)
+        if values.get("subcells") and not values.get("containers"):
+            number = values["cell_no"]
+            if best is None or number > best[0]:
+                best = (number, number)
+    return best[0] if best is not None else None

@@ -1,0 +1,74 @@
+"""Shared fixtures: small schemas and generated databases."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Prima
+from repro.access.system import AccessSystem
+from repro.mad import (
+    IDENTIFIER,
+    INTEGER,
+    REAL,
+    AtomType,
+    CharVarType,
+    ReferenceType,
+    Schema,
+    SetType,
+)
+from repro.storage.system import StorageSystem
+from repro.workloads import brep, gis, vlsi
+
+
+@pytest.fixture
+def storage() -> StorageSystem:
+    """A small storage system (8 frames of the largest size)."""
+    return StorageSystem(buffer_capacity=8 * 8192)
+
+
+@pytest.fixture
+def face_edge_access() -> AccessSystem:
+    """An access system over a 2-type n:m schema (face <-> edge)."""
+    schema = Schema()
+    schema.create_atom_type(AtomType("face", [
+        ("face_id", IDENTIFIER),
+        ("square_dim", REAL),
+        ("name", CharVarType()),
+        ("border", SetType(ReferenceType("edge", "face"))),
+    ], keys=("name",)))
+    schema.create_atom_type(AtomType("edge", [
+        ("edge_id", IDENTIFIER),
+        ("length", REAL),
+        ("face", SetType(ReferenceType("face", "border"))),
+    ]))
+    schema.check_symmetry()
+    access = AccessSystem(StorageSystem(buffer_capacity=32 * 8192), schema)
+    access.atoms.register_atom_type("face")
+    access.atoms.register_atom_type("edge")
+    return access
+
+
+@pytest.fixture
+def db() -> Prima:
+    """An empty PRIMA instance."""
+    return Prima()
+
+
+@pytest.fixture(scope="module")
+def brep_db():
+    """A generated BREP database (module-scoped: treat as read-only)."""
+    database = Prima()
+    handles = brep.generate(database, n_solids=4)
+    return handles
+
+
+@pytest.fixture(scope="module")
+def vlsi_db():
+    """A generated VLSI database (module-scoped: treat as read-only)."""
+    return vlsi.generate(n_cells=12, pins_per_cell=3, n_nets=8)
+
+
+@pytest.fixture(scope="module")
+def gis_db():
+    """A generated GIS database (module-scoped: treat as read-only)."""
+    return gis.generate(rows=3, cols=3, sheets=2)

@@ -1,0 +1,276 @@
+"""Unit tests: the atom manager — CRUD, keys, back-reference maintenance."""
+
+import pytest
+
+from repro.errors import (
+    AtomNotFoundError,
+    CardinalityError,
+    DuplicateKeyError,
+    IntegrityError,
+    TypeMismatchError,
+    UnknownTypeError,
+)
+from repro.access.integrity import verify_database
+from repro.mad.types import Surrogate
+
+
+class TestInsertGet:
+    def test_insert_returns_surrogate(self, face_edge_access):
+        s = face_edge_access.insert("face", {"square_dim": 1.0})
+        assert isinstance(s, Surrogate)
+        assert s.atom_type == "face"
+
+    def test_get_includes_identifier(self, face_edge_access):
+        s = face_edge_access.insert("face", {"square_dim": 1.0})
+        values = face_edge_access.get(s)
+        assert values["face_id"] == s
+        assert values["square_dim"] == 1.0
+
+    def test_defaults_applied(self, face_edge_access):
+        s = face_edge_access.insert("face")
+        values = face_edge_access.get(s)
+        assert values["border"] == []
+        assert values["square_dim"] is None
+
+    def test_attribute_selection(self, face_edge_access):
+        s = face_edge_access.insert("face", {"square_dim": 2.0,
+                                             "name": "top"})
+        values = face_edge_access.get(s, attrs=["name"])
+        assert set(values) == {"face_id", "name"}
+
+    def test_unknown_attribute_rejected(self, face_edge_access):
+        with pytest.raises(UnknownTypeError):
+            face_edge_access.insert("face", {"nope": 1})
+        s = face_edge_access.insert("face")
+        with pytest.raises(AtomNotFoundError):
+            face_edge_access.get(s, attrs=["nope"])
+
+    def test_type_checked(self, face_edge_access):
+        with pytest.raises(TypeMismatchError):
+            face_edge_access.insert("face", {"square_dim": "not a number"})
+
+    def test_identifier_not_writable(self, face_edge_access):
+        with pytest.raises(TypeMismatchError):
+            face_edge_access.insert("face", {"face_id": Surrogate("face", 9)})
+
+    def test_unknown_surrogate(self, face_edge_access):
+        with pytest.raises(AtomNotFoundError):
+            face_edge_access.get(Surrogate("face", 999))
+
+    def test_atoms_of_type_physical_order(self, face_edge_access):
+        inserted = [face_edge_access.insert("edge", {"length": float(i)})
+                    for i in range(5)]
+        got = [s for s, _v in face_edge_access.atoms.atoms_of_type("edge")]
+        assert got == inserted
+
+    def test_count(self, face_edge_access):
+        for i in range(3):
+            face_edge_access.insert("edge")
+        assert face_edge_access.atoms.count("edge") == 3
+
+
+class TestKeys:
+    def test_key_lookup(self, face_edge_access):
+        s = face_edge_access.insert("face", {"name": "top"})
+        assert face_edge_access.atoms.find_by_key("face", "top") == s
+
+    def test_duplicate_key_rejected(self, face_edge_access):
+        face_edge_access.insert("face", {"name": "top"})
+        with pytest.raises(DuplicateKeyError):
+            face_edge_access.insert("face", {"name": "top"})
+
+    def test_key_moves_on_modify(self, face_edge_access):
+        s = face_edge_access.insert("face", {"name": "old"})
+        face_edge_access.modify(s, {"name": "new"})
+        assert face_edge_access.atoms.find_by_key("face", "old") is None
+        assert face_edge_access.atoms.find_by_key("face", "new") == s
+
+    def test_key_conflict_on_modify(self, face_edge_access):
+        face_edge_access.insert("face", {"name": "a"})
+        s = face_edge_access.insert("face", {"name": "b"})
+        with pytest.raises(DuplicateKeyError):
+            face_edge_access.modify(s, {"name": "a"})
+
+    def test_key_released_on_delete(self, face_edge_access):
+        s = face_edge_access.insert("face", {"name": "gone"})
+        face_edge_access.delete(s)
+        assert face_edge_access.atoms.find_by_key("face", "gone") is None
+        face_edge_access.insert("face", {"name": "gone"})  # reusable
+
+
+class TestBackReferences:
+    def test_insert_maintains_backrefs(self, face_edge_access):
+        e = face_edge_access.insert("edge")
+        f = face_edge_access.insert("face", {"border": [e]})
+        assert face_edge_access.get(e)["face"] == [f]
+
+    def test_modify_add_and_remove(self, face_edge_access):
+        e1 = face_edge_access.insert("edge")
+        e2 = face_edge_access.insert("edge")
+        f = face_edge_access.insert("face", {"border": [e1]})
+        face_edge_access.modify(f, {"border": [e2]})
+        assert face_edge_access.get(e1)["face"] == []
+        assert face_edge_access.get(e2)["face"] == [f]
+
+    def test_modify_from_either_side(self, face_edge_access):
+        e = face_edge_access.insert("edge")
+        f = face_edge_access.insert("face")
+        face_edge_access.modify(e, {"face": [f]})
+        assert face_edge_access.get(f)["border"] == [e]
+
+    def test_delete_disconnects(self, face_edge_access):
+        e = face_edge_access.insert("edge")
+        f = face_edge_access.insert("face", {"border": [e]})
+        face_edge_access.delete(e)
+        assert face_edge_access.get(f)["border"] == []
+
+    def test_dangling_reference_rejected(self, face_edge_access):
+        ghost = Surrogate("edge", 777)
+        with pytest.raises(IntegrityError):
+            face_edge_access.insert("face", {"border": [ghost]})
+
+    def test_wrong_target_type_rejected(self, face_edge_access):
+        f = face_edge_access.insert("face")
+        with pytest.raises(TypeMismatchError):
+            face_edge_access.insert("face", {"border": [f]})
+
+    def test_no_violations_after_random_dml(self, face_edge_access):
+        import random
+        rng = random.Random(3)
+        edges = [face_edge_access.insert("edge") for _ in range(10)]
+        faces = [face_edge_access.insert(
+            "face", {"border": rng.sample(edges, 3)}) for _ in range(6)]
+        for _ in range(30):
+            action = rng.random()
+            if action < 0.4:
+                face_edge_access.modify(rng.choice(faces),
+                                        {"border": rng.sample(edges, 2)})
+            elif action < 0.7 and len(edges) > 3:
+                victim = edges.pop(rng.randrange(len(edges)))
+                face_edge_access.delete(victim)
+            else:
+                edges.append(face_edge_access.insert("edge"))
+        assert verify_database(face_edge_access.atoms) == []
+
+
+class TestRestore:
+    def test_restore_after_delete(self, face_edge_access):
+        e = face_edge_access.insert("edge", {"length": 5.0})
+        f = face_edge_access.insert("face", {"border": [e]})
+        values = face_edge_access.get(e)
+        values.pop("edge_id")
+        face_edge_access.delete(e)
+        face_edge_access.atoms.restore_atom(e, values)
+        assert face_edge_access.get(e)["length"] == 5.0
+        assert face_edge_access.get(f)["border"] == [e]
+        assert verify_database(face_edge_access.atoms) == []
+
+    def test_restore_existing_rejected(self, face_edge_access):
+        e = face_edge_access.insert("edge")
+        with pytest.raises(IntegrityError):
+            face_edge_access.atoms.restore_atom(e, {"length": 1.0})
+
+    def test_restored_surrogate_not_reissued(self, face_edge_access):
+        e = face_edge_access.insert("edge")
+        values = face_edge_access.get(e)
+        values.pop("edge_id")
+        face_edge_access.delete(e)
+        face_edge_access.atoms.restore_atom(e, values)
+        fresh = face_edge_access.insert("edge")
+        assert fresh.number > e.number
+
+
+class TestSelfReference:
+    @pytest.fixture
+    def part_access(self):
+        from repro.access.system import AccessSystem
+        from repro.mad import (IDENTIFIER, AtomType, ReferenceType, Schema,
+                               SetType)
+        from repro.storage.system import StorageSystem
+        schema = Schema()
+        schema.create_atom_type(AtomType("part", [
+            ("part_id", IDENTIFIER),
+            ("sub", SetType(ReferenceType("part", "super"))),
+            ("super", SetType(ReferenceType("part", "sub"))),
+        ]))
+        schema.check_symmetry()
+        access = AccessSystem(StorageSystem(), schema)
+        access.atoms.register_atom_type("part")
+        return access
+
+    def test_recursive_association(self, part_access):
+        child = part_access.insert("part")
+        parent = part_access.insert("part", {"sub": [child]})
+        assert part_access.get(child)["super"] == [parent]
+        assert verify_database(part_access.atoms) == []
+
+    def test_atom_referencing_itself(self, part_access):
+        lonely = part_access.insert("part")
+        part_access.modify(lonely, {"sub": [lonely]})
+        values = part_access.get(lonely)
+        assert values["sub"] == [lonely]
+        assert values["super"] == [lonely]
+        assert verify_database(part_access.atoms) == []
+
+    def test_self_reference_removed(self, part_access):
+        lonely = part_access.insert("part")
+        part_access.modify(lonely, {"sub": [lonely]})
+        part_access.modify(lonely, {"sub": []})
+        values = part_access.get(lonely)
+        assert values["sub"] == [] and values["super"] == []
+
+
+class TestLongFieldAtoms:
+    """Texts and images beyond one page go onto page sequences (3.3)."""
+
+    @pytest.fixture
+    def doc_access(self):
+        from repro.access.system import AccessSystem
+        from repro.mad import BYTE_VAR, CHAR_VAR, IDENTIFIER, AtomType, Schema
+        from repro.storage.system import StorageSystem
+        schema = Schema()
+        schema.create_atom_type(AtomType("doc", [
+            ("doc_id", IDENTIFIER),
+            ("title", CHAR_VAR),
+            ("body", BYTE_VAR),
+        ], keys=("title",)))
+        schema.check_symmetry()
+        access = AccessSystem(StorageSystem(buffer_capacity=64 * 8192),
+                              schema)
+        access.atoms.register_atom_type("doc")
+        return access
+
+    def test_100kb_atom_roundtrip(self, doc_access):
+        body = bytes(range(256)) * 400          # 100 KB
+        s = doc_access.insert("doc", {"title": "scan", "body": body})
+        assert doc_access.get(s)["body"] == body
+
+    def test_long_atom_modify(self, doc_access):
+        body = bytes(range(256)) * 100
+        s = doc_access.insert("doc", {"title": "a", "body": body})
+        doc_access.modify(s, {"body": body * 3})
+        assert doc_access.get(s)["body"] == body * 3
+        doc_access.modify(s, {"body": b"short now"})
+        assert doc_access.get(s)["body"] == b"short now"
+
+    def test_long_atom_delete_releases_pages(self, doc_access):
+        before = doc_access.storage.segment("at_doc").allocated_pages
+        s = doc_access.insert("doc", {"title": "a",
+                                      "body": bytes(100_000)})
+        doc_access.delete(s)
+        after = doc_access.storage.segment("at_doc").allocated_pages
+        assert after <= before + 1   # stub page may remain allocated
+
+    def test_atoms_of_type_sees_long_atoms(self, doc_access):
+        doc_access.insert("doc", {"title": "small", "body": b"x"})
+        doc_access.insert("doc", {"title": "large",
+                                  "body": bytes(50_000)})
+        titles = {values["title"] for _s, values
+                  in doc_access.atoms.atoms_of_type("doc")}
+        assert titles == {"small", "large"}
+
+    def test_long_text_attribute(self, doc_access):
+        text = "ein langer text " * 4000
+        s = doc_access.insert("doc", {"title": "t", "body": None})
+        doc_access.modify(s, {"body": text.encode()})
+        assert doc_access.get(s)["body"] == text.encode()

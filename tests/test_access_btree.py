@@ -1,0 +1,157 @@
+"""Unit and property tests: the B*-tree access path."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.access.btree import BStarTree, Key, make_key
+from repro.errors import AccessError
+from repro.mad.types import Surrogate
+
+
+def s(n: int) -> Surrogate:
+    return Surrogate("t", n)
+
+
+class TestKeys:
+    def test_total_order_across_types(self):
+        values = [None, False, True, -5, 3.5, 10, "abc", s(1)]
+        keys = [make_key(v) for v in values]
+        for i in range(len(keys) - 1):
+            assert keys[i] < keys[i + 1]
+
+    def test_tuple_keys(self):
+        assert make_key((1, "a")) < make_key((1, "b"))
+        assert make_key((1,)) < make_key((1, "a"))
+
+    def test_unusable_key_rejected(self):
+        tree = BStarTree()
+        with pytest.raises(AccessError):
+            tree.insert(object(), s(1))
+
+    def test_key_equality_and_hash(self):
+        assert make_key(5) == make_key(5)
+        assert hash(make_key(5)) == hash(Key((5,)))
+
+
+class TestBasics:
+    def test_insert_search(self):
+        tree = BStarTree(order=4)
+        tree.insert(10, s(1))
+        tree.insert(20, s(2))
+        assert tree.search(10) == [s(1)]
+        assert tree.search(99) == []
+
+    def test_duplicates_under_one_key(self):
+        tree = BStarTree(order=4)
+        for n in range(5):
+            tree.insert(7, s(n))
+        assert sorted(x.number for x in tree.search(7)) == list(range(5))
+
+    def test_duplicate_entry_rejected(self):
+        tree = BStarTree()
+        tree.insert(1, s(1))
+        with pytest.raises(AccessError):
+            tree.insert(1, s(1))
+
+    def test_delete(self):
+        tree = BStarTree(order=4)
+        tree.insert(1, s(1))
+        tree.delete(1, s(1))
+        assert len(tree) == 0
+        with pytest.raises(AccessError):
+            tree.delete(1, s(1))
+
+    def test_contains(self):
+        tree = BStarTree()
+        tree.insert(3, s(1))
+        assert tree.contains(3, s(1))
+        assert not tree.contains(3, s(2))
+
+    def test_order_too_small(self):
+        with pytest.raises(AccessError):
+            BStarTree(order=2)
+
+    def test_height_grows(self):
+        tree = BStarTree(order=4)
+        for n in range(100):
+            tree.insert(n, s(n))
+        assert tree.height >= 3
+        tree.check_invariants()
+
+
+class TestRangeScans:
+    @pytest.fixture
+    def tree(self):
+        tree = BStarTree(order=6)
+        for n in range(0, 100, 2):
+            tree.insert(n, s(n))
+        return tree
+
+    def test_full_scan_sorted(self, tree):
+        keys = [k.values[0] for k, _ in tree.items()]
+        assert keys == list(range(0, 100, 2))
+
+    def test_bounded_range(self, tree):
+        got = [k.values[0] for k, _ in tree.range(start=10, stop=20)]
+        assert got == [10, 12, 14, 16, 18, 20]
+
+    def test_exclusive_bounds(self, tree):
+        got = [k.values[0] for k, _ in tree.range(
+            start=10, stop=20, include_start=False, include_stop=False)]
+        assert got == [12, 14, 16, 18]
+
+    def test_reverse_scan(self, tree):
+        got = [k.values[0] for k, _ in tree.range(start=10, stop=20,
+                                                  reverse=True)]
+        assert got == [20, 18, 16, 14, 12, 10]
+
+    def test_open_start(self, tree):
+        got = [k.values[0] for k, _ in tree.range(stop=6)]
+        assert got == [0, 2, 4, 6]
+
+    def test_open_stop_reverse(self, tree):
+        got = [k.values[0] for k, _ in tree.range(start=94, reverse=True)]
+        assert got == [98, 96, 94]
+
+    def test_range_between_keys(self, tree):
+        got = [k.values[0] for k, _ in tree.range(start=11, stop=13)]
+        assert got == [12]
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.tuples(st.booleans(), st.integers(0, 60),
+                          st.integers(1, 10)), max_size=300))
+def test_btree_matches_oracle(ops):
+    """Property: a B*-tree behaves exactly like a sorted set of
+    (key, surrogate) pairs under arbitrary insert/delete sequences."""
+    tree = BStarTree(order=4)
+    oracle: set[tuple[int, int]] = set()
+    for is_insert, key, number in ops:
+        entry = (key, number)
+        if is_insert or not oracle:
+            if entry not in oracle:
+                tree.insert(key, s(number))
+                oracle.add(entry)
+        else:
+            victim = sorted(oracle)[0]
+            tree.delete(victim[0], s(victim[1]))
+            oracle.discard(victim)
+    tree.check_invariants()
+    got = [(k.values[0], surr.number) for k, surr in tree.items()]
+    assert got == sorted(oracle)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.integers(0, 50), min_size=1, max_size=120, unique=True),
+       st.integers(0, 50), st.integers(0, 50))
+def test_btree_range_matches_slice(keys, lo, hi):
+    """Property: range() equals filtering the sorted key list."""
+    tree = BStarTree(order=4)
+    for key in keys:
+        tree.insert(key, s(key))
+    lo, hi = min(lo, hi), max(lo, hi)
+    got = [k.values[0] for k, _ in tree.range(start=lo, stop=hi)]
+    assert got == [k for k in sorted(keys) if lo <= k <= hi]
+    got_rev = [k.values[0] for k, _ in tree.range(start=lo, stop=hi,
+                                                  reverse=True)]
+    assert got_rev == list(reversed(got))

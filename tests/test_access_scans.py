@@ -1,0 +1,241 @@
+"""Unit tests: the five scan types and NEXT/PRIOR positioning."""
+
+import pytest
+
+from repro.access.multidim import KeyCondition
+from repro.access.scans import (
+    AccessPathScan,
+    AtomClusterScan,
+    AtomClusterTypeScan,
+    AtomTypeScan,
+    ClusterSearchArgument,
+    SearchArgument,
+    SortScan,
+)
+from repro.errors import AccessError, ScanStateError
+from repro.mad.molecule import StructureNode
+
+
+@pytest.fixture
+def populated(face_edge_access):
+    access = face_edge_access
+    edges = [access.insert("edge", {"length": float(i)}) for i in range(8)]
+    faces = [access.insert("face", {"square_dim": float(i * 10),
+                                    "name": f"f{i}",
+                                    "border": edges[i:i + 2]})
+             for i in range(4)]
+    return access, edges, faces
+
+
+class TestSearchArgument:
+    def test_operators(self):
+        arg = SearchArgument(("length", ">", 2.0), ("length", "<=", 5.0))
+        assert arg.matches({"length": 3.0})
+        assert not arg.matches({"length": 2.0})
+        assert not arg.matches({"length": 6.0})
+
+    def test_empty_operators(self):
+        assert SearchArgument(("s", "empty", None)).matches({"s": []})
+        assert SearchArgument(("s", "not_empty", None)).matches({"s": [1]})
+        assert SearchArgument(("s", "contains", 2)).matches({"s": [1, 2]})
+
+    def test_none_never_compares(self):
+        assert not SearchArgument(("x", ">", 1)).matches({"x": None})
+        assert not SearchArgument(("x", ">", 1)).matches({})
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(AccessError):
+            SearchArgument(("x", "~~", 1))
+
+
+class TestAtomTypeScan:
+    def test_system_order(self, populated):
+        access, edges, _faces = populated
+        scan = AtomTypeScan(access.atoms, "edge")
+        got = [s for s, _v in scan]
+        assert got == edges
+
+    def test_search_argument(self, populated):
+        access, _edges, _faces = populated
+        scan = AtomTypeScan(access.atoms, "edge",
+                            search=SearchArgument(("length", ">=", 5.0)))
+        assert len(list(scan)) == 3
+
+    def test_attribute_selection(self, populated):
+        access, _edges, _faces = populated
+        scan = AtomTypeScan(access.atoms, "face", attrs=["name"])
+        _s, values = scan.next()
+        assert set(values) == {"face_id", "name"}
+
+    def test_next_prior_symmetry(self, populated):
+        access, _edges, _faces = populated
+        scan = AtomTypeScan(access.atoms, "edge")
+        first = scan.next()
+        second = scan.next()
+        assert scan.prior() == first
+        assert scan.next() == second
+
+    def test_prior_at_start_returns_none(self, populated):
+        access, _e, _f = populated
+        scan = AtomTypeScan(access.atoms, "edge")
+        assert scan.prior() is None
+
+    def test_exhaustion_and_rewind(self, populated):
+        access, edges, _f = populated
+        scan = AtomTypeScan(access.atoms, "edge")
+        assert len(list(scan)) == len(edges)
+        assert scan.next() is None
+        scan.rewind()
+        assert scan.next() is not None
+
+    def test_closed_scan_rejected(self, populated):
+        access, _e, _f = populated
+        scan = AtomTypeScan(access.atoms, "edge")
+        scan.close()
+        with pytest.raises(ScanStateError):
+            scan.next()
+
+    def test_deleted_atoms_skipped_mid_scan(self, populated):
+        access, edges, _f = populated
+        scan = AtomTypeScan(access.atoms, "edge")
+        scan.next()
+        access.delete(edges[1])
+        got = scan.next()
+        assert got[0] == edges[2]
+
+
+class TestSortScan:
+    def test_explicit_sort_without_support(self, populated):
+        access, _e, _f = populated
+        scan = SortScan(access.atoms, "edge", ["length"], reverse=True)
+        assert not scan.used_sort_order
+        lengths = [v["length"] for _s, v in scan]
+        assert lengths == sorted(lengths, reverse=True)
+
+    def test_uses_sort_order_when_matching(self, populated):
+        access, _e, _f = populated
+        access.create_sort_order("so", "edge", ["length"])
+        scan = SortScan(access.atoms, "edge", ["length"])
+        assert scan.used_sort_order
+        lengths = [v["length"] for _s, v in scan]
+        assert lengths == sorted(lengths)
+
+    def test_start_stop_both_paths(self, populated):
+        access, _e, _f = populated
+        plain = [v["length"] for _s, v in
+                 SortScan(access.atoms, "edge", ["length"],
+                          start=2.0, stop=5.0)]
+        access.create_sort_order("so", "edge", ["length"])
+        supported = [v["length"] for _s, v in
+                     SortScan(access.atoms, "edge", ["length"],
+                              start=2.0, stop=5.0)]
+        assert plain == supported == [2.0, 3.0, 4.0, 5.0]
+
+    def test_search_argument(self, populated):
+        access, _e, _f = populated
+        scan = SortScan(access.atoms, "edge", ["length"],
+                        search=SearchArgument(("length", "!=", 3.0)))
+        assert 3.0 not in [v["length"] for _s, v in scan]
+
+
+class TestAccessPathScan:
+    def test_range_conditions(self, populated):
+        access, _e, _f = populated
+        path = access.create_access_path("ap", "edge", ["length"])
+        scan = AccessPathScan(access.atoms, path,
+                              [KeyCondition(start=2.0, stop=4.0)])
+        got = [v["length"] for _s, v in scan]
+        assert got == [2.0, 3.0, 4.0]
+
+    def test_descending_direction(self, populated):
+        access, _e, _f = populated
+        path = access.create_access_path("ap", "edge", ["length"])
+        scan = AccessPathScan(access.atoms, path,
+                              [KeyCondition(descending=True)])
+        got = [v["length"] for _s, v in scan]
+        assert got == sorted(got, reverse=True)
+
+
+@pytest.fixture
+def clustered(populated):
+    access, edges, faces = populated
+    structure = StructureNode("face", "face")
+    structure.add_child(StructureNode(
+        "edge", "edge", via=access.schema.association("face", "border")))
+    cluster = access.create_cluster("fc", structure)
+    return access, edges, faces, cluster
+
+
+class TestClusterScans:
+    def test_cluster_type_scan(self, clustered):
+        access, _e, faces, cluster = clustered
+        scan = AtomClusterTypeScan(access.atoms, cluster)
+        roots = [root for root, _char in scan]
+        assert roots == sorted(faces)
+
+    def test_cluster_type_scan_single_pass_argument(self, clustered):
+        access, _e, _f, cluster = clustered
+        argument = ClusterSearchArgument(
+            "edge", SearchArgument(("length", ">=", 4.0)), "exists")
+        scan = AtomClusterTypeScan(access.atoms, cluster, search=argument)
+        assert 0 < len(list(scan)) < 4
+
+    def test_cluster_type_scan_all_quantifier(self, clustered):
+        access, _e, _f, cluster = clustered
+        argument = ClusterSearchArgument(
+            "edge", SearchArgument(("length", ">=", 0.0)), "all")
+        scan = AtomClusterTypeScan(access.atoms, cluster, search=argument)
+        assert len(list(scan)) == 4
+
+    def test_bad_quantifier_rejected(self):
+        with pytest.raises(AccessError):
+            ClusterSearchArgument("edge", SearchArgument(), "most")
+
+    def test_atom_cluster_scan(self, clustered):
+        access, edges, faces, cluster = clustered
+        scan = AtomClusterScan(access.atoms, cluster, faces[0], "edge")
+        got = {s for s, _v in scan}
+        assert got == set(edges[0:2])
+
+    def test_atom_cluster_scan_with_search(self, clustered):
+        access, _edges, faces, cluster = clustered
+        scan = AtomClusterScan(access.atoms, cluster, faces[0], "edge",
+                               search=SearchArgument(("length", "=", 0.0)))
+        assert len(list(scan)) == 1
+
+
+class TestSortScanAccessPathFallback:
+    """'It may engage an access path if available' (paper, 3.2)."""
+
+    def test_btree_path_engaged(self, populated):
+        access, _e, _f = populated
+        access.create_access_path("e_len_path", "edge", ["length"])
+        scan = SortScan(access.atoms, "edge", ["length"])
+        assert not scan.used_sort_order
+        assert scan.used_access_path
+        lengths = [v["length"] for _s, v in scan]
+        assert lengths == sorted(lengths)
+
+    def test_path_with_bounds_and_direction(self, populated):
+        access, _e, _f = populated
+        access.create_access_path("e_len_path", "edge", ["length"])
+        scan = SortScan(access.atoms, "edge", ["length"],
+                        start=2.0, stop=5.0, reverse=True)
+        lengths = [v["length"] for _s, v in scan]
+        assert lengths == [5.0, 4.0, 3.0, 2.0]
+
+    def test_sort_order_preferred_over_path(self, populated):
+        access, _e, _f = populated
+        access.create_access_path("e_len_path", "edge", ["length"])
+        access.create_sort_order("e_len_so", "edge", ["length"])
+        scan = SortScan(access.atoms, "edge", ["length"])
+        assert scan.used_sort_order and not scan.used_access_path
+
+    def test_grid_path_not_engaged(self, populated):
+        access, _e, _f = populated
+        access.create_access_path("e_grid", "edge", ["length"],
+                                  method="grid")
+        scan = SortScan(access.atoms, "edge", ["length"])
+        assert not scan.used_access_path   # grids have no linear order
+        lengths = [v["length"] for _s, v in scan]
+        assert lengths == sorted(lengths)  # explicit sort still correct

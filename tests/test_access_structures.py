@@ -1,0 +1,206 @@
+"""Unit tests: partitions, sort orders, access paths, deferred update."""
+
+import pytest
+
+from repro.access.multidim import KeyCondition
+from repro.errors import SchemaError, StructureExistsError, StructureNotFoundError
+
+
+class TestPartitions:
+    def test_covers(self, face_edge_access):
+        partition = face_edge_access.create_partition(
+            "p", "face", ["square_dim"])
+        assert partition.covers(["square_dim"])
+        assert partition.covers(["square_dim", "face_id"])
+        assert not partition.covers(["name"])
+
+    def test_identifier_not_listable(self, face_edge_access):
+        with pytest.raises(SchemaError):
+            face_edge_access.create_partition("p", "face", ["face_id"])
+
+    def test_backfill_on_install(self, face_edge_access):
+        for i in range(5):
+            face_edge_access.insert("face", {"square_dim": float(i)})
+        partition = face_edge_access.create_partition(
+            "p", "face", ["square_dim"])
+        assert partition.record_count == 5
+
+    def test_projected_read_uses_partition(self, face_edge_access):
+        s = face_edge_access.insert("face", {"square_dim": 4.0})
+        face_edge_access.create_partition("p", "face", ["square_dim"])
+        before = face_edge_access.counters.get("reads_from_partition")
+        values = face_edge_access.get(s, attrs=["square_dim"])
+        assert values["square_dim"] == 4.0
+        assert face_edge_access.counters.get("reads_from_partition") == \
+            before + 1
+
+    def test_stale_partition_not_used(self, face_edge_access):
+        s = face_edge_access.insert("face", {"square_dim": 4.0})
+        face_edge_access.create_partition("p", "face", ["square_dim"])
+        face_edge_access.modify(s, {"square_dim": 9.0})
+        before = face_edge_access.counters.get("reads_from_partition")
+        values = face_edge_access.get(s, attrs=["square_dim"])
+        assert values["square_dim"] == 9.0      # correct despite staleness
+        assert face_edge_access.counters.get("reads_from_partition") == before
+
+    def test_refresh_after_propagate(self, face_edge_access):
+        s = face_edge_access.insert("face", {"square_dim": 4.0})
+        face_edge_access.create_partition("p", "face", ["square_dim"])
+        face_edge_access.modify(s, {"square_dim": 9.0})
+        assert face_edge_access.propagate_deferred() >= 1
+        before = face_edge_access.counters.get("reads_from_partition")
+        values = face_edge_access.get(s, attrs=["square_dim"])
+        assert values["square_dim"] == 9.0
+        assert face_edge_access.counters.get("reads_from_partition") == \
+            before + 1
+
+    def test_delete_removes_partition_record(self, face_edge_access):
+        s = face_edge_access.insert("face", {"square_dim": 4.0})
+        partition = face_edge_access.create_partition(
+            "p", "face", ["square_dim"])
+        face_edge_access.delete(s)
+        assert partition.record_count == 0
+
+
+class TestSortOrders:
+    def test_iterate_sorted(self, face_edge_access):
+        for value in (5.0, 1.0, 3.0):
+            face_edge_access.insert("edge", {"length": value})
+        order = face_edge_access.create_sort_order("so", "edge", ["length"])
+        lengths = [face_edge_access.get(s)["length"]
+                   for s in order.iterate()]
+        assert lengths == [1.0, 3.0, 5.0]
+
+    def test_start_stop_conditions(self, face_edge_access):
+        for value in range(10):
+            face_edge_access.insert("edge", {"length": float(value)})
+        order = face_edge_access.create_sort_order("so", "edge", ["length"])
+        got = [face_edge_access.get(s)["length"]
+               for s in order.iterate(start=3.0, stop=6.0)]
+        assert got == [3.0, 4.0, 5.0, 6.0]
+
+    def test_order_maintained_under_modify(self, face_edge_access):
+        surrogates = [face_edge_access.insert("edge", {"length": float(i)})
+                      for i in range(5)]
+        order = face_edge_access.create_sort_order("so", "edge", ["length"])
+        face_edge_access.modify(surrogates[0], {"length": 99.0})
+        got = [s for s in order.iterate()]
+        assert got[-1] == surrogates[0]
+
+    def test_record_copy_refreshes(self, face_edge_access):
+        s = face_edge_access.insert("edge", {"length": 1.0})
+        order = face_edge_access.create_sort_order("so", "edge", ["length"])
+        face_edge_access.modify(s, {"length": 2.0})
+        assert order.read(s) is None          # stale -> not served
+        face_edge_access.propagate_deferred()
+        assert order.read(s)["length"] == 2.0
+
+    def test_delete_removes_entry(self, face_edge_access):
+        s = face_edge_access.insert("edge", {"length": 1.0})
+        order = face_edge_access.create_sort_order("so", "edge", ["length"])
+        face_edge_access.delete(s)
+        assert list(order.iterate()) == []
+        assert order.record_count == 0
+
+
+class TestAccessPaths:
+    def test_btree_path_search(self, face_edge_access):
+        surrogates = [face_edge_access.insert("edge", {"length": float(i % 3)})
+                      for i in range(9)]
+        path = face_edge_access.create_access_path("ap", "edge", ["length"])
+        assert len(path.search(1.0)) == 3
+        assert len(path) == 9
+
+    def test_grid_path_multidim(self, face_edge_access):
+        for i in range(10):
+            face_edge_access.insert("face", {"square_dim": float(i),
+                                             "name": f"f{i}"})
+        path = face_edge_access.create_access_path(
+            "ap2", "face", ["square_dim", "name"], method="grid")
+        got = list(path.scan([KeyCondition(start=2.0, stop=4.0),
+                              KeyCondition()]))
+        assert len(got) == 3
+
+    def test_maintained_under_dml(self, face_edge_access):
+        s = face_edge_access.insert("edge", {"length": 1.0})
+        path = face_edge_access.create_access_path("ap", "edge", ["length"])
+        face_edge_access.modify(s, {"length": 7.0})
+        assert path.search(1.0) == []
+        assert path.search(7.0) == [s]
+        face_edge_access.delete(s)
+        assert path.search(7.0) == []
+
+    def test_btree_scan_per_key_conditions(self, face_edge_access):
+        for i in range(6):
+            face_edge_access.insert("face", {"square_dim": float(i // 2),
+                                             "name": f"n{i}"})
+        path = face_edge_access.create_access_path(
+            "ap3", "face", ["square_dim", "name"])
+        got = list(path.scan([KeyCondition(start=1.0, stop=2.0),
+                              KeyCondition(stop="n3")]))
+        assert all(1.0 <= key[0] <= 2.0 and key[1] <= "n3"
+                   for key, _s in got)
+
+
+class TestStructureRegistry:
+    def test_duplicate_name_rejected(self, face_edge_access):
+        face_edge_access.create_partition("dup", "face", ["square_dim"])
+        with pytest.raises(StructureExistsError):
+            face_edge_access.create_sort_order("dup", "edge", ["length"])
+
+    def test_drop_structure(self, face_edge_access):
+        face_edge_access.create_partition("p", "face", ["square_dim"])
+        face_edge_access.drop_structure("p")
+        with pytest.raises(StructureNotFoundError):
+            face_edge_access.atoms.structure("p")
+        with pytest.raises(StructureNotFoundError):
+            face_edge_access.drop_structure("p")
+
+    def test_structures_for_filtered_by_kind(self, face_edge_access):
+        face_edge_access.create_partition("p", "face", ["square_dim"])
+        face_edge_access.create_access_path("a", "face", ["square_dim"])
+        assert len(face_edge_access.atoms.structures_for("face")) == 2
+        assert len(face_edge_access.atoms.structures_for(
+            "face", "partition")) == 1
+
+
+class TestDeferredUpdate:
+    def test_queue_and_propagate(self, face_edge_access):
+        s = face_edge_access.insert("edge", {"length": 1.0})
+        face_edge_access.create_sort_order("so", "edge", ["length"])
+        face_edge_access.create_partition("pt", "edge", ["length"])
+        face_edge_access.modify(s, {"length": 2.0})
+        deferred = face_edge_access.atoms.deferred
+        assert deferred.pending_count == 2
+        assert face_edge_access.propagate_deferred() == 2
+        assert deferred.pending_count == 0
+
+    def test_limit(self, face_edge_access):
+        s = face_edge_access.insert("edge", {"length": 1.0})
+        face_edge_access.create_sort_order("so", "edge", ["length"])
+        face_edge_access.create_partition("pt", "edge", ["length"])
+        face_edge_access.modify(s, {"length": 2.0})
+        assert face_edge_access.propagate_deferred(limit=1) == 1
+        assert face_edge_access.atoms.deferred.pending_count == 1
+
+    def test_requeue_keeps_single_entry(self, face_edge_access):
+        s = face_edge_access.insert("edge", {"length": 1.0})
+        face_edge_access.create_partition("pt", "edge", ["length"])
+        face_edge_access.modify(s, {"length": 2.0})
+        face_edge_access.modify(s, {"length": 3.0})
+        assert face_edge_access.atoms.deferred.pending_count == 1
+
+    def test_delete_cancels_pending(self, face_edge_access):
+        s = face_edge_access.insert("edge", {"length": 1.0})
+        face_edge_access.create_partition("pt", "edge", ["length"])
+        face_edge_access.modify(s, {"length": 2.0})
+        face_edge_access.delete(s)
+        assert face_edge_access.atoms.deferred.pending_count == 0
+        assert face_edge_access.propagate_deferred() == 0
+
+    def test_drop_structure_cancels_pending(self, face_edge_access):
+        s = face_edge_access.insert("edge", {"length": 1.0})
+        face_edge_access.create_partition("pt", "edge", ["length"])
+        face_edge_access.modify(s, {"length": 2.0})
+        face_edge_access.drop_structure("pt")
+        assert face_edge_access.atoms.deferred.pending_count == 0

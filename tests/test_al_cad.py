@@ -1,0 +1,114 @@
+"""Tests: the 3D-CAD application layer (paper, section 4)."""
+
+import pytest
+
+from repro import Prima
+from repro.al import CadWorkbench
+from repro.errors import PrimaError
+
+
+@pytest.fixture
+def bench() -> CadWorkbench:
+    return CadWorkbench(Prima())
+
+
+@pytest.fixture
+def small_assembly(bench):
+    lid = bench.create_box((0, 0, 0), 2.0, description="lid")
+    base = bench.create_box((0, 0, 2), 2.0, description="base")
+    handle = bench.create_box((1, 1, -1), 1.0, description="handle")
+    top = bench.assemble([lid, handle], description="top group")
+    box = bench.assemble([top, base], description="box")
+    return bench, lid, base, handle, top, box
+
+
+class TestConstruction:
+    def test_create_box_builds_full_brep(self, bench):
+        bench.create_box((0, 0, 0), 3.0)
+        stats = bench.statistics()
+        assert stats == {"solid": 1, "brep": 1, "face": 6, "edge": 12,
+                         "point": 8}
+        assert bench.db.verify_integrity() == []
+
+    def test_solid_numbers_unique(self, bench):
+        first = bench.create_box((0, 0, 0), 1.0)
+        second = bench.create_box((5, 5, 5), 1.0)
+        assert first != second
+
+    def test_size_validated(self, bench):
+        with pytest.raises(PrimaError):
+            bench.create_box((0, 0, 0), 0.0)
+
+    def test_assembly_connects_parts(self, small_assembly):
+        bench, lid, _base, handle, top, _box = small_assembly
+        assert sorted(bench.where_used(lid)) == [top]
+        assert bench.where_used(handle) == [top]
+
+    def test_empty_assembly_rejected(self, bench):
+        with pytest.raises(PrimaError):
+            bench.assemble([])
+
+    def test_unknown_part_rejected(self, bench):
+        with pytest.raises(PrimaError):
+            bench.assemble([999])
+
+    def test_works_on_existing_database(self):
+        from repro.workloads import brep
+        handles = brep.generate(Prima(), n_solids=2)
+        bench = CadWorkbench(handles.db)
+        new_no = bench.create_box((50, 50, 50), 2.0)
+        assert bench.db.access.atoms.find_by_key("solid", new_no) is not None
+
+
+class TestRetrieval:
+    def test_bill_of_materials(self, small_assembly):
+        bench, lid, base, handle, top, box = small_assembly
+        rows = bench.bill_of_materials(box)
+        numbers = [no for no, _d, _depth in rows]
+        assert numbers[0] == box
+        assert set(numbers) == {lid, base, handle, top, box}
+        depths = {no: depth for no, _d, depth in rows}
+        assert depths[box] == 0 and depths[top] == 1 and depths[lid] == 2
+
+    def test_primitive_parts(self, small_assembly):
+        bench, lid, base, handle, _top, box = small_assembly
+        assert set(bench.primitive_parts(box)) == {lid, base, handle}
+
+    def test_bounding_hull(self, small_assembly):
+        bench, _lid, _base, _handle, _top, box = small_assembly
+        hull = bench.bounding_hull(box)
+        assert hull == (0.0, 0.0, -1.0, 2.0, 2.0, 4.0)
+
+    def test_bom_of_unknown_solid_empty(self, bench):
+        bench.create_box((0, 0, 0), 1.0)
+        assert bench.bill_of_materials(12345) == []
+
+
+class TestUpdates:
+    def test_translate_moves_geometry(self, small_assembly):
+        bench, lid, *_rest, box = small_assembly
+        before = bench.bounding_hull(box)
+        moved = bench.translate(box, (10.0, 0.0, 0.0))
+        assert moved == 24          # 3 boxes x 8 points
+        after = bench.bounding_hull(box)
+        assert after[0] == before[0] + 10.0
+        assert after[3] == before[3] + 10.0
+        assert bench.db.verify_integrity() == []
+
+    def test_translate_single_primitive(self, bench):
+        no = bench.create_box((0, 0, 0), 1.0)
+        assert bench.translate(no, (0.0, 5.0, 0.0)) == 8
+        assert bench.bounding_hull(no)[1] == 5.0
+
+    def test_disassemble(self, small_assembly):
+        bench, lid, _base, handle, top, _box = small_assembly
+        released = bench.disassemble(top)
+        assert released == 2
+        assert bench.where_used(lid) == []
+        assert bench.db.access.atoms.find_by_key("solid", top) is None
+        assert bench.db.verify_integrity() == []
+
+    def test_disassemble_primitive_rejected(self, bench):
+        no = bench.create_box((0, 0, 0), 1.0)
+        with pytest.raises(PrimaError):
+            bench.disassemble(no)

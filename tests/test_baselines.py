@@ -1,0 +1,99 @@
+"""Tests: the Fig. 2.1 baselines (hierarchical and network stores)."""
+
+import pytest
+
+from repro import Prima
+from repro.baselines import HierarchicalStore, NetworkStore
+from repro.workloads import brep
+
+
+@pytest.fixture(scope="module")
+def stores():
+    db = Prima()
+    handles = brep.generate(db, n_solids=3)
+    hierarchical = HierarchicalStore()
+    hierarchical.load_from_prima(db)
+    network = NetworkStore()
+    network.load_from_prima(db)
+    return handles, hierarchical, network
+
+
+class TestHierarchical:
+    def test_redundant_copies(self, stores):
+        handles, hierarchical, _network = stores
+        counts = hierarchical.counts_by_kind()
+        # every edge borders 2 faces -> 2 copies; every point sits on
+        # 3 faces x (2 edges per face) = 6 copies
+        assert counts["edge"] == 2 * len(handles.edges)
+        assert counts["point"] == 6 * len(handles.points)
+        assert counts["face"] == len(handles.faces)
+
+    def test_more_records_than_mad(self, stores):
+        handles, hierarchical, _network = stores
+        mad_atoms = (len(handles.breps) + len(handles.faces)
+                     + len(handles.edges) + len(handles.points))
+        assert hierarchical.record_count > 2 * mad_atoms
+
+    def test_downward_traversal_works(self, stores):
+        _handles, hierarchical, _network = stores
+        delivered, touched = hierarchical.downward_traversal(1713)
+        assert delivered == 6 + 24 + 48   # faces, edge copies, point copies
+        assert touched >= delivered
+
+    def test_reverse_traversal_scans_everything(self, stores):
+        handles, hierarchical, _network = stores
+        db = handles.db
+        placement = db.access.get(handles.points[0])["placement"]
+        faces, touched = hierarchical.reverse_traversal_cost(
+            placement["x_coord"], placement["y_coord"],
+            placement["z_coord"])
+        assert faces == 3
+        assert touched == hierarchical.record_count   # full scan
+
+
+class TestNetwork:
+    def test_no_entity_redundancy(self, stores):
+        handles, _hierarchical, network = stores
+        counts = network.counts_by_kind()
+        assert counts["edge"] == len(handles.edges)
+        assert counts["point"] == len(handles.points)
+
+    def test_link_records_present(self, stores):
+        handles, _hierarchical, network = stores
+        counts = network.counts_by_kind()
+        assert counts["link:face_edge"] == 4 * len(handles.faces)
+        assert counts["link:edge_point"] == 2 * len(handles.edges)
+        assert network.link_record_count > 0
+
+    def test_symmetric_traversal_possible(self, stores):
+        handles, _hierarchical, network = stores
+        members, _t = network.members_of("face_edge", handles.faces[0])
+        assert len(members) == 4
+        owners, _t = network.owners_of("face_edge", handles.edges[0])
+        assert len(owners) == 2
+
+    def test_reverse_traversal_through_links(self, stores):
+        handles, _hierarchical, network = stores
+        faces, touched = network.faces_of_point(handles.points[0])
+        assert len(faces) == 3
+        assert touched > len(faces)    # indirection overhead
+
+    def test_smaller_than_hierarchical(self, stores):
+        _handles, hierarchical, network = stores
+        assert network.byte_size < hierarchical.byte_size
+
+
+class TestMadComparison:
+    def test_mad_reverse_traversal_direct(self, stores):
+        """MAD answers point->faces by following back-references: the
+        records touched are just the atoms of the answer path."""
+        handles, hierarchical, _network = stores
+        db = handles.db
+        db.reset_accounting()
+        point = db.access.get(handles.points[0])
+        faces = point["face"]
+        reads = 1 + len(faces)
+        for face in faces:
+            db.access.get(face)
+        assert len(faces) == 3
+        assert reads < hierarchical.record_count / 10

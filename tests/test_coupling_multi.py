@@ -1,0 +1,76 @@
+"""Tests: several workstations coupled to one PRIMA server."""
+
+import pytest
+
+from repro import Prima
+from repro.coupling import PrimaServer, Workstation
+from repro.workloads import brep
+
+
+@pytest.fixture
+def stations():
+    db = Prima()
+    handles = brep.generate(db, n_solids=4)
+    server = PrimaServer(db)
+    cad1 = Workstation(server, name="cad-1")
+    cad2 = Workstation(server, name="cad-2")
+    return handles, server, cad1, cad2
+
+
+class TestMultipleWorkstations:
+    def test_disjoint_checkouts_commit_independently(self, stations):
+        handles, _server, cad1, cad2 = stations
+        m1 = cad1.checkout("SELECT ALL FROM brep-face-edge-point "
+                           "WHERE brep_no = 1713")[0]
+        m2 = cad2.checkout("SELECT ALL FROM brep-face-edge-point "
+                           "WHERE brep_no = 1714")[0]
+        e1 = m1.component_list("face")[0].component_list("edge")[0].surrogate
+        e2 = m2.component_list("face")[0].component_list("edge")[0].surrogate
+        cad1.modify(e1, {"length": 111.0})
+        cad2.modify(e2, {"length": 222.0})
+        cad1.commit()
+        cad2.commit()
+        assert handles.db.access.get(e1)["length"] == 111.0
+        assert handles.db.access.get(e2)["length"] == 222.0
+        assert handles.db.verify_integrity() == []
+
+    def test_overlapping_checkout_last_writer_wins(self, stations):
+        handles, _server, cad1, cad2 = stations
+        query = "SELECT ALL FROM brep-edge WHERE brep_no = 1713"
+        edge = cad1.checkout(query)[0].component_list("edge")[0].surrogate
+        cad2.checkout(query)
+        cad1.modify(edge, {"length": 1.0})
+        cad2.modify(edge, {"length": 2.0})
+        cad1.commit()
+        cad2.commit()
+        # the object-buffer protocol is optimistic: the later checkin wins
+        assert handles.db.access.get(edge)["length"] == 2.0
+
+    def test_checkout_after_peer_commit_sees_fresh_data(self, stations):
+        handles, _server, cad1, cad2 = stations
+        query = "SELECT ALL FROM brep-edge WHERE brep_no = 1713"
+        edge = cad1.checkout(query)[0].component_list("edge")[0].surrogate
+        cad1.modify(edge, {"length": 99.0})
+        cad1.commit()
+        molecule = cad2.checkout(query)[0]
+        lengths = {e.atom["length"] for e in molecule.component_list("edge")}
+        assert 99.0 in lengths
+
+    def test_stats_accounted_per_server_connection(self, stations):
+        _handles, server, cad1, cad2 = stations
+        before = server.stats.messages
+        cad1.checkout("SELECT ALL FROM solid WHERE sub = EMPTY")
+        cad2.checkout("SELECT ALL FROM solid WHERE sub = EMPTY")
+        assert server.stats.messages == before + 4     # 2 pairs
+
+    def test_concurrent_creations_get_distinct_surrogates(self, stations):
+        handles, _server, cad1, cad2 = stations
+        t1 = cad1.create("solid", {"solid_no": 801})
+        t2 = cad2.create("solid", {"solid_no": 802})
+        cad1.commit()
+        cad2.commit()
+        r1 = cad1.last_mapping[t1]
+        r2 = cad2.last_mapping[t2]
+        assert r1 != r2
+        assert handles.db.access.get(r1)["solid_no"] == 801
+        assert handles.db.access.get(r2)["solid_no"] == 802

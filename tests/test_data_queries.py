@@ -1,0 +1,376 @@
+"""Integration tests: the data system executing MQL over the BREP db.
+
+Covers the four Table 2.1 queries verbatim plus plan selection, molecule
+semantics against a naive reference-chasing oracle, and DML statements.
+"""
+
+import pytest
+
+from repro import Prima
+from repro.mad.types import Surrogate, reference_values
+from repro.workloads import brep
+
+
+@pytest.fixture(scope="module")
+def handles():
+    database = Prima()
+    return brep.generate(database, n_solids=4)
+
+
+class TestTable21:
+    def test_a_vertical_network_access(self, handles):
+        db = handles.db
+        result = db.query("SELECT ALL FROM brep-face-edge-point "
+                          "WHERE brep_no = 1713")
+        assert len(result) == 1
+        molecule = result[0]
+        assert molecule.atom_count() == 1 + 6 + 12 + 8
+        assert len(molecule.component_list("face")) == 6
+        for face in molecule.component_list("face"):
+            assert len(face.component_list("edge")) == 4
+            for edge in face.component_list("edge"):
+                assert len(edge.component_list("point")) == 2
+
+    def test_a_uses_key_lookup(self, handles):
+        plan = handles.db.explain("SELECT ALL FROM brep-face-edge-point "
+                                  "WHERE brep_no = 1713")
+        assert "KEY LOOKUP" in plan
+
+    def test_b_recursive_molecules(self, handles):
+        db = handles.db
+        result = db.query("SELECT ALL FROM piece_list "
+                          "WHERE piece_list (0).solid_no = 4711")
+        assert len(result) == 1
+        molecule = result[0]
+        # 4 primitives + the assembly tree above them
+        assert molecule.atom_count() == len(handles.solids)
+        assert molecule.depth() >= 2
+
+    def test_b_without_seed_returns_all_roots(self, handles):
+        db = handles.db
+        result = db.query("SELECT ALL FROM piece_list")
+        assert len(result) == len(handles.solids)
+
+    def test_c_horizontal_access_projection(self, handles):
+        db = handles.db
+        result = db.query("SELECT solid_no, description FROM solid "
+                          "WHERE sub = EMPTY")
+        assert len(result) == 4       # the primitive solids
+        for molecule in result:
+            assert set(molecule.atom) == \
+                {"solid_id", "solid_no", "description"}
+
+    def test_d_quantifier_and_qualified_projection(self, handles):
+        db = handles.db
+        result = db.query("""
+            SELECT edge, (point,
+             face := SELECT face_id, square_dim
+                     FROM face
+                     WHERE square_dim > 1.9E1)
+            FROM brep-edge (face, point)
+            WHERE brep_no = 1713
+            AND EXISTS_AT_LEAST (2) edge: edge.length > 1.0E0
+        """)
+        assert len(result) == 1
+        molecule = result[0]
+        assert len(molecule.component_list("edge")) == 12
+        for edge in molecule.component_list("edge"):
+            for face in edge.component_list("face"):
+                assert set(face.atom) == {"face_id", "square_dim"}
+                assert face.atom["square_dim"] > 19.0
+            assert len(edge.component_list("point")) == 2
+
+    def test_d_quantifier_can_fail(self, handles):
+        db = handles.db
+        result = db.query("SELECT ALL FROM brep-edge "
+                          "WHERE brep_no = 1713 AND "
+                          "EXISTS_AT_LEAST (99) edge: edge.length > 0.0")
+        assert len(result) == 0
+
+
+class TestMoleculeSemantics:
+    def test_matches_reference_chasing_oracle(self, handles):
+        """Molecule construction equals naive reference chasing."""
+        db = handles.db
+        result = db.query("SELECT ALL FROM brep-face-edge-point")
+        for molecule in result:
+            brep_values = db.access.get(molecule.surrogate)
+            want_faces = set(brep_values["faces"])
+            got_faces = {f.surrogate for f in molecule.component_list("face")}
+            assert got_faces == want_faces
+            for face in molecule.component_list("face"):
+                face_values = db.access.get(face.surrogate)
+                got_edges = {e.surrogate
+                             for e in face.component_list("edge")}
+                assert got_edges == set(face_values["border"])
+
+    def test_nm_sharing_duplicates_subtrees(self, handles):
+        """An edge shared by two faces appears under both (non-disjoint
+        molecules)."""
+        db = handles.db
+        result = db.query("SELECT ALL FROM brep-face-edge "
+                          "WHERE brep_no = 1713")
+        molecule = result[0]
+        seen: dict[Surrogate, int] = {}
+        for face in molecule.component_list("face"):
+            for edge in face.component_list("edge"):
+                seen[edge.surrogate] = seen.get(edge.surrogate, 0) + 1
+        assert all(count == 2 for count in seen.values())
+        assert len(seen) == 12
+
+    def test_symmetric_inverse_nesting(self, handles):
+        """point-edge-face: the inverse hierarchy works without schema
+        support (the symmetry argument of section 2.1)."""
+        db = handles.db
+        result = db.query("SELECT ALL FROM point-edge-face")
+        assert len(result) == db.access.atoms.count("point")
+        sample = result[0]
+        assert len(sample.component_list("edge")) == 3   # box corner
+        for edge in sample.component_list("edge"):
+            assert len(edge.component_list("face")) == 2
+
+    def test_quantifier_exactly(self, handles):
+        db = handles.db
+        result = db.query("SELECT ALL FROM face-edge "
+                          "WHERE EXISTS_EXACTLY (4) edge: edge.length > 0.0")
+        assert len(result) == db.access.atoms.count("face")
+
+    def test_for_all_quantifier(self, handles):
+        db = handles.db
+        all_faces = db.query("SELECT ALL FROM face-edge "
+                             "WHERE FOR_ALL edge: edge.length > 0.0")
+        assert len(all_faces) == db.access.atoms.count("face")
+        none = db.query("SELECT ALL FROM face-edge "
+                        "WHERE FOR_ALL edge: edge.length > 1.0E6")
+        assert len(none) == 0
+
+    def test_or_and_not(self, handles):
+        db = handles.db
+        result = db.query("SELECT ALL FROM brep "
+                          "WHERE brep_no = 1713 OR brep_no = 1714")
+        assert len(result) == 2
+        result = db.query("SELECT ALL FROM brep WHERE NOT brep_no = 1713")
+        assert len(result) == len(handles.breps) - 1
+
+    def test_record_field_path(self, handles):
+        db = handles.db
+        sample = db.access.get(handles.points[0])
+        x = sample["placement"]["x_coord"]
+        result = db.query(f"SELECT ALL FROM point "
+                          f"WHERE point.placement.x_coord = {x}")
+        assert any(m.surrogate == handles.points[0] for m in result)
+
+
+class TestPlans:
+    def test_access_path_chosen_for_range(self, handles):
+        db = handles.db
+        db.execute_ldl("CREATE ACCESS PATH brep_no_path ON brep (brep_no)")
+        plan = db.explain("SELECT ALL FROM brep WHERE brep_no >= 1713 "
+                          "AND brep_no <= 1714")
+        assert "ACCESS PATH SCAN brep_no_path" in plan
+        result = db.query("SELECT ALL FROM brep WHERE brep_no >= 1713 "
+                          "AND brep_no <= 1714")
+        assert len(result) == 2
+        db.execute_ldl("DROP ACCESS PATH brep_no_path")
+
+    def test_atom_type_scan_with_search(self, handles):
+        plan = handles.db.explain(
+            "SELECT ALL FROM face WHERE square_dim > 50.0")
+        assert "ATOM TYPE SCAN face" in plan
+        assert "search" in plan
+
+    def test_explain_rejects_dml(self, handles):
+        from repro.errors import PrimaError
+        with pytest.raises(PrimaError):
+            handles.db.explain("INSERT solid (solid_no = 1)")
+
+
+class TestDML:
+    @pytest.fixture
+    def dml_db(self):
+        database = Prima()
+        return brep.generate(database, n_solids=2).db
+
+    def test_insert_via_mql(self, dml_db):
+        result = dml_db.execute("INSERT solid (solid_no = 900, "
+                                "description = 'fresh')")
+        assert result.inserted is not None
+        got = dml_db.query("SELECT ALL FROM solid WHERE solid_no = 900")
+        assert len(got) == 1
+
+    def test_insert_with_ref_connects(self, dml_db):
+        dml_db.execute("INSERT solid (solid_no = 901)")
+        dml_db.execute("INSERT solid (solid_no = 902, "
+                       "sub = [REF solid(901)])")
+        child = dml_db.query("SELECT ALL FROM solid WHERE solid_no = 901")[0]
+        assert len(child.atom["super"]) == 1
+        assert dml_db.verify_integrity() == []
+
+    def test_modify_statement(self, dml_db):
+        affected = dml_db.execute(
+            "MODIFY face SET square_dim = 7.5 FROM face "
+            "WHERE square_dim > 0.0").affected
+        assert affected == dml_db.access.atoms.count("face")
+        values = dml_db.query("SELECT ALL FROM face")
+        assert all(m.atom["square_dim"] == 7.5 for m in values)
+
+    def test_modify_component_label(self, dml_db):
+        dml_db.execute("MODIFY edge SET length = 3.25 "
+                       "FROM brep-edge WHERE brep_no = 1713")
+        brep_molecule = dml_db.query(
+            "SELECT ALL FROM brep-edge WHERE brep_no = 1713")[0]
+        assert all(e.atom["length"] == 3.25
+                   for e in brep_molecule.component_list("edge"))
+
+    def test_delete_components_disconnects(self, dml_db):
+        from repro.access.integrity import check_symmetry_only
+        before = dml_db.access.atoms.count("point")
+        affected = dml_db.execute(
+            "DELETE point FROM brep-point WHERE brep_no = 1713").affected
+        assert affected == 8
+        assert dml_db.access.atoms.count("point") == before - 8
+        # Edges that referenced those points were disconnected, not
+        # deleted: no dangling or asymmetric references remain.  (Minimum
+        # cardinalities ARE now violated — deleting the points of a brep
+        # leaves it below (4,VAR) — which the full verifier must report.)
+        assert check_symmetry_only(dml_db.access.atoms) == []
+        assert any(v.kind == "cardinality"
+                   for v in dml_db.verify_integrity())
+
+    def test_delete_all_removes_molecule(self, dml_db):
+        affected = dml_db.execute(
+            "DELETE ALL FROM brep-face-edge-point "
+            "WHERE brep_no = 1714").affected
+        assert affected == 1 + 6 + 12 + 8
+        assert len(dml_db.query("SELECT ALL FROM brep "
+                                "WHERE brep_no = 1714")) == 0
+        assert dml_db.verify_integrity() == []
+
+    def test_delete_unknown_label_rejected(self, dml_db):
+        from repro.errors import ValidationError
+        with pytest.raises(ValidationError):
+            dml_db.execute("DELETE ghost FROM brep-face")
+
+    def test_modify_unknown_label_rejected(self, dml_db):
+        from repro.errors import ValidationError
+        with pytest.raises(ValidationError):
+            dml_db.execute("MODIFY ghost SET length = 1.0 FROM brep-face")
+
+    def test_ref_lookup_missing_key(self, dml_db):
+        from repro.errors import ExecutionError
+        with pytest.raises(ExecutionError):
+            dml_db.execute("INSERT solid (solid_no = 903, "
+                           "sub = [REF solid(999999)])")
+
+    def test_drop_atom_type_requires_empty(self, dml_db):
+        from repro.errors import ExecutionError
+        with pytest.raises(ExecutionError):
+            dml_db.execute("DROP ATOM_TYPE solid")
+
+
+class TestClusterServedQueries:
+    def test_recursive_cluster_serves_piece_list(self):
+        db = Prima()
+        brep.generate(db, n_solids=4)
+        db.execute_ldl(
+            "CREATE ATOM_CLUSTER pl FROM solid.sub-solid (RECURSIVE)")
+        db.reset_accounting()
+        result = db.query("SELECT ALL FROM piece_list "
+                          "WHERE piece_list (0).solid_no = 4711")
+        assert len(result) == 1
+        report = db.io_report()
+        assert report.get("molecules_from_cluster", 0) == 1
+
+    def test_cluster_results_equal_traversal(self):
+        db = Prima()
+        brep.generate(db, n_solids=4)
+        query = "SELECT ALL FROM brep-face-edge-point"
+        before = sorted(repr(m.to_dict()) for m in db.query(query))
+        db.execute_ldl("CREATE ATOM_CLUSTER bc FROM brep-face-edge-point")
+        after = sorted(repr(m.to_dict()) for m in db.query(query))
+        assert before == after
+
+    def test_stale_cluster_still_serves_correct_data(self):
+        db = Prima()
+        handles = brep.generate(db, n_solids=2)
+        db.execute_ldl("CREATE ATOM_CLUSTER bc FROM brep-face-edge-point")
+        db.execute("MODIFY edge SET length = 42.0 FROM brep-edge "
+                   "WHERE brep_no = 1713")
+        # no commit: clusters are stale; reads must still be correct
+        molecule = db.query("SELECT ALL FROM brep-face-edge-point "
+                            "WHERE brep_no = 1713")[0]
+        lengths = {edge.atom["length"]
+                   for face in molecule.component_list("face")
+                   for edge in face.component_list("edge")}
+        assert lengths == {42.0}
+
+
+class TestRecursionEdgeCases:
+    @pytest.fixture
+    def parts_db(self):
+        db = Prima()
+        db.execute_script("""
+        CREATE ATOM_TYPE part (part_id: IDENTIFIER, part_no: INTEGER,
+          sub: SET_OF (REF_TO (part.super)),
+          super: SET_OF (REF_TO (part.sub))) KEYS_ARE (part_no);
+        DEFINE MOLECULE TYPE exploded FROM part.sub - part (RECURSIVE)
+        """)
+        db.query("SELECT ALL FROM part")
+        return db
+
+    def test_cycle_terminates(self, parts_db):
+        db = parts_db
+        a = db.insert_atom("part", {"part_no": 1})
+        b = db.insert_atom("part", {"part_no": 2, "sub": [a]})
+        db.modify_atom(a, {"sub": [b]})      # a <-> b cycle
+        result = db.query("SELECT ALL FROM exploded "
+                          "WHERE exploded (0).part_no = 1")
+        molecule = result[0]
+        assert molecule.atom_count() == 2    # the cycle does not loop
+        assert molecule.depth() == 2
+
+    def test_self_cycle_terminates(self, parts_db):
+        db = parts_db
+        a = db.insert_atom("part", {"part_no": 1})
+        db.modify_atom(a, {"sub": [a]})
+        result = db.query("SELECT ALL FROM exploded "
+                          "WHERE exploded (0).part_no = 1")
+        assert result[0].atom_count() == 1
+
+    def test_diamond_counted_once_per_path(self, parts_db):
+        db = parts_db
+        leaf = db.insert_atom("part", {"part_no": 1})
+        left = db.insert_atom("part", {"part_no": 2, "sub": [leaf]})
+        right = db.insert_atom("part", {"part_no": 3, "sub": [leaf]})
+        db.insert_atom("part", {"part_no": 4, "sub": [left, right]})
+        result = db.query("SELECT ALL FROM exploded "
+                          "WHERE exploded (0).part_no = 4")
+        molecule = result[0]
+        # the leaf is reachable over two paths: distinct atoms = 4,
+        # occurrence paths = 5 (non-disjoint sharing preserved)
+        assert molecule.atom_count() == 4
+        occurrences = sum(1 for _l, _a in molecule.atoms())
+        assert occurrences == 5
+
+    def test_deep_chain(self, parts_db):
+        db = parts_db
+        previous = db.insert_atom("part", {"part_no": 1})
+        for number in range(2, 30):
+            previous = db.insert_atom("part", {"part_no": number,
+                                               "sub": [previous]})
+        result = db.query("SELECT ALL FROM exploded "
+                          "WHERE exploded (0).part_no = 29")
+        assert result[0].depth() == 29
+        assert result[0].atom_count() == 29
+
+    def test_level_indexed_qualification_deep(self, parts_db):
+        db = parts_db
+        leaf = db.insert_atom("part", {"part_no": 10})
+        mid = db.insert_atom("part", {"part_no": 20, "sub": [leaf]})
+        db.insert_atom("part", {"part_no": 30, "sub": [mid]})
+        hit = db.query("SELECT ALL FROM exploded "
+                       "WHERE exploded (2).part_no = 10")
+        assert len(hit) == 1 and hit[0].atom["part_no"] == 30
+        miss = db.query("SELECT ALL FROM exploded "
+                        "WHERE exploded (2).part_no = 99")
+        assert len(miss) == 0

@@ -1,0 +1,148 @@
+"""Tests: the Prima facade, molecule API, result sets, integrity verifier."""
+
+import pytest
+
+from repro import Molecule, Prima, ResultSet, Surrogate
+from repro.access.integrity import Violation
+from repro.errors import PrimaError
+
+
+class TestFacade:
+    def test_quickstart_docstring_flow(self, db):
+        db.execute("CREATE ATOM_TYPE city (city_id: IDENTIFIER, "
+                   "name: CHAR_VAR) KEYS_ARE (name)")
+        result = db.execute("INSERT city (name = 'Brighton')")
+        assert result.inserted == Surrogate("city", 1)
+        molecules = db.query("SELECT ALL FROM city")
+        assert len(molecules) == 1
+        assert molecules[0].atom["name"] == "Brighton"
+
+    def test_execute_script(self, db):
+        results = db.execute_script("""
+            CREATE ATOM_TYPE a (a_id: IDENTIFIER, n: INTEGER);
+            INSERT a (n = 1);
+            INSERT a (n = 2);
+            SELECT ALL FROM a
+        """)
+        assert len(results) == 4
+        assert len(results[-1]) == 2
+
+    def test_programmatic_atom_access(self, db):
+        db.execute("CREATE ATOM_TYPE a (a_id: IDENTIFIER, n: INTEGER)")
+        db.query("SELECT ALL FROM a")
+        s = db.insert_atom("a", {"n": 5})
+        assert db.get_atom(s)["n"] == 5
+        db.modify_atom(s, {"n": 6})
+        assert db.get_atom(s, attrs=["n"])["n"] == 6
+        db.delete_atom(s)
+        assert db.access.atoms.count("a") == 0
+
+    def test_commit_propagates_and_flushes(self, db):
+        db.execute("CREATE ATOM_TYPE a (a_id: IDENTIFIER, n: INTEGER)")
+        db.query("SELECT ALL FROM a")
+        s = db.insert_atom("a", {"n": 1})
+        db.execute_ldl("CREATE PARTITION pn ON a (n)")
+        db.modify_atom(s, {"n": 2})
+        assert db.access.atoms.deferred.pending_count == 1
+        db.commit()
+        assert db.access.atoms.deferred.pending_count == 0
+
+    def test_io_report_merges_layers(self, db):
+        db.execute("CREATE ATOM_TYPE a (a_id: IDENTIFIER)")
+        db.query("SELECT ALL FROM a")
+        db.insert_atom("a")
+        report = db.io_report()
+        assert "atoms_inserted" in report
+        assert "fixes" in report
+        db.reset_accounting()
+        assert db.io_report().get("atoms_inserted", 0) == 0
+
+    def test_explain_requires_select(self, db):
+        db.execute("CREATE ATOM_TYPE a (a_id: IDENTIFIER)")
+        with pytest.raises(PrimaError):
+            db.explain("INSERT a ()" if False else "DELETE ALL FROM a")
+
+    def test_verify_integrity_reports_violations(self, db):
+        db.execute("CREATE ATOM_TYPE a (a_id: IDENTIFIER, "
+                   "peers: SET_OF (REF_TO (a.peers)) (2,VAR))")
+        db.query("SELECT ALL FROM a")
+        db.insert_atom("a")
+        violations = db.verify_integrity()
+        assert len(violations) == 1
+        assert isinstance(violations[0], Violation)
+        assert violations[0].kind == "cardinality"
+
+    def test_partitioned_buffer_configuration(self):
+        db = Prima(partitioned_buffer=True)
+        db.execute("CREATE ATOM_TYPE a (a_id: IDENTIFIER, n: INTEGER)")
+        db.execute("INSERT a (n = 1)")
+        assert len(db.query("SELECT ALL FROM a")) == 1
+
+
+class TestMoleculeApi:
+    @pytest.fixture
+    def molecule(self, db) -> Molecule:
+        db.execute_script("""
+            CREATE ATOM_TYPE parent (p_id: IDENTIFIER, name: CHAR_VAR,
+              kids: SET_OF (REF_TO (child.parent)));
+            CREATE ATOM_TYPE child (c_id: IDENTIFIER, n: INTEGER,
+              parent: REF_TO (parent.kids))
+        """)
+        db.execute("INSERT parent (name = 'p')")
+        db.execute("INSERT child (n = 1, parent = REF parent('p'))"
+                   if False else
+                   "INSERT child (n = 1)")
+        # connect via modify to exercise that path
+        parent = db.query("SELECT ALL FROM parent")[0].surrogate
+        child = db.query("SELECT ALL FROM child")[0].surrogate
+        db.modify_atom(child, {"parent": parent})
+        db.insert_atom("child", {"n": 2, "parent": parent})
+        return db.query("SELECT ALL FROM parent-child")[0]
+
+    def test_surrogate_property(self, molecule):
+        assert molecule.surrogate.atom_type == "parent"
+
+    def test_atoms_iteration(self, molecule):
+        labels = [label for label, _atom in molecule.atoms()]
+        assert labels == ["parent", "child", "child"]
+
+    def test_atom_count_and_depth(self, molecule):
+        assert molecule.atom_count() == 3
+        assert molecule.depth() == 2
+
+    def test_component_list(self, molecule):
+        kids = molecule.component_list("child")
+        assert sorted(kid.atom["n"] for kid in kids) == [1, 2]
+        assert molecule.component_list("ghost") == []
+
+    def test_to_dict(self, molecule):
+        data = molecule.to_dict()
+        assert data["name"] == "p"
+        assert len(data["<child>"]) == 2
+
+    def test_map_atoms(self, molecule):
+        molecule.map_atoms(lambda atom: {"only": 1})
+        assert molecule.atom == {"only": 1}
+        assert molecule.component_list("child")[0].atom == {"only": 1}
+
+
+class TestResultSet:
+    def test_dml_reprs(self):
+        assert "affected=3" in repr(ResultSet(affected=3))
+        assert "inserted" in repr(ResultSet(inserted=Surrogate("a", 1)))
+        assert "0 molecules" in repr(ResultSet())
+
+    def test_atom_count_deduplicates(self, db):
+        db.execute_script("""
+            CREATE ATOM_TYPE f (f_id: IDENTIFIER,
+              es: SET_OF (REF_TO (e.fs)));
+            CREATE ATOM_TYPE e (e_id: IDENTIFIER,
+              fs: SET_OF (REF_TO (f.es)))
+        """)
+        db.query("SELECT ALL FROM f")
+        shared = db.insert_atom("e")
+        db.insert_atom("f", {"es": [shared]})
+        db.insert_atom("f", {"es": [shared]})
+        result = db.query("SELECT ALL FROM f-e")
+        assert len(result) == 2
+        assert result.atom_count() == 3   # shared atom counted once

@@ -1,0 +1,69 @@
+"""Tests: molecule object helpers and DDL structure rendering."""
+
+import pytest
+
+from repro import Prima
+from repro.mad.ddl import structure_to_from_clause
+from repro.workloads import brep
+
+
+class TestStructureRendering:
+    @pytest.fixture(scope="class")
+    def validator(self):
+        db = Prima()
+        brep.install_schema(db)
+        db.query("SELECT ALL FROM solid")
+        return db.data.validator
+
+    def _roundtrip(self, validator, from_text: str) -> str:
+        from repro.mql.parser import parse
+        statement = parse(f"SELECT ALL FROM {from_text}")
+        structure = validator.resolve_structure(statement.from_clause)
+        rendered = structure_to_from_clause(structure)
+        # re-parse and re-resolve: same shape
+        statement2 = parse(f"SELECT ALL FROM {rendered}")
+        structure2 = validator.resolve_structure(statement2.from_clause)
+        assert [n.atom_type for n in structure.walk()] == \
+            [n.atom_type for n in structure2.walk()]
+        return rendered
+
+    def test_linear_chain(self, validator):
+        rendered = self._roundtrip(validator, "brep-face-edge-point")
+        assert rendered == "brep.faces-face.border-edge.boundary-point"
+
+    def test_recursive(self, validator):
+        rendered = self._roundtrip(validator, "solid.sub-solid (RECURSIVE)")
+        assert "RECURSIVE" in rendered
+
+    def test_branching(self, validator):
+        rendered = self._roundtrip(validator, "brep-edge (face, point)")
+        assert rendered.startswith("brep.edges-edge (")
+
+
+class TestMoleculeHelpers:
+    @pytest.fixture(scope="class")
+    def molecule(self):
+        handles = brep.generate(Prima(), n_solids=2)
+        return handles.db.query(
+            "SELECT ALL FROM brep-face-edge WHERE brep_no = 1713")[0]
+
+    def test_depth(self, molecule):
+        assert molecule.depth() == 3
+
+    def test_atoms_preorder(self, molecule):
+        labels = [label for label, _atom in molecule.atoms()]
+        assert labels[0] == "brep"
+        assert labels.count("face") == 6
+        assert labels.count("edge") == 24    # shared edges appear twice
+
+    def test_atom_count_distinct(self, molecule):
+        assert molecule.atom_count() == 1 + 6 + 12
+
+    def test_to_dict_nests(self, molecule):
+        data = molecule.to_dict()
+        assert len(data["<face>"]) == 6
+        assert len(data["<face>"][0]["<edge>"]) == 4
+
+    def test_repr(self, molecule):
+        assert "Molecule(brep" in repr(molecule)
+        assert "face" in repr(molecule)

@@ -1,0 +1,165 @@
+"""Unit tests: the schema catalog and association derivation."""
+
+import pytest
+
+from repro.errors import SchemaError, UnknownTypeError
+from repro.mad import (
+    IDENTIFIER,
+    INTEGER,
+    AtomType,
+    ReferenceType,
+    Schema,
+    SetType,
+    StructureNode,
+)
+
+
+def _symmetric_schema() -> Schema:
+    schema = Schema()
+    schema.create_atom_type(AtomType("a", [
+        ("a_id", IDENTIFIER),
+        ("to_b", SetType(ReferenceType("b", "to_a"))),
+        ("one_b", ReferenceType("b", "one_a")),
+    ]))
+    schema.create_atom_type(AtomType("b", [
+        ("b_id", IDENTIFIER),
+        ("to_a", SetType(ReferenceType("a", "to_b"))),
+        ("one_a", ReferenceType("a", "one_b")),
+    ]))
+    return schema
+
+
+class TestCatalog:
+    def test_create_and_lookup(self):
+        schema = _symmetric_schema()
+        assert schema.atom_type("a").name == "a"
+        assert schema.has_atom_type("b")
+        assert schema.atom_type_names() == ["a", "b"]
+
+    def test_duplicate_rejected(self):
+        schema = _symmetric_schema()
+        with pytest.raises(SchemaError):
+            schema.create_atom_type(AtomType("a", [("x", IDENTIFIER)]))
+
+    def test_unknown_rejected(self):
+        with pytest.raises(UnknownTypeError):
+            Schema().atom_type("ghost")
+
+    def test_drop_blocked_by_references(self):
+        schema = _symmetric_schema()
+        with pytest.raises(SchemaError):
+            schema.drop_atom_type("b")
+
+    def test_drop_free_type(self):
+        schema = Schema()
+        schema.create_atom_type(AtomType("lone", [("x", IDENTIFIER)]))
+        schema.drop_atom_type("lone")
+        assert not schema.has_atom_type("lone")
+
+
+class TestSymmetry:
+    def test_symmetric_schema_passes(self):
+        _symmetric_schema().check_symmetry()
+
+    def test_dangling_target_type(self):
+        schema = Schema()
+        schema.create_atom_type(AtomType("a", [
+            ("a_id", IDENTIFIER),
+            ("to_ghost", ReferenceType("ghost", "back")),
+        ]))
+        with pytest.raises(SchemaError):
+            schema.check_symmetry()
+
+    def test_dangling_target_attr(self):
+        schema = Schema()
+        schema.create_atom_type(AtomType("a", [
+            ("a_id", IDENTIFIER),
+            ("to_b", ReferenceType("b", "ghost")),
+        ]))
+        schema.create_atom_type(AtomType("b", [("b_id", IDENTIFIER)]))
+        with pytest.raises(SchemaError):
+            schema.check_symmetry()
+
+    def test_asymmetric_pairing(self):
+        schema = Schema()
+        schema.create_atom_type(AtomType("a", [
+            ("a_id", IDENTIFIER),
+            ("to_b", ReferenceType("b", "to_a")),
+        ]))
+        schema.create_atom_type(AtomType("b", [
+            ("b_id", IDENTIFIER),
+            ("to_a", ReferenceType("a", "a_id")),   # wrong back side
+        ]))
+        with pytest.raises(SchemaError):
+            schema.check_symmetry()
+
+    def test_back_side_not_a_reference(self):
+        schema = Schema()
+        schema.create_atom_type(AtomType("a", [
+            ("a_id", IDENTIFIER),
+            ("to_b", ReferenceType("b", "num")),
+        ]))
+        schema.create_atom_type(AtomType("b", [
+            ("b_id", IDENTIFIER), ("num", INTEGER),
+        ]))
+        with pytest.raises(SchemaError):
+            schema.check_symmetry()
+
+
+class TestAssociations:
+    def test_kinds_derived(self):
+        schema = _symmetric_schema()
+        n_m = schema.association("a", "to_b")
+        assert n_m.kind == "n:m"
+        one_one = schema.association("a", "one_b")
+        assert one_one.kind == "1:1"
+
+    def test_one_to_many(self):
+        schema = Schema()
+        schema.create_atom_type(AtomType("parent", [
+            ("p_id", IDENTIFIER),
+            ("children", SetType(ReferenceType("child", "parent"))),
+        ]))
+        schema.create_atom_type(AtomType("child", [
+            ("c_id", IDENTIFIER),
+            ("parent", ReferenceType("parent", "children")),
+        ]))
+        assoc = schema.association("parent", "children")
+        assert assoc.kind == "1:n"
+        assert assoc.reverse().kind == "1:n"
+        assert assoc.reverse().source_attr == "parent"
+
+    def test_non_reference_attr_rejected(self):
+        schema = Schema()
+        schema.create_atom_type(AtomType("a", [
+            ("a_id", IDENTIFIER), ("n", INTEGER),
+        ]))
+        with pytest.raises(SchemaError):
+            schema.association("a", "n")
+
+    def test_associations_between(self):
+        schema = _symmetric_schema()
+        between = schema.associations_between("a", "b")
+        assert {assoc.source_attr for assoc in between} == {"to_b", "one_b"}
+        assert schema.associations_between("a", "a") == []
+
+    def test_all_associations_enumerated(self):
+        schema = _symmetric_schema()
+        assert len(list(schema.associations())) == 4
+
+
+class TestStructureNode:
+    def test_walk_and_find(self):
+        schema = _symmetric_schema()
+        root = StructureNode("a", "a")
+        child = StructureNode("b", "b", via=schema.association("a", "to_b"))
+        root.add_child(child)
+        assert [node.label for node in root.walk()] == ["a", "b"]
+        assert root.find("b") is child
+        assert root.find("ghost") is None
+        assert root.atom_types() == ["a", "b"]
+
+    def test_child_needs_association(self):
+        root = StructureNode("a", "a")
+        with pytest.raises(SchemaError):
+            root.add_child(StructureNode("b", "b"))

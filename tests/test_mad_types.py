@@ -1,0 +1,174 @@
+"""Unit tests: the MAD attribute type system."""
+
+import pytest
+
+from repro.errors import CardinalityError, SchemaError, TypeMismatchError
+from repro.mad import (
+    BOOLEAN,
+    BYTE_VAR,
+    CHAR_VAR,
+    IDENTIFIER,
+    INTEGER,
+    REAL,
+    ArrayType,
+    AtomType,
+    CharVarType,
+    ListType,
+    RecordType,
+    ReferenceType,
+    SetType,
+    Surrogate,
+    is_reference,
+    reference_of,
+    reference_values,
+)
+
+
+class TestScalars:
+    def test_integer(self):
+        assert INTEGER.validate(5) == 5
+        assert INTEGER.validate(None) is None
+        with pytest.raises(TypeMismatchError):
+            INTEGER.validate("five")
+        with pytest.raises(TypeMismatchError):
+            INTEGER.validate(True)   # bool is not INTEGER
+
+    def test_real_coerces_int(self):
+        assert REAL.validate(3) == 3.0
+        assert isinstance(REAL.validate(3), float)
+        with pytest.raises(TypeMismatchError):
+            REAL.validate("x")
+
+    def test_boolean(self):
+        assert BOOLEAN.validate(True) is True
+        with pytest.raises(TypeMismatchError):
+            BOOLEAN.validate(1)
+
+    def test_char_var_length(self):
+        bounded = CharVarType(max_length=3)
+        assert bounded.validate("abc") == "abc"
+        with pytest.raises(TypeMismatchError):
+            bounded.validate("abcd")
+        assert CHAR_VAR.validate("any length at all")
+
+    def test_byte_var(self):
+        assert BYTE_VAR.validate(bytearray(b"ab")) == b"ab"
+        with pytest.raises(TypeMismatchError):
+            BYTE_VAR.validate("text")
+
+    def test_identifier(self):
+        assert IDENTIFIER.validate(Surrogate("t", 1)) == Surrogate("t", 1)
+        with pytest.raises(TypeMismatchError):
+            IDENTIFIER.validate(42)
+
+
+class TestReference:
+    def test_target_type_checked(self):
+        ref = ReferenceType("edge", "face")
+        assert ref.validate(Surrogate("edge", 1))
+        with pytest.raises(TypeMismatchError):
+            ref.validate(Surrogate("point", 1))
+        with pytest.raises(TypeMismatchError):
+            ref.validate(42)
+
+    def test_ddl_rendering(self):
+        assert ReferenceType("edge", "face").ddl() == "REF_TO (edge.face)"
+
+    def test_helpers(self):
+        ref = ReferenceType("edge", "face")
+        set_ref = SetType(ref)
+        assert is_reference(ref) and is_reference(set_ref)
+        assert not is_reference(INTEGER)
+        assert reference_of(set_ref) is ref
+        assert reference_of(INTEGER) is None
+        surrogates = [Surrogate("edge", 1), Surrogate("edge", 2)]
+        assert reference_values(set_ref, surrogates) == surrogates
+        assert reference_values(ref, surrogates[0]) == [surrogates[0]]
+        assert reference_values(ref, None) == []
+
+
+class TestCompounds:
+    def test_record(self):
+        record = RecordType((("x", REAL), ("y", REAL)))
+        assert record.validate({"x": 1, "y": 2.0}) == {"x": 1.0, "y": 2.0}
+        assert record.validate({"x": 1.0}) == {"x": 1.0, "y": None}
+        with pytest.raises(TypeMismatchError):
+            record.validate({"z": 1.0})
+        assert record.default() == {"x": None, "y": None}
+
+    def test_array_fixed_length(self):
+        array = ArrayType(REAL, 3)
+        assert array.validate([1, 2, 3]) == [1.0, 2.0, 3.0]
+        with pytest.raises(TypeMismatchError):
+            array.validate([1.0, 2.0])
+
+    def test_set_deduplicates_and_sorts(self):
+        set_type = SetType(ReferenceType("e", "f"))
+        a, b = Surrogate("e", 2), Surrogate("e", 1)
+        assert set_type.validate([a, b, a]) == [b, a]
+
+    def test_set_max_cardinality_enforced(self):
+        set_type = SetType(INTEGER, 0, 2)
+        with pytest.raises(CardinalityError):
+            set_type.validate([1, 2, 3])
+
+    def test_set_min_deferred_but_checkable(self):
+        set_type = SetType(INTEGER, 2, None)
+        assert set_type.validate([1]) == [1]     # writes allowed
+        with pytest.raises(CardinalityError):
+            set_type.check_cardinality(1)        # explicit check fails
+
+    def test_list_keeps_duplicates_and_order(self):
+        list_type = ListType(INTEGER)
+        assert list_type.validate([3, 1, 3]) == [3, 1, 3]
+
+    def test_ddl_roundtrip_shapes(self):
+        cases = [
+            SetType(ReferenceType("face", "brep"), 4, None),
+            SetType(INTEGER, 1, 5),
+            ListType(CHAR_VAR),
+            ArrayType(REAL, 6),
+            RecordType((("x_coord", REAL), ("y_coord", REAL))),
+        ]
+        for attr_type in cases:
+            assert attr_type.ddl()
+        assert "(" in SetType(INTEGER, 1, 5).ddl()
+        assert "VAR" in SetType(INTEGER, 4, None).ddl()
+
+
+class TestAtomType:
+    def test_exactly_one_identifier(self):
+        with pytest.raises(SchemaError):
+            AtomType("t", [("a", INTEGER)])
+        with pytest.raises(SchemaError):
+            AtomType("t", [("a", IDENTIFIER), ("b", IDENTIFIER)])
+
+    def test_duplicate_attribute_rejected(self):
+        with pytest.raises(SchemaError):
+            AtomType("t", [("a", IDENTIFIER), ("a", INTEGER)])
+
+    def test_bad_name_rejected(self):
+        with pytest.raises(SchemaError):
+            AtomType("1bad", [("a", IDENTIFIER)])
+
+    def test_unknown_key_attr_rejected(self):
+        with pytest.raises(SchemaError):
+            AtomType("t", [("a", IDENTIFIER)], keys=("ghost",))
+
+    def test_attr_classification(self):
+        atom_type = AtomType("t", [
+            ("t_id", IDENTIFIER),
+            ("n", INTEGER),
+            ("ref", ReferenceType("t", "back")),
+            ("back", SetType(ReferenceType("t", "ref"))),
+        ])
+        assert atom_type.identifier_attr == "t_id"
+        assert atom_type.reference_attrs() == ["ref", "back"]
+        assert atom_type.data_attrs() == ["n"]
+
+    def test_validate_values_partial(self):
+        atom_type = AtomType("t", [("t_id", IDENTIFIER), ("n", INTEGER)])
+        full = atom_type.validate_values({}, partial=False)
+        assert full == {"n": None}
+        partial = atom_type.validate_values({}, partial=True)
+        assert partial == {}

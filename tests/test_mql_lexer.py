@@ -1,0 +1,68 @@
+"""Unit tests: the MQL/LDL lexer."""
+
+import pytest
+
+from repro.errors import LexerError
+from repro.mql.lexer import tokenize
+
+
+def kinds(text):
+    return [(t.kind, t.value) for t in tokenize(text)[:-1]]
+
+
+class TestTokens:
+    def test_keywords_case_insensitive(self):
+        assert kinds("select Select SELECT") == [("KEYWORD", "SELECT")] * 3
+
+    def test_identifiers(self):
+        assert kinds("brep_no face2 _x") == [
+            ("IDENT", "brep_no"), ("IDENT", "face2"), ("IDENT", "_x")]
+
+    def test_integers_and_floats(self):
+        assert kinds("42 1.5 1.9E4 2E3 1.0e-2") == [
+            ("INT", "42"), ("FLOAT", "1.5"), ("FLOAT", "1.9E4"),
+            ("FLOAT", "2E3"), ("FLOAT", "1.0e-2")]
+
+    def test_int_followed_by_dot_not_float(self):
+        # "piece_list (0).solid_no" needs INT ')' '.' IDENT
+        got = kinds("(0).solid_no")
+        assert got == [("OP", "("), ("INT", "0"), ("OP", ")"),
+                       ("OP", "."), ("IDENT", "solid_no")]
+
+    def test_strings_both_quotes(self):
+        assert kinds("'abc' \"def\"") == [("STRING", "abc"), ("STRING", "def")]
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexerError):
+            tokenize("'oops")
+
+    def test_operators(self):
+        assert kinds(":= <= >= != <> = < >") == [
+            ("OP", ":="), ("OP", "<="), ("OP", ">="), ("OP", "!="),
+            ("OP", "!="), ("OP", "="), ("OP", "<"), ("OP", ">")]
+
+    def test_comments_skipped(self):
+        assert kinds("a (* qualification *) b") == [
+            ("IDENT", "a"), ("IDENT", "b")]
+
+    def test_unterminated_comment(self):
+        with pytest.raises(LexerError):
+            tokenize("a (* oops")
+
+    def test_unknown_character(self):
+        with pytest.raises(LexerError):
+            tokenize("a § b")
+
+    def test_positions_tracked(self):
+        tokens = tokenize("a\n  b")
+        assert tokens[0].line == 1 and tokens[0].column == 1
+        assert tokens[1].line == 2 and tokens[1].column == 3
+
+    def test_eof_token(self):
+        assert tokenize("")[-1].kind == "EOF"
+
+    def test_structure_expression(self):
+        got = kinds("brep-face-edge-point")
+        assert got == [("IDENT", "brep"), ("OP", "-"), ("IDENT", "face"),
+                       ("OP", "-"), ("IDENT", "edge"), ("OP", "-"),
+                       ("IDENT", "point")]

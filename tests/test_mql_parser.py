@@ -1,0 +1,203 @@
+"""Unit tests: the MQL parser over the paper's own statements."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.mad.types import ArrayType, RecordType, SetType
+from repro.mql import parse, parse_script
+from repro.mql.ast import (
+    And,
+    Comparison,
+    CreateAtomType,
+    DefineMoleculeType,
+    DeleteStatement,
+    EmptyLiteral,
+    InsertStatement,
+    Literal,
+    ModifyStatement,
+    Path,
+    Quantified,
+    RefLookup,
+    SelectStatement,
+)
+
+
+class TestDDL:
+    def test_fig_2_3_solid(self):
+        statement = parse("""
+            CREATE ATOM_TYPE solid
+            ( solid_id : IDENTIFIER,
+              solid_no : INTEGER,
+              description : CHAR_VAR,
+              sub : SET_OF (REF_TO (solid.super)),
+              super : SET_OF (REF_TO (solid.sub)),
+              brep : REF_TO (brep.solid) )
+            KEYS_ARE (solid_no)
+        """)
+        assert isinstance(statement, CreateAtomType)
+        assert statement.keys == ("solid_no",)
+        attrs = dict(statement.attributes)
+        assert isinstance(attrs["sub"], SetType)
+
+    def test_cardinality_restrictions(self):
+        statement = parse(
+            "CREATE ATOM_TYPE brep (brep_id: IDENTIFIER, "
+            "faces: SET_OF (REF_TO (face.brep)) (4,VAR), "
+            "edges: SET_OF (REF_TO (edge.brep)) (6,12))"
+        )
+        attrs = dict(statement.attributes)
+        assert attrs["faces"].min_card == 4
+        assert attrs["faces"].max_card is None
+        assert attrs["edges"].max_card == 12
+
+    def test_grouped_record_fields(self):
+        statement = parse(
+            "CREATE ATOM_TYPE point (point_id: IDENTIFIER, "
+            "placement: RECORD x_coord, y_coord, z_coord : REAL, END)"
+        )
+        placement = dict(statement.attributes)["placement"]
+        assert isinstance(placement, RecordType)
+        assert [name for name, _t in placement.fields] == \
+            ["x_coord", "y_coord", "z_coord"]
+
+    def test_hull_dim(self):
+        statement = parse("CREATE ATOM_TYPE b (b_id: IDENTIFIER, "
+                          "hull: HULL_DIM (3))")
+        hull = dict(statement.attributes)["hull"]
+        assert isinstance(hull, ArrayType)
+        assert hull.length == 6
+
+    def test_define_molecule_type_both_spellings(self):
+        one = parse("DEFINE MOLECULE TYPE edge_obj FROM edge - point")
+        two = parse("DEFINE MOLECULE_TYPE edge_obj FROM edge-point")
+        assert isinstance(one, DefineMoleculeType)
+        assert one.structure.render() == two.structure.render()
+
+    def test_recursive_structure(self):
+        statement = parse(
+            "DEFINE MOLECULE TYPE piece_list FROM solid.sub - solid (RECURSIVE)"
+        )
+        child = statement.structure.children[0]
+        assert child.recursive
+        assert child.via_attr == "sub"
+
+    def test_script_parsing(self):
+        statements = parse_script(
+            "CREATE ATOM_TYPE a (a_id: IDENTIFIER);"
+            "CREATE ATOM_TYPE b (b_id: IDENTIFIER)"
+        )
+        assert len(statements) == 2
+
+
+class TestSelect:
+    def test_table_2_1_a(self):
+        statement = parse("SELECT ALL FROM brep-face-edge-point "
+                          "WHERE brep_no = 1713 (* qualification *)")
+        assert isinstance(statement, SelectStatement)
+        assert statement.projection.select_all
+        assert statement.from_clause.render() == "brep-face-edge-point"
+        assert isinstance(statement.where, Comparison)
+
+    def test_table_2_1_b_seed(self):
+        statement = parse("SELECT ALL FROM piece_list "
+                          "WHERE piece_list (0).solid_no = 4711")
+        path = statement.where.left
+        assert isinstance(path, Path)
+        assert path.level == 0
+        assert path.parts == ("piece_list", "solid_no")
+
+    def test_table_2_1_c_projection(self):
+        statement = parse("SELECT solid_no, description FROM solid "
+                          "WHERE sub = EMPTY")
+        assert [item.path.parts for item in statement.projection.items] == \
+            [("solid_no",), ("description",)]
+        assert isinstance(statement.where.right, EmptyLiteral)
+
+    def test_table_2_1_d_full(self):
+        statement = parse("""
+            SELECT edge, (point,
+             face := SELECT face_id, square_dim
+                     FROM face
+                     WHERE square_dim > 1.9E4)
+            FROM brep-edge (face, point)
+            WHERE brep_no = 1713
+            AND EXISTS_AT_LEAST (2) edge: edge.length > 1.0E2
+        """)
+        labels = {item.label for item in statement.projection.items
+                  if item.subquery is not None}
+        assert labels == {"face"}
+        assert isinstance(statement.where, And)
+        quantifier = statement.where.parts[1]
+        assert isinstance(quantifier, Quantified)
+        assert quantifier.quantifier == "at_least" and quantifier.count == 2
+
+    def test_branching_structure(self):
+        statement = parse("SELECT ALL FROM brep-edge (face, point)")
+        edge = statement.from_clause.children[0]
+        assert edge.name == "edge"
+        assert {child.name for child in edge.children} == {"face", "point"}
+
+    def test_explicit_attr_in_chain(self):
+        statement = parse("SELECT ALL FROM solid.sub-solid")
+        child = statement.from_clause.children[0]
+        assert child.via_attr == "sub"
+
+    def test_quantifier_variants(self):
+        for text, kind in [("EXISTS e: e.x = 1", "exists"),
+                           ("FOR_ALL e: e.x = 1", "all"),
+                           ("EXISTS_EXACTLY (3) e: e.x = 1", "exactly")]:
+            statement = parse(f"SELECT ALL FROM a WHERE {text}")
+            assert statement.where.quantifier == kind
+
+    def test_parenthesised_qualification(self):
+        statement = parse("SELECT ALL FROM a "
+                          "WHERE NOT (x = 1 OR y = 2) AND z != 3")
+        assert isinstance(statement.where, And)
+
+    def test_dangling_attr_rejected(self):
+        with pytest.raises(ParseError):
+            parse("SELECT ALL FROM solid.sub")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse("SELECT ALL FROM a WHERE x = 1 garbage")
+
+
+class TestDML:
+    def test_insert_with_refs(self):
+        statement = parse("INSERT edge (length = 2.5, "
+                          "boundary = [REF point(1), REF point(2)])")
+        assert isinstance(statement, InsertStatement)
+        attr, value = statement.assignments[1]
+        assert attr == "boundary"
+        assert all(isinstance(v, RefLookup) for v in value)
+
+    def test_insert_record_literal(self):
+        statement = parse("INSERT point (placement = "
+                          "{x_coord = 1.0, y_coord = 2.0, z_coord = 0.0})")
+        _attr, value = statement.assignments[0]
+        assert isinstance(value, Literal)
+        assert value.value["x_coord"] == 1.0
+
+    def test_insert_empty(self):
+        statement = parse("INSERT solid (sub = EMPTY)")
+        assert isinstance(statement.assignments[0][1], EmptyLiteral)
+
+    def test_delete_all_vs_labels(self):
+        all_form = parse("DELETE ALL FROM face-edge WHERE square_dim > 1.0")
+        label_form = parse("DELETE edge, point FROM face-edge-point")
+        assert isinstance(all_form, DeleteStatement)
+        assert all_form.labels == []
+        assert label_form.labels == ["edge", "point"]
+
+    def test_modify(self):
+        statement = parse("MODIFY face SET square_dim = 9.0, name = 'top' "
+                          "FROM face WHERE square_dim < 1.0")
+        assert isinstance(statement, ModifyStatement)
+        assert statement.label == "face"
+        assert len(statement.assignments) == 2
+
+    def test_multi_key_ref(self):
+        statement = parse("INSERT a (r = REF b(1, 'x'))")
+        ref = statement.assignments[0][1]
+        assert ref.key == (1, "x")

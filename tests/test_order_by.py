@@ -1,0 +1,104 @@
+"""Tests: ORDER BY — the 'sorting' functional descriptor (paper, 3.1)."""
+
+import pytest
+
+from repro import Prima
+from repro.errors import ValidationError
+from repro.workloads import brep
+
+
+@pytest.fixture(scope="module")
+def handles():
+    return brep.generate(Prima(), n_solids=6)
+
+
+class TestOrderBy:
+    def test_ascending_default(self, handles):
+        result = handles.db.query("SELECT ALL FROM brep ORDER BY brep_no")
+        nos = [m.atom["brep_no"] for m in result]
+        assert nos == sorted(nos)
+
+    def test_descending(self, handles):
+        result = handles.db.query(
+            "SELECT ALL FROM brep ORDER BY brep_no DESC")
+        nos = [m.atom["brep_no"] for m in result]
+        assert nos == sorted(nos, reverse=True)
+
+    def test_explicit_asc_keyword(self, handles):
+        result = handles.db.query(
+            "SELECT ALL FROM brep ORDER BY brep_no ASC")
+        nos = [m.atom["brep_no"] for m in result]
+        assert nos == sorted(nos)
+
+    def test_order_with_where(self, handles):
+        result = handles.db.query(
+            "SELECT ALL FROM solid WHERE sub = EMPTY "
+            "ORDER BY solid_no DESC")
+        nos = [m.atom["solid_no"] for m in result]
+        assert len(nos) == 6
+        assert nos == sorted(nos, reverse=True)
+
+    def test_order_applies_before_projection(self, handles):
+        result = handles.db.query(
+            "SELECT description FROM solid WHERE sub = EMPTY "
+            "ORDER BY solid_no DESC")
+        # solid_no was projected away but still ordered the result
+        descriptions = [m.atom["description"] for m in result]
+        assert descriptions[0].endswith("6")
+        assert "solid_no" not in result[0].atom
+
+    def test_multi_attribute_order(self, handles):
+        result = handles.db.query(
+            "SELECT ALL FROM face ORDER BY square_dim DESC, face_id")
+        pairs = [(m.atom["square_dim"], m.atom["face_id"].number)
+                 for m in result]
+        want = sorted(pairs, key=lambda p: p[1])
+        want.sort(key=lambda p: p[0], reverse=True)
+        assert pairs == want
+
+    def test_labelled_root_path(self, handles):
+        result = handles.db.query(
+            "SELECT ALL FROM brep-face ORDER BY brep.brep_no DESC")
+        nos = [m.atom["brep_no"] for m in result]
+        assert nos == sorted(nos, reverse=True)
+
+    def test_component_attr_rejected(self, handles):
+        with pytest.raises(ValidationError):
+            handles.db.query(
+                "SELECT ALL FROM brep-face ORDER BY face.square_dim")
+
+    def test_unknown_attr_rejected(self, handles):
+        with pytest.raises(ValidationError):
+            handles.db.query("SELECT ALL FROM brep ORDER BY nonsense")
+
+
+class TestSortOrderExploitation:
+    @pytest.fixture
+    def tuned(self):
+        handles = brep.generate(Prima(), n_solids=4)
+        handles.db.execute_ldl(
+            "CREATE SORT ORDER brep_by_no ON brep (brep_no)")
+        return handles
+
+    def test_plan_uses_sort_order(self, tuned):
+        plan = tuned.db.explain("SELECT ALL FROM brep ORDER BY brep_no")
+        assert "SORT SCAN brep_by_no" in plan
+        assert "free" in plan
+
+    def test_result_identical_to_explicit_sort(self, tuned):
+        with_order = tuned.db.query(
+            "SELECT ALL FROM brep ORDER BY brep_no")
+        tuned.db.execute_ldl("DROP SORT ORDER brep_by_no")
+        without = tuned.db.query("SELECT ALL FROM brep ORDER BY brep_no")
+        assert [m.atom["brep_no"] for m in with_order] == \
+            [m.atom["brep_no"] for m in without]
+
+    def test_descending_falls_back_to_explicit_sort(self, tuned):
+        plan = tuned.db.explain(
+            "SELECT ALL FROM brep ORDER BY brep_no DESC")
+        assert "explicit final sort" in plan
+
+    def test_key_lookup_beats_sort_order(self, tuned):
+        plan = tuned.db.explain(
+            "SELECT ALL FROM brep WHERE brep_no = 1713 ORDER BY brep_no")
+        assert "KEY LOOKUP" in plan

@@ -1,0 +1,191 @@
+"""Unit tests: predicate evaluation over hand-built molecules."""
+
+import pytest
+
+from repro.data.predicates import PredicateEvaluator, path_values
+from repro.errors import ExecutionError
+from repro.mad.molecule import Molecule, StructureNode
+from repro.mad.schema import Association
+from repro.mad.types import Surrogate
+from repro.mql.ast import (
+    And,
+    Comparison,
+    EmptyLiteral,
+    Literal,
+    Not,
+    Or,
+    Path,
+    Quantified,
+    RefLookup,
+)
+
+
+def _assoc(src, attr, dst, back):
+    return Association(src, attr, dst, back, True, True)
+
+
+@pytest.fixture
+def molecule() -> Molecule:
+    """face(edge(point)) with 2 edges of 1 point each."""
+    face_node = StructureNode("face", "face")
+    edge_node = StructureNode("edge", "edge",
+                              via=_assoc("face", "border", "edge", "face"))
+    point_node = StructureNode("point", "point",
+                               via=_assoc("edge", "boundary", "point", "line"))
+    face_node.add_child(edge_node)
+    edge_node.add_child(point_node)
+
+    face = Molecule(face_node, {
+        "face_id": Surrogate("face", 1), "square_dim": 25.0,
+        "tags": ["red", "blue"], "hole": [],
+    })
+    for index in range(2):
+        edge = Molecule(edge_node, {
+            "edge_id": Surrogate("edge", index + 1),
+            "length": 10.0 * (index + 1),
+        })
+        point = Molecule(point_node, {
+            "point_id": Surrogate("point", index + 1),
+            "placement": {"x_coord": float(index), "y_coord": 0.0},
+        })
+        edge.add_component("point", point)
+        face.add_component("edge", edge)
+    return face
+
+
+@pytest.fixture
+def evaluator() -> PredicateEvaluator:
+    return PredicateEvaluator()
+
+
+class TestPaths:
+    def test_bare_root_attr(self, molecule):
+        assert list(path_values(Path(("square_dim",)), molecule)) == [25.0]
+
+    def test_labelled_root_attr(self, molecule):
+        assert list(path_values(Path(("face", "square_dim")),
+                                molecule)) == [25.0]
+
+    def test_component_attr_multivalued(self, molecule):
+        assert list(path_values(Path(("edge", "length")),
+                                molecule)) == [10.0, 20.0]
+
+    def test_deep_component(self, molecule):
+        got = list(path_values(Path(("point", "placement")), molecule))
+        assert len(got) == 2
+
+    def test_record_field_path(self, molecule):
+        got = list(path_values(Path(("point", "placement", "x_coord")),
+                               molecule))
+        assert got == [0.0, 1.0]
+
+    def test_missing_attr_yields_nothing(self, molecule):
+        assert list(path_values(Path(("edge", "ghost")), molecule)) == []
+
+    def test_level_indexed_paths(self, molecule):
+        level0 = list(path_values(Path(("face", "square_dim"), level=0),
+                                  molecule))
+        assert level0 == [25.0]
+        level1 = list(path_values(Path(("face", "length"), level=1),
+                                  molecule))
+        assert level1 == [10.0, 20.0]
+
+
+class TestComparisons:
+    def test_root_equality(self, molecule, evaluator):
+        expr = Comparison("=", Path(("square_dim",)), Literal(25.0))
+        assert evaluator.matches(expr, molecule)
+
+    def test_existential_reading(self, molecule, evaluator):
+        # SOME edge longer than 15 — true; ALL would be false.
+        expr = Comparison(">", Path(("edge", "length")), Literal(15.0))
+        assert evaluator.matches(expr, molecule)
+
+    def test_empty_checks(self, molecule, evaluator):
+        assert evaluator.matches(
+            Comparison("=", Path(("hole",)), EmptyLiteral()), molecule)
+        assert not evaluator.matches(
+            Comparison("=", Path(("tags",)), EmptyLiteral()), molecule)
+        assert evaluator.matches(
+            Comparison("!=", Path(("tags",)), EmptyLiteral()), molecule)
+
+    def test_empty_on_left(self, molecule, evaluator):
+        expr = Comparison("=", EmptyLiteral(), Path(("hole",)))
+        assert evaluator.matches(expr, molecule)
+
+    def test_none_comparisons_false(self, molecule, evaluator):
+        molecule.atom["square_dim"] = None
+        expr = Comparison(">", Path(("square_dim",)), Literal(1.0))
+        assert not evaluator.matches(expr, molecule)
+
+    def test_boolean_connectives(self, molecule, evaluator):
+        true = Comparison("=", Path(("square_dim",)), Literal(25.0))
+        false = Comparison("=", Path(("square_dim",)), Literal(1.0))
+        assert evaluator.matches(And([true, Not(false)]), molecule)
+        assert evaluator.matches(Or([false, true]), molecule)
+        assert not evaluator.matches(And([true, false]), molecule)
+
+    def test_literal_vs_literal(self, molecule, evaluator):
+        assert evaluator.matches(
+            Comparison("<", Literal(1), Literal(2)), molecule)
+
+    def test_ref_lookup_without_resolver_rejected(self, molecule, evaluator):
+        expr = Comparison("=", Path(("face_id",)),
+                          RefLookup("face", (1,)))
+        with pytest.raises(ExecutionError):
+            evaluator.matches(expr, molecule)
+
+    def test_ref_lookup_with_resolver(self, molecule):
+        target = Surrogate("face", 1)
+        evaluator = PredicateEvaluator(
+            resolve_ref=lambda _t, _k: target)
+        expr = Comparison("=", Path(("face", "face_id")),
+                          RefLookup("face", (1,)))
+        assert evaluator.matches(expr, molecule)
+
+
+class TestQuantifiers:
+    def test_exists(self, molecule, evaluator):
+        expr = Quantified("exists", None, "edge",
+                          Comparison(">", Path(("edge", "length")),
+                                     Literal(15.0)))
+        assert evaluator.matches(expr, molecule)
+
+    def test_at_least(self, molecule, evaluator):
+        hits_two = Quantified("at_least", 2, "edge",
+                              Comparison(">", Path(("edge", "length")),
+                                         Literal(5.0)))
+        hits_one = Quantified("at_least", 2, "edge",
+                              Comparison(">", Path(("edge", "length")),
+                                         Literal(15.0)))
+        assert evaluator.matches(hits_two, molecule)
+        assert not evaluator.matches(hits_one, molecule)
+
+    def test_exactly(self, molecule, evaluator):
+        expr = Quantified("exactly", 1, "edge",
+                          Comparison(">", Path(("edge", "length")),
+                                     Literal(15.0)))
+        assert evaluator.matches(expr, molecule)
+
+    def test_for_all(self, molecule, evaluator):
+        all_pass = Quantified("all", None, "edge",
+                              Comparison(">", Path(("edge", "length")),
+                                         Literal(5.0)))
+        one_fails = Quantified("all", None, "edge",
+                               Comparison(">", Path(("edge", "length")),
+                                          Literal(15.0)))
+        assert evaluator.matches(all_pass, molecule)
+        assert not evaluator.matches(one_fails, molecule)
+
+    def test_for_all_vacuous_truth(self, molecule, evaluator):
+        expr = Quantified("all", None, "ghost_label",
+                          Comparison("=", Path(("x",)), Literal(1)))
+        assert evaluator.matches(expr, molecule)
+
+    def test_nested_quantifier(self, molecule, evaluator):
+        inner = Quantified("exists", None, "point",
+                           Comparison("=",
+                                      Path(("point", "placement", "x_coord")),
+                                      Literal(1.0)))
+        outer = Quantified("at_least", 1, "edge", inner)
+        assert evaluator.matches(outer, molecule)

@@ -1,0 +1,230 @@
+"""Unit tests: nested transactions, locks, selective recovery."""
+
+import pytest
+
+from repro.errors import (
+    LockConflictError,
+    TransactionStateError,
+)
+from repro.access.integrity import verify_database
+from repro.txn import ABORTED, COMMITTED, TransactionManager
+
+
+@pytest.fixture
+def env(face_edge_access):
+    return face_edge_access, TransactionManager(face_edge_access)
+
+
+class TestLifecycle:
+    def test_commit_keeps_effects(self, env):
+        access, manager = env
+        txn = manager.begin()
+        s = txn.insert("edge", {"length": 1.0})
+        txn.commit()
+        assert access.get(s)["length"] == 1.0
+        assert txn.state == COMMITTED
+
+    def test_abort_undoes_insert(self, env):
+        access, manager = env
+        txn = manager.begin()
+        s = txn.insert("edge")
+        txn.abort()
+        assert not access.atoms.exists(s)
+        assert txn.state == ABORTED
+
+    def test_abort_undoes_modify(self, env):
+        access, manager = env
+        base = access.insert("edge", {"length": 1.0})
+        txn = manager.begin()
+        txn.modify(base, {"length": 9.0})
+        txn.abort()
+        assert access.get(base)["length"] == 1.0
+
+    def test_abort_undoes_delete(self, env):
+        access, manager = env
+        base = access.insert("edge", {"length": 5.0})
+        txn = manager.begin()
+        txn.delete(base)
+        assert not access.atoms.exists(base)
+        txn.abort()
+        assert access.get(base)["length"] == 5.0
+
+    def test_undo_order_reversed(self, env):
+        access, manager = env
+        txn = manager.begin()
+        s = txn.insert("edge", {"length": 1.0})
+        txn.modify(s, {"length": 2.0})
+        txn.modify(s, {"length": 3.0})
+        txn.delete(s)
+        txn.abort()
+        assert not access.atoms.exists(s)
+
+    def test_operations_after_end_rejected(self, env):
+        _access, manager = env
+        txn = manager.begin()
+        txn.commit()
+        with pytest.raises(TransactionStateError):
+            txn.insert("edge")
+        with pytest.raises(TransactionStateError):
+            txn.abort()
+
+
+class TestBackrefUndo:
+    def test_modify_restores_both_sides(self, env):
+        access, manager = env
+        e1 = access.insert("edge")
+        e2 = access.insert("edge")
+        f = access.insert("face", {"border": [e1]})
+        txn = manager.begin()
+        txn.modify(f, {"border": [e2]})
+        assert access.get(e2)["face"] == [f]
+        txn.abort()
+        assert access.get(e1)["face"] == [f]
+        assert access.get(e2)["face"] == []
+        assert verify_database(access.atoms) == []
+
+    def test_delete_restores_connections(self, env):
+        access, manager = env
+        e = access.insert("edge")
+        f = access.insert("face", {"border": [e]})
+        txn = manager.begin()
+        txn.delete(e)
+        assert access.get(f)["border"] == []
+        txn.abort()
+        assert access.get(f)["border"] == [e]
+        assert verify_database(access.atoms) == []
+
+
+class TestNesting:
+    def test_parent_suspended_while_child_runs(self, env):
+        _access, manager = env
+        parent = manager.begin()
+        parent.begin_nested()
+        with pytest.raises(TransactionStateError):
+            parent.insert("edge")
+        with pytest.raises(TransactionStateError):
+            parent.begin_nested()
+
+    def test_child_abort_is_selective(self, env):
+        access, manager = env
+        parent = manager.begin()
+        kept = parent.insert("edge", {"length": 1.0})
+        child = parent.begin_nested()
+        gone = child.insert("edge", {"length": 2.0})
+        child.modify(kept, {"length": 9.0})
+        child.abort()
+        assert not access.atoms.exists(gone)
+        assert access.get(kept)["length"] == 1.0   # child's change undone
+        parent.commit()
+        assert access.atoms.exists(kept)
+
+    def test_child_commit_inherits_undo_upward(self, env):
+        access, manager = env
+        parent = manager.begin()
+        child = parent.begin_nested()
+        s = child.insert("edge")
+        child.commit()
+        assert parent.undo_length == 1
+        parent.abort()
+        assert not access.atoms.exists(s)
+
+    def test_deep_nesting(self, env):
+        access, manager = env
+        top = manager.begin()
+        surrogates = []
+        current = top
+        for _level in range(4):
+            current = current.begin_nested()
+            surrogates.append(current.insert("edge"))
+        assert current.depth == 4
+        for _level in range(4):
+            current.commit()
+            current = current.parent
+        top.abort()
+        assert all(not access.atoms.exists(s) for s in surrogates)
+
+    def test_abort_cascades_to_active_child(self, env):
+        access, manager = env
+        parent = manager.begin()
+        child = parent.begin_nested()
+        s = child.insert("edge")
+        parent.abort()
+        assert child.state == ABORTED
+        assert not access.atoms.exists(s)
+
+    def test_sibling_sequence(self, env):
+        access, manager = env
+        parent = manager.begin()
+        first = parent.begin_nested()
+        a = first.insert("edge")
+        first.commit()
+        second = parent.begin_nested()
+        b = second.insert("edge")
+        second.abort()
+        parent.commit()
+        assert access.atoms.exists(a)
+        assert not access.atoms.exists(b)
+
+
+class TestLocks:
+    def test_conflicting_top_level_transactions(self, env):
+        access, manager = env
+        base = access.insert("edge", {"length": 1.0})
+        t1 = manager.begin()
+        t2 = manager.begin()
+        t1.modify(base, {"length": 2.0})
+        with pytest.raises(LockConflictError):
+            t2.modify(base, {"length": 3.0})
+        with pytest.raises(LockConflictError):
+            t2.get(base)
+
+    def test_shared_reads_compatible(self, env):
+        access, manager = env
+        base = access.insert("edge")
+        t1 = manager.begin()
+        t2 = manager.begin()
+        t1.get(base)
+        t2.get(base)   # S/S compatible
+
+    def test_child_may_use_ancestor_locks(self, env):
+        access, manager = env
+        base = access.insert("edge", {"length": 1.0})
+        parent = manager.begin()
+        parent.modify(base, {"length": 2.0})
+        child = parent.begin_nested()
+        child.modify(base, {"length": 3.0})   # parent holds X: allowed
+        child.commit()
+        parent.commit()
+        assert access.get(base)["length"] == 3.0
+
+    def test_committed_child_locks_retained_by_parent(self, env):
+        access, manager = env
+        base = access.insert("edge")
+        parent = manager.begin()
+        child = parent.begin_nested()
+        child.modify(base, {"length": 4.0})
+        child.commit()
+        stranger = manager.begin()
+        with pytest.raises(LockConflictError):
+            stranger.modify(base, {"length": 5.0})
+        parent.commit()
+        stranger.modify(base, {"length": 5.0})   # released at top commit
+
+    def test_abort_releases_locks(self, env):
+        access, manager = env
+        base = access.insert("edge")
+        t1 = manager.begin()
+        t1.modify(base, {"length": 1.5})
+        t1.abort()
+        t2 = manager.begin()
+        t2.modify(base, {"length": 2.5})
+        t2.commit()
+        assert access.get(base)["length"] == 2.5
+
+    def test_lock_upgrade_same_txn(self, env):
+        access, manager = env
+        base = access.insert("edge")
+        txn = manager.begin()
+        txn.get(base)            # S
+        txn.modify(base, {"length": 1.0})   # upgrade to X
+        assert manager.locks.locks_of(txn)[base] == "X"

@@ -1,0 +1,141 @@
+"""Unit tests: counters, errors, plan explanations, misc plumbing."""
+
+import pytest
+
+from repro import Prima
+from repro.errors import LexerError, PrimaError, StorageError
+from repro.util.stats import Counters, Instrumented
+
+
+class TestCounters:
+    def test_bump_and_get(self):
+        counters = Counters()
+        counters.bump("x")
+        counters.bump("x", 4)
+        assert counters.get("x") == 5
+        assert counters.get("never") == 0
+
+    def test_snapshot_sorted(self):
+        counters = Counters()
+        counters.bump("b")
+        counters.bump("a")
+        assert list(counters.snapshot()) == ["a", "b"]
+
+    def test_diff(self):
+        counters = Counters()
+        counters.bump("x", 3)
+        earlier = counters.snapshot()
+        counters.bump("x", 2)
+        counters.bump("y")
+        assert counters.diff(earlier) == {"x": 2, "y": 1}
+
+    def test_diff_skips_unchanged(self):
+        counters = Counters()
+        counters.bump("same", 5)
+        assert counters.diff(counters.snapshot()) == {}
+
+    def test_reset(self):
+        counters = Counters()
+        counters.bump("x")
+        counters.reset()
+        assert counters.get("x") == 0
+
+    def test_iteration(self):
+        counters = Counters()
+        counters.bump("k", 7)
+        assert list(counters) == [("k", 7)]
+
+    def test_instrumented_shares_bag(self):
+        shared = Counters()
+        first = Instrumented(shared)
+        second = Instrumented(shared)
+        first.counters.bump("x")
+        assert second.counters.get("x") == 1
+        private = Instrumented()
+        assert private.counters.get("x") == 0
+
+
+class TestErrorHierarchy:
+    def test_everything_is_prima_error(self):
+        import inspect
+        import repro.errors as errors_module
+        for _name, cls in inspect.getmembers(errors_module, inspect.isclass):
+            if cls.__module__ == "repro.errors":
+                assert issubclass(cls, PrimaError)
+
+    def test_layer_catchability(self):
+        from repro.errors import BufferFullError, PageSizeError
+        assert issubclass(BufferFullError, StorageError)
+        assert issubclass(PageSizeError, StorageError)
+
+    def test_lexer_error_carries_position(self):
+        err = LexerError("bad", line=3, column=7)
+        assert err.line == 3 and err.column == 7
+        assert "line 3" in str(err)
+
+
+class TestPlanExplanations:
+    @pytest.fixture
+    def db(self):
+        database = Prima()
+        database.execute("CREATE ATOM_TYPE a (a_id: IDENTIFIER, "
+                         "n: INTEGER) KEYS_ARE (n)")
+        database.query("SELECT ALL FROM a")
+        for value in range(5):
+            database.insert_atom("a", {"n": value})
+        return database
+
+    def test_key_lookup_explained(self, db):
+        plan = db.explain("SELECT ALL FROM a WHERE n = 3")
+        assert "KEY LOOKUP a" in plan
+
+    def test_search_argument_explained(self, db):
+        plan = db.explain("SELECT ALL FROM a WHERE n > 1")
+        assert "ATOM TYPE SCAN" in plan and "search" in plan
+
+    def test_access_path_explained(self, db):
+        db.execute_ldl("CREATE ACCESS PATH an ON a (n)")
+        plan = db.explain("SELECT ALL FROM a WHERE n > 1 AND n < 4")
+        assert "ACCESS PATH SCAN an" in plan
+        assert "n >" in plan and "n <" in plan
+
+    def test_cluster_construction_explained(self, db):
+        db.execute("CREATE ATOM_TYPE b (b_id: IDENTIFIER, "
+                   "a_ref: REF_TO (a.bs))")
+        # amend a with the back side: not allowed post-hoc, so rebuild
+        database = Prima()
+        database.execute_script("""
+            CREATE ATOM_TYPE a (a_id: IDENTIFIER, n: INTEGER,
+                                bs: SET_OF (REF_TO (b.a_ref)));
+            CREATE ATOM_TYPE b (b_id: IDENTIFIER, a_ref: REF_TO (a.bs))
+        """)
+        database.query("SELECT ALL FROM a")
+        database.execute_ldl("CREATE ATOM_CLUSTER ab FROM a-b")
+        plan = database.explain("SELECT ALL FROM a-b")
+        assert "ATOM CLUSTER ab" in plan
+
+    def test_projection_explained(self, db):
+        plan = db.explain("SELECT n FROM a")
+        assert "project: 1 item(s)" in plan
+
+
+class TestScriptErrors:
+    def test_helpful_parse_error_position(self):
+        from repro.errors import ParseError
+        db = Prima()
+        with pytest.raises(ParseError) as err:
+            db.execute("SELECT ALL FORM a")
+        assert "line" in str(err.value)
+
+    def test_unknown_statement(self):
+        from repro.errors import ParseError
+        with pytest.raises(ParseError):
+            Prima().execute("VACUUM everything")
+
+    def test_semantic_error_names_candidates(self):
+        from repro.errors import ValidationError
+        db = Prima()
+        db.execute("CREATE ATOM_TYPE a (a_id: IDENTIFIER)")
+        with pytest.raises(ValidationError) as err:
+            db.query("SELECT ALL FROM ghost")
+        assert "ghost" in str(err.value)

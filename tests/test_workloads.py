@@ -1,0 +1,126 @@
+"""Tests: the three workload generators (BREP / VLSI / GIS)."""
+
+from repro.workloads import brep, gis, vlsi
+
+
+class TestBrep:
+    def test_counts(self, brep_db):
+        counts = brep_db.counts()
+        n = counts["brep"]
+        assert counts["face"] == 6 * n
+        assert counts["edge"] == 12 * n
+        assert counts["point"] == 8 * n
+        assert counts["solid"] > n        # assembly composites exist
+
+    def test_table_2_1_seeds_planted(self, brep_db):
+        db = brep_db.db
+        assert db.access.atoms.find_by_key("brep", 1713) is not None
+        seed = db.access.atoms.find_by_key("solid", 4711)
+        assert seed is not None
+        assert db.access.get(seed)["sub"]          # it is an assembly
+
+    def test_box_topology(self, brep_db):
+        db = brep_db.db
+        brep_atom = db.access.get(brep_db.breps[0])
+        assert len(brep_atom["faces"]) == 6
+        assert len(brep_atom["edges"]) == 12
+        assert len(brep_atom["points"]) == 8
+        for face in brep_atom["faces"]:
+            values = db.access.get(face)
+            assert len(values["border"]) == 4
+            assert len(values["crosspoint"]) == 4
+        for edge in brep_atom["edges"]:
+            values = db.access.get(edge)
+            assert len(values["boundary"]) == 2
+            assert len(values["face"]) == 2
+        for point in brep_atom["points"]:
+            values = db.access.get(point)
+            assert len(values["line"]) == 3
+            assert len(values["face"]) == 3
+
+    def test_full_integrity(self, brep_db):
+        assert brep_db.db.verify_integrity() == []
+
+    def test_molecule_types_defined(self, brep_db):
+        names = brep_db.db.catalog.names()
+        assert names == ["brep_obj", "edge_obj", "face_obj", "piece_list"]
+
+    def test_deterministic(self):
+        from repro import Prima
+        first = brep.generate(Prima(), n_solids=2, seed=7)
+        second = brep.generate(Prima(), n_solids=2, seed=7)
+        a = first.db.access.get(first.faces[0])["square_dim"]
+        b = second.db.access.get(second.faces[0])["square_dim"]
+        assert a == b
+
+
+class TestVlsi:
+    def test_counts(self, vlsi_db):
+        counts = vlsi_db.counts()
+        assert counts["pin"] == 12 * 3
+        assert counts["net"] <= 8
+        assert counts["cell"] > 12     # composites on top
+
+    def test_nets_respect_cardinality(self, vlsi_db):
+        db = vlsi_db.db
+        for net in vlsi_db.nets:
+            pins = db.access.get(net)["pins"]
+            assert 2 <= len(pins) <= 5
+
+    def test_pin_belongs_to_one_net_max(self, vlsi_db):
+        db = vlsi_db.db
+        for pin in vlsi_db.pins:
+            net = db.access.get(pin)["net"]
+            assert net is None or net.atom_type == "net"
+
+    def test_hierarchy_reaches_top(self, vlsi_db):
+        top = vlsi.top_cell_no(vlsi_db)
+        assert top is not None
+        result = vlsi_db.db.query(
+            f"SELECT ALL FROM cell_explosion "
+            f"WHERE cell_explosion (0).cell_no = {top}")
+        assert result[0].atom_count() == len(vlsi_db.cells)
+
+    def test_integrity(self, vlsi_db):
+        assert vlsi_db.db.verify_integrity() == []
+
+
+class TestGis:
+    def test_counts_for_grid(self, gis_db):
+        counts = gis_db.counts()
+        rows = cols = 3
+        assert counts["region"] == rows * cols
+        assert counts["node"] == (rows + 1) * (cols + 1)
+        assert counts["line"] == rows * (cols + 1) + cols * (rows + 1)
+        assert counts["map"] == 2
+
+    def test_interior_lines_shared(self, gis_db):
+        db = gis_db.db
+        shared = 0
+        for line in gis_db.lines:
+            regions = db.access.get(line)["regions"]
+            assert 1 <= len(regions) <= 2
+            if len(regions) == 2:
+                shared += 1
+        # 3x3 grid: 12 interior lines
+        assert shared == 12
+
+    def test_interior_nodes_join_four_lines(self, gis_db):
+        db = gis_db.db
+        degree = {}
+        for node in gis_db.nodes:
+            values = db.access.get(node)
+            degree[(values["x"], values["y"])] = len(values["lines"])
+        assert degree[(1.0, 1.0)] == 4     # interior
+        assert degree[(0.0, 0.0)] == 2     # corner
+
+    def test_sheets_overlap(self, gis_db):
+        db = gis_db.db
+        on_both = [
+            region for region in gis_db.regions
+            if len(db.access.get(region)["maps"]) == 2
+        ]
+        assert on_both        # the border column belongs to both sheets
+
+    def test_integrity(self, gis_db):
+        assert gis_db.db.verify_integrity() == []
