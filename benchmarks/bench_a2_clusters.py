@@ -31,8 +31,9 @@ def run(n_solids: int, with_cluster: bool):
     cold_buffer(db)
     db.reset_accounting()
     result = db.query(QUERY)
+    molecules = result.materialize()   # drain the cursor before counters
     report_data = db.io_report()
-    assert len(result) == n_solids
+    assert len(molecules) == n_solids
     return report_data
 
 

@@ -31,10 +31,12 @@ def trace(n_solids: int = 8):
     cold_buffer(db)
     db.reset_accounting()
     result = db.query(QUERY)
+    result.materialize()       # drain the lazy cursor before reading counters
     cold = db.io_report()
 
     db.reset_accounting()
     result = db.query(QUERY)
+    result.materialize()
     warm = db.io_report()
     return result, cold, warm
 

@@ -44,6 +44,7 @@ QUERIES = {
 def run_query(db, mql: str):
     started = time.perf_counter()
     result = db.query(mql)
+    result.materialize()       # drain the lazy cursor inside the timing
     elapsed_ms = 1000 * (time.perf_counter() - started)
     return result, elapsed_ms
 

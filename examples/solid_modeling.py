@@ -69,7 +69,8 @@ def main() -> None:
     db.execute_ldl("CREATE ATOM_CLUSTER brep_cluster FROM "
                    "brep-face-edge-point")
     db.reset_accounting()
-    db.query("SELECT ALL FROM brep-face-edge-point WHERE brep_no = 1713")
+    db.query("SELECT ALL FROM brep-face-edge-point "
+             "WHERE brep_no = 1713").materialize()
     report = db.io_report()
     print(f"\nwith cluster: {report.get('molecules_from_cluster', 0)} "
           f"molecule(s) served from the materialised cluster, "

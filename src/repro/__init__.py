@@ -18,7 +18,12 @@ Package map (one subpackage per layer of Fig. 3.1):
 * :mod:`repro.access`   — atoms, back-references, tuning structures, scans
 * :mod:`repro.mad`      — the Molecule-Atom Data model objects
 * :mod:`repro.mql`      — the Molecule Query Language front end
-* :mod:`repro.data`     — validation, planning, molecule construction
+  (SELECT ... ORDER BY ... LIMIT n [OFFSET m], DDL, DML)
+* :mod:`repro.data`     — validation, planning, and the streaming
+  execution pipeline: plans compile into the Volcano-style operator tree
+  of :mod:`repro.data.operators` (RootScan → MoleculeConstruct →
+  ResidualFilter → Sort → Offset/Limit → Project); ``select()`` returns
+  a lazy :class:`ResultSet` cursor over that pipeline
 * :mod:`repro.ldl`      — the load definition language
 * :mod:`repro.txn`      — nested transactions
 * :mod:`repro.parallel` — semantic parallelism on a simulated multiprocessor

@@ -78,12 +78,27 @@ class SearchArgument:
 
 
 class Scan:
-    """Common NEXT/PRIOR machinery over a snapshot of positions."""
+    """Common NEXT/PRIOR machinery over a snapshot of positions.
 
-    def __init__(self) -> None:
+    Every scan counts the rows it delivers (``rows_delivered`` plus the
+    shared counters ``scan_rows_delivered`` and ``scan_rows:<Type>``) —
+    the per-operator row/cost accounting the execution pipeline and the
+    benchmarks report on.
+    """
+
+    def __init__(self, counters: Any = None) -> None:
         self._positions: list[Any] | None = None
         self._cursor = -1          # index of the element delivered last
         self._closed = False
+        self._counters = counters
+        #: Rows this scan has delivered over its lifetime.
+        self.rows_delivered = 0
+
+    def _count_delivery(self) -> None:
+        self.rows_delivered += 1
+        if self._counters is not None:
+            self._counters.bump("scan_rows_delivered")
+            self._counters.bump(f"scan_rows:{type(self).__name__}")
 
     # Subclasses provide the ordered snapshot and the delivery logic. ----------
 
@@ -102,6 +117,8 @@ class Scan:
             raise ScanStateError("scan is closed")
         if self._positions is None:
             self._positions = self._snapshot()
+            if self._counters is not None:
+                self._counters.bump("scans_opened")
         return self._positions
 
     def next(self) -> tuple[Surrogate, dict[str, Any]] | None:
@@ -113,6 +130,7 @@ class Scan:
             result = self._deliver(positions[cursor])
             if result is not None:
                 self._cursor = cursor
+                self._count_delivery()
                 return result
         self._cursor = len(positions)
         return None
@@ -126,6 +144,7 @@ class Scan:
             result = self._deliver(positions[cursor])
             if result is not None:
                 self._cursor = cursor
+                self._count_delivery()
                 return result
         self._cursor = -1
         return None
@@ -158,7 +177,7 @@ class AtomTypeScan(Scan):
     def __init__(self, manager: "AtomManager", type_name: str,
                  search: SearchArgument | None = None,
                  attrs: list[str] | None = None) -> None:
-        super().__init__()
+        super().__init__(counters=manager.counters)
         self._manager = manager
         self._type_name = type_name
         self._search = search
@@ -194,7 +213,7 @@ class SortScan(Scan):
                  start: Any = None, stop: Any = None,
                  include_start: bool = True, include_stop: bool = True,
                  reverse: bool = False) -> None:
-        super().__init__()
+        super().__init__(counters=manager.counters)
         self._manager = manager
         self._type_name = type_name
         self._sort_attrs = tuple(sort_attrs)
@@ -283,7 +302,7 @@ class AccessPathScan(Scan):
     def __init__(self, manager: "AtomManager", path: AccessPath,
                  conditions: list[KeyCondition] | None = None,
                  search: SearchArgument | None = None) -> None:
-        super().__init__()
+        super().__init__(counters=manager.counters)
         self._manager = manager
         self._path = path
         self._conditions = conditions
@@ -332,7 +351,7 @@ class AtomClusterTypeScan(Scan):
 
     def __init__(self, manager: "AtomManager", cluster: AtomCluster,
                  search: ClusterSearchArgument | None = None) -> None:
-        super().__init__()
+        super().__init__(counters=manager.counters)
         self._manager = manager
         self._cluster = cluster
         self._search = search
@@ -356,7 +375,7 @@ class AtomClusterScan(Scan):
     def __init__(self, manager: "AtomManager", cluster: AtomCluster,
                  root: Surrogate, member_type: str,
                  search: SearchArgument | None = None) -> None:
-        super().__init__()
+        super().__init__(counters=manager.counters)
         self._manager = manager
         self._cluster = cluster
         self._root = root

@@ -11,20 +11,25 @@ system (paper, 3.1).  The stages follow the paper's modular data system:
    (:mod:`repro.data.simplification`);
 3. **query preparation** — the processing plan: root access selection,
    cluster matching, recursion strategy (:mod:`repro.data.plan`);
-4. **molecule management** — the molecule-type scan implemented here:
-   deriving root atoms, constructing molecules by association traversal or
-   from an atom cluster, evaluating the residual qualification, applying
-   (qualified) projections.
+4. **molecule management** — the molecule-type scan, compiled into the
+   Volcano-style operator pipeline of :mod:`repro.data.operators`: a
+   ``RootScan`` derives root atoms, ``MoleculeConstruct`` assembles
+   molecules by association traversal or from an atom cluster, and the
+   residual qualification, ordering, windowing (LIMIT/OFFSET) and
+   (qualified) projections are applied by the operators above it.
+
+``select()`` returns a **lazy** :class:`~repro.data.result.ResultSet`: a
+cursor over the pipeline that delivers the first molecule before the root
+scan is exhausted (the paper's one-molecule-at-a-time MAD interface).
 """
 
 from __future__ import annotations
 
-from typing import Any, Iterator
+from typing import Any
 
 from repro.access.access_path import AccessPath
 from repro.access.cluster import AtomCluster
 from repro.access.multidim import KeyCondition
-from repro.access.scans import AccessPathScan, AtomTypeScan, SearchArgument
 from repro.access.system import AccessSystem
 from repro.data.plan import QueryPlan, RootAccess
 from repro.data.predicates import PredicateEvaluator, path_values
@@ -147,6 +152,10 @@ class DataSystem:
                 root_access = sort_access
                 order_served = True
         cluster = self._matching_cluster(structure)
+        if statement.limit is not None and statement.limit < 0:
+            raise ValidationError("LIMIT must be non-negative")
+        if statement.offset < 0:
+            raise ValidationError("OFFSET must be non-negative")
         return QueryPlan(
             structure=structure,
             root_access=root_access,
@@ -155,6 +164,8 @@ class DataSystem:
             projection=statement.projection,
             order_by=order_by,
             order_served_by_access=order_served,
+            limit=statement.limit,
+            offset=statement.offset,
         )
 
     def _validate_order_by(self, statement: SelectStatement,
@@ -198,34 +209,15 @@ class DataSystem:
         return None
 
     def select(self, statement: SelectStatement) -> ResultSet:
-        plan = self.plan_select(statement)
-        molecules: list[Molecule] = []
-        cluster = (self.access.atoms.structure(plan.cluster_name)
-                   if plan.cluster_name is not None else None)
-        assert cluster is None or isinstance(cluster, AtomCluster)
-        for root in self._root_atoms(plan.root_access):
-            molecule = self.construct_molecule(plan.structure, root, cluster)
-            if plan.residual_where is not None and \
-                    not self.evaluator.matches(plan.residual_where, molecule):
-                continue
-            molecules.append(molecule)
-        if plan.order_by and not plan.order_served_by_access:
-            molecules = self._sort_molecules(molecules, plan.order_by)
-        for molecule in molecules:
-            self._apply_projection(molecule, plan.projection, plan.structure)
-        return ResultSet(molecules, plan_text=plan.explain())
+        """Compile the plan into the operator pipeline; return a cursor.
 
-    @staticmethod
-    def _sort_molecules(molecules: list[Molecule],
-                        order_by: list[tuple[str, bool]]) -> list[Molecule]:
-        """Explicit final sort (stable, per-attribute direction)."""
-        from repro.access.btree import make_key
-        out = list(molecules)
-        # Stable sorts compose right-to-left for multi-attribute order.
-        for attr, descending in reversed(order_by):
-            out.sort(key=lambda m: make_key(m.atom.get(attr)),
-                     reverse=descending)
-        return out
+        The result set is lazy: molecules are constructed as the caller
+        pulls them, so a ``LIMIT k`` (or an abandoned iteration) leaves
+        the rest of the root atom set untouched.
+        """
+        plan = self.plan_select(statement)
+        pipeline = plan.compile(self)
+        return ResultSet(source=pipeline, plan_text=plan.explain())
 
     # -- root access ----------------------------------------------------------------
 
@@ -265,35 +257,6 @@ class DataSystem:
                         if op in ("=", "!=", "<", "<=", ">", ">=")]
         return RootAccess("atom_type_scan", root_type.name,
                           {"search": search_terms})
-
-    def _root_atoms(self, root_access: RootAccess) -> Iterator[Surrogate]:
-        atoms = self.access.atoms
-        if root_access.kind == "key_lookup":
-            surrogate = atoms.find_by_key(root_access.atom_type,
-                                          root_access.detail["key"])
-            if surrogate is not None:
-                yield surrogate
-            return
-        if root_access.kind == "access_path":
-            path = atoms.structure(root_access.detail["path"])
-            assert isinstance(path, AccessPath)
-            scan = AccessPathScan(atoms, path,
-                                  root_access.detail["conditions"])
-            for surrogate, _values in scan:
-                yield surrogate
-            return
-        if root_access.kind == "sort_scan":
-            from repro.access.scans import SortScan
-            scan: Any = SortScan(atoms, root_access.atom_type,
-                                 list(root_access.detail["attrs"]))
-            for surrogate, _values in scan:
-                yield surrogate
-            return
-        search_terms = root_access.detail.get("search") or []
-        search = SearchArgument(*search_terms) if search_terms else None
-        scan = AtomTypeScan(atoms, root_access.atom_type, search=search)
-        for surrogate, _values in scan:
-            yield surrogate
 
     # -- molecule construction ----------------------------------------------------------
 
@@ -387,8 +350,9 @@ class DataSystem:
 
     # -- projection -------------------------------------------------------------------------
 
-    def _apply_projection(self, molecule: Molecule, projection: Projection,
-                          structure: StructureNode) -> None:
+    def apply_projection(self, molecule: Molecule, projection: Projection,
+                         structure: StructureNode) -> None:
+        """Apply a (qualified) projection to one molecule, in place."""
         if projection.select_all:
             return
         keep: dict[str, Any] = {}
@@ -397,7 +361,7 @@ class DataSystem:
                 keep[item.label] = ("qualified", item.subquery)
                 continue
             assert item.path is not None
-            label, attr = self.validator._resolve_path(  # noqa: SLF001
+            label, attr = self.validator.resolve_path(
                 item.path, structure, allow_label_only=True
             )
             if attr is None:
@@ -518,6 +482,9 @@ class DataSystem:
                                 where)
         plan = self.plan_select(query)
         result = self.select(query)
+        # DML mutates atoms while walking the result: drain the pipeline
+        # before any update so qualification sees the pre-statement state.
+        result.materialize()
         return result, plan.structure
 
     def _delete(self, statement: DeleteStatement) -> ResultSet:
@@ -594,7 +561,13 @@ def _signature(node: StructureNode) -> tuple:
 
 def _range_for(terms: list[tuple[str, str, Any]],
                attr: str) -> KeyCondition | None:
-    """Combine the sargable terms on ``attr`` into one key condition."""
+    """Combine the sargable terms on ``attr`` into one key condition.
+
+    Multiple bounds on the same side combine to the *tightest* one
+    (max of starts, min of stops); at equal values the exclusive bound
+    wins over the inclusive one.
+    """
+    from repro.access.btree import make_key
     start = stop = None
     include_start = include_stop = True
     found = False
@@ -603,14 +576,18 @@ def _range_for(terms: list[tuple[str, str, Any]],
             continue
         if op == "=":
             return KeyCondition(start=value, stop=value)
-        if op == ">":
-            start, include_start, found = value, False, True
-        elif op == ">=":
-            start, include_start, found = value, True, True
-        elif op == "<":
-            stop, include_stop, found = value, False, True
-        elif op == "<=":
-            stop, include_stop, found = value, True, True
+        if op in (">", ">="):
+            inclusive = op == ">="
+            if start is None or make_key(value) > make_key(start) or \
+                    (make_key(value) == make_key(start) and not inclusive):
+                start, include_start = value, inclusive
+            found = True
+        elif op in ("<", "<="):
+            inclusive = op == "<="
+            if stop is None or make_key(value) < make_key(stop) or \
+                    (make_key(value) == make_key(stop) and not inclusive):
+                stop, include_stop = value, inclusive
+            found = True
     if not found:
         return None
     return KeyCondition(start=start, stop=stop,

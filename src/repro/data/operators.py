@@ -1,0 +1,401 @@
+"""Physical operators: the Volcano-style execution pipeline.
+
+The paper's molecule management hands molecules to the application **one
+at a time** across the MAD interface (paper, 3.1).  This module makes the
+whole execution path honour that contract: a SELECT compiles into a tree
+of demand-driven iterator operators (open/next/close, [Graefe's Volcano]),
+so the first molecule is delivered before the root scan is exhausted and a
+``LIMIT k`` stops construction after k molecules.
+
+Operator inventory (bottom to top of a pipeline):
+
+===================  =======================================================
+RootScan             produces root surrogates: key lookup, access-path scan,
+                     sort scan, or atom-type scan with a search argument
+RootPartition        replays a pre-partitioned slice of a RootScan stream
+                     (the parallel subsystem's construction workers)
+MoleculeConstruct    root surrogate -> molecule, by association traversal
+                     or from a materialised atom cluster
+ResidualFilter       evaluates the residual qualification per molecule
+Sort                 explicit final sort — the only pipeline breaker,
+                     skipped when the root access already delivers the order
+Offset / Limit       skip the first m molecules / stop after n molecules
+Project              applies (qualified) projections to delivered molecules
+===================  =======================================================
+
+Every operator counts the rows it emits (``rows_out`` and the access
+counters ``operator_rows:<Name>``), which benchmark reports use as
+per-operator cost/row accounting.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Iterator
+
+from repro.access.access_path import AccessPath
+from repro.access.cluster import AtomCluster
+from repro.access.scans import AccessPathScan, AtomTypeScan, SearchArgument, SortScan
+from repro.mad.molecule import Molecule, StructureNode
+from repro.mad.types import Surrogate
+from repro.mql.ast import Expr, Projection
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.data.executor import DataSystem
+    from repro.data.plan import QueryPlan, RootAccess
+
+
+class Operator:
+    """One node of the physical operator tree (demand-driven iterator).
+
+    The protocol is Volcano's: ``open()`` prepares the operator, ``next()``
+    returns the next row or None at end, ``close()`` releases resources
+    down the tree.  Iteration (``for row in op``) drives the same path.
+    """
+
+    name = "Operator"
+
+    def __init__(self, *children: "Operator") -> None:
+        self.children: tuple[Operator, ...] = children
+        #: Rows this operator has emitted so far.
+        self.rows_out = 0
+        self._iterator: Iterator[Any] | None = None
+        self._closed = False
+        self._counters = None
+
+    def bind_counters(self, counters) -> None:
+        """Attach the access-system counters down the whole tree."""
+        self._counters = counters
+        for child in self.children:
+            child.bind_counters(counters)
+
+    # -- the Volcano protocol -------------------------------------------------
+
+    def open(self) -> None:
+        if self._iterator is None and not self._closed:
+            self._iterator = self._produce()
+
+    def next(self) -> Any | None:
+        """Deliver the next row (None at end of the stream or after
+        ``close()`` — a closed operator never reopens)."""
+        if self._closed:
+            return None
+        self.open()
+        assert self._iterator is not None
+        try:
+            row = next(self._iterator)
+        except StopIteration:
+            return None
+        self.rows_out += 1
+        if self._counters is not None:
+            self._counters.bump(f"operator_rows:{self.name}")
+        return row
+
+    def close(self) -> None:
+        """Release the tree's resources; the operator stays closed."""
+        self._closed = True
+        if self._iterator is not None:
+            generator_close = getattr(self._iterator, "close", None)
+            if generator_close is not None:
+                generator_close()   # run pending finally blocks now
+            self._iterator = None
+        for child in self.children:
+            child.close()
+
+    def __iter__(self) -> Iterator[Any]:
+        while True:
+            row = self.next()
+            if row is None:
+                return
+            yield row
+
+    # -- what the subclasses provide ------------------------------------------
+
+    def _produce(self) -> Iterator[Any]:
+        raise NotImplementedError
+
+    def detail(self) -> str:
+        """Short parenthesised description for explain output."""
+        return ""
+
+    # -- explain ---------------------------------------------------------------
+
+    def describe(self) -> str:
+        inner = self.detail()
+        return f"{self.name} ({inner})" if inner else self.name
+
+    def render_tree(self, indent: int = 0) -> list[str]:
+        """The operator subtree, one line per operator, children indented."""
+        lines = [" " * indent + self.describe()]
+        for child in self.children:
+            lines.extend(child.render_tree(indent + 2))
+        return lines
+
+
+class RootScan(Operator):
+    """Produce the root surrogates of a molecule-type scan.
+
+    Wraps the four root-access kinds of query preparation: exact KEYS_ARE
+    lookup, access-path scan, sort scan, and atom-type scan with a
+    pushed-down search argument.  Delivery is lazy — downstream operators
+    that stop pulling (LIMIT) leave the rest of the atom set untouched.
+    """
+
+    name = "RootScan"
+
+    def __init__(self, data: "DataSystem", root_access: "RootAccess") -> None:
+        super().__init__()
+        self._data = data
+        self.root_access = root_access
+
+    def _produce(self) -> Iterator[Surrogate]:
+        atoms = self._data.access.atoms
+        access = self.root_access
+        if access.kind == "key_lookup":
+            surrogate = atoms.find_by_key(access.atom_type,
+                                          access.detail["key"])
+            if surrogate is not None:
+                yield surrogate
+            return
+        if access.kind == "access_path":
+            path = atoms.structure(access.detail["path"])
+            assert isinstance(path, AccessPath)
+            scan: Any = AccessPathScan(atoms, path,
+                                       access.detail["conditions"])
+        elif access.kind == "sort_scan":
+            scan = SortScan(atoms, access.atom_type,
+                            list(access.detail["attrs"]))
+        else:
+            search_terms = access.detail.get("search") or []
+            search = SearchArgument(*search_terms) if search_terms else None
+            scan = AtomTypeScan(atoms, access.atom_type, search=search)
+        try:
+            for surrogate, _values in scan:
+                yield surrogate
+        finally:
+            scan.close()
+
+    def detail(self) -> str:
+        return self.root_access.explain()
+
+
+class RootPartition(Operator):
+    """Replay one partition of an already-derived root stream.
+
+    The parallel subsystem partitions the RootScan output and hands each
+    partition to a molecule-construction worker; this source operator is
+    what those workers pull from.
+    """
+
+    name = "RootPartition"
+
+    def __init__(self, roots: list[Surrogate], index: int = 0,
+                 of: int = 1) -> None:
+        super().__init__()
+        self._roots = list(roots)
+        self.index = index
+        self.of = of
+
+    def _produce(self) -> Iterator[Surrogate]:
+        yield from self._roots
+
+    def detail(self) -> str:
+        return f"{len(self._roots)} root(s), partition {self.index + 1}/{self.of}"
+
+
+class MoleculeConstruct(Operator):
+    """Assemble one molecule per root surrogate.
+
+    Construction follows the processing plan: association traversal over
+    the base records, or a single page-sequence transfer from a matching
+    atom cluster.
+    """
+
+    name = "MoleculeConstruct"
+
+    def __init__(self, child: Operator, data: "DataSystem",
+                 structure: StructureNode,
+                 cluster_name: str | None = None) -> None:
+        super().__init__(child)
+        self._data = data
+        self._structure = structure
+        self._cluster_name = cluster_name
+
+    def _cluster(self) -> AtomCluster | None:
+        if self._cluster_name is None:
+            return None
+        cluster = self._data.access.atoms.structure(self._cluster_name)
+        assert isinstance(cluster, AtomCluster)
+        return cluster
+
+    def _produce(self) -> Iterator[Molecule]:
+        cluster = self._cluster()
+        for root in self.children[0]:
+            yield self._data.construct_molecule(self._structure, root,
+                                                cluster)
+
+    def detail(self) -> str:
+        if self._cluster_name is not None:
+            return f"from atom cluster {self._cluster_name}"
+        return "association traversal"
+
+
+class ResidualFilter(Operator):
+    """Evaluate the residual qualification on each constructed molecule."""
+
+    name = "ResidualFilter"
+
+    def __init__(self, child: Operator, data: "DataSystem",
+                 where: Expr) -> None:
+        super().__init__(child)
+        self._data = data
+        self._where = where
+
+    def _produce(self) -> Iterator[Molecule]:
+        for molecule in self.children[0]:
+            if self._data.evaluator.matches(self._where, molecule):
+                yield molecule
+
+    def detail(self) -> str:
+        return "residual qualification per molecule"
+
+
+class Sort(Operator):
+    """Explicit final sort over root attributes — the pipeline breaker.
+
+    Materialises the child stream, then emits in the requested order.
+    Query preparation skips this operator when the root access (a sort
+    scan) already delivers the order.
+    """
+
+    name = "Sort"
+
+    def __init__(self, child: Operator,
+                 order_by: list[tuple[str, bool]]) -> None:
+        super().__init__(child)
+        self._order_by = order_by
+
+    def _produce(self) -> Iterator[Molecule]:
+        molecules = list(self.children[0])
+        sort_stable(molecules, self._order_by,
+                    lambda molecule, attr: molecule.atom.get(attr))
+        yield from molecules
+
+    def detail(self) -> str:
+        rendered = ", ".join(f"{attr} {'DESC' if desc else 'ASC'}"
+                             for attr, desc in self._order_by)
+        return f"{rendered} — pipeline breaker"
+
+
+class Offset(Operator):
+    """Skip the first ``m`` molecules of the stream."""
+
+    name = "Offset"
+
+    def __init__(self, child: Operator, offset: int) -> None:
+        super().__init__(child)
+        self._offset = offset
+
+    def _produce(self) -> Iterator[Molecule]:
+        skipped = 0
+        for molecule in self.children[0]:
+            if skipped < self._offset:
+                skipped += 1
+                continue
+            yield molecule
+
+    def detail(self) -> str:
+        return str(self._offset)
+
+
+class Limit(Operator):
+    """Stop pulling from the pipeline after ``n`` molecules.
+
+    Early termination is the point of the streaming refactor: with no
+    pipeline breaker below, at most n molecules are ever constructed.
+    """
+
+    name = "Limit"
+
+    def __init__(self, child: Operator, limit: int) -> None:
+        super().__init__(child)
+        self._limit = limit
+
+    def _produce(self) -> Iterator[Molecule]:
+        if self._limit <= 0:
+            return
+        delivered = 0
+        for molecule in self.children[0]:
+            yield molecule
+            delivered += 1
+            if delivered >= self._limit:
+                return
+
+    def detail(self) -> str:
+        return str(self._limit)
+
+
+class Project(Operator):
+    """Apply the (qualified) projection to each delivered molecule."""
+
+    name = "Project"
+
+    def __init__(self, child: Operator, data: "DataSystem",
+                 projection: Projection, structure: StructureNode) -> None:
+        super().__init__(child)
+        self._data = data
+        self._projection = projection
+        self._structure = structure
+
+    def _produce(self) -> Iterator[Molecule]:
+        for molecule in self.children[0]:
+            self._data.apply_projection(molecule, self._projection,
+                                        self._structure)
+            yield molecule
+
+    def detail(self) -> str:
+        if self._projection.select_all:
+            return "ALL"
+        return f"{len(self._projection.items)} item(s)"
+
+
+def sort_stable(items: list, order_by: list[tuple[str, bool]],
+                value_of) -> None:
+    """Explicit final sort, in place: stable sorts composed right-to-left
+    give multi-attribute order with a per-attribute direction.
+
+    ``value_of(item, attr)`` extracts the sort value — the Sort operator
+    reads molecule atoms, the parallel path reads the pre-projection
+    values its units captured.
+    """
+    from repro.access.btree import make_key
+    for attr, descending in reversed(order_by):
+        items.sort(key=lambda item: make_key(value_of(item, attr)),
+                   reverse=descending)
+
+
+def build_pipeline(data: "DataSystem", plan: "QueryPlan",
+                   source: Operator | None = None) -> Operator:
+    """Compile a processing plan into its physical operator tree.
+
+    ``source`` replaces the RootScan when the caller already partitioned
+    the root stream (the parallel subsystem's workers).  The canonical
+    shape, bottom to top::
+
+        RootScan -> MoleculeConstruct -> [ResidualFilter] -> [Sort]
+                 -> [Offset] -> [Limit] -> Project
+    """
+    operator: Operator = source if source is not None \
+        else RootScan(data, plan.root_access)
+    operator = MoleculeConstruct(operator, data, plan.structure,
+                                 plan.cluster_name)
+    if plan.residual_where is not None:
+        operator = ResidualFilter(operator, data, plan.residual_where)
+    if plan.order_by and not plan.order_served_by_access:
+        operator = Sort(operator, plan.order_by)
+    if plan.offset:
+        operator = Offset(operator, plan.offset)
+    if plan.limit is not None:
+        operator = Limit(operator, plan.limit)
+    operator = Project(operator, data, plan.projection, plan.structure)
+    operator.bind_counters(data.access.counters)
+    return operator

@@ -4,25 +4,31 @@ grained processing plan").
 A plan records the decisions of the molecule-type-specific optimization:
 how the root atoms are accessed (key lookup, access-path scan, sort scan,
 or atom-type scan with a pushed-down search argument), whether an atom
-cluster materialises the molecule structure, and which qualification
-remains to be evaluated per molecule.  ``explain()`` renders the plan for
-tests, examples, and benchmark reports.
+cluster materialises the molecule structure, which qualification remains
+to be evaluated per molecule, and the result-shaping clauses (ORDER BY,
+LIMIT/OFFSET).  ``compile()`` lowers the plan into the physical operator
+tree of :mod:`repro.data.operators`; ``explain()`` renders the plan —
+including that operator tree — for tests, examples, and benchmark reports.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from repro.mad.molecule import StructureNode
 from repro.mql.ast import Expr, Projection
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.data.executor import DataSystem
+    from repro.data.operators import Operator
 
 
 @dataclass
 class RootAccess:
     """How the root atom set is produced."""
 
-    kind: str                     # 'key_lookup' | 'access_path' | 'atom_type_scan'
+    kind: str                     # 'key_lookup' | 'access_path' | 'sort_scan' | 'atom_type_scan'
     atom_type: str
     #: key lookup: the KEYS_ARE value; access path: path name + conditions.
     detail: dict[str, Any] = field(default_factory=dict)
@@ -57,6 +63,53 @@ class QueryPlan:
     order_by: list[tuple[str, bool]] = field(default_factory=list)
     #: True when the root access already delivers the requested order.
     order_served_by_access: bool = False
+    #: LIMIT n — stop after n molecules (None: unbounded).
+    limit: int | None = None
+    #: OFFSET m — skip the first m molecules.
+    offset: int = 0
+
+    def compile(self, data: "DataSystem",
+                source: "Operator | None" = None) -> "Operator":
+        """Lower this plan into its physical operator tree."""
+        from repro.data.operators import build_pipeline
+        return build_pipeline(data, self, source=source)
+
+    def operator_descriptions(self) -> list[tuple[str, str]]:
+        """(name, detail) pairs of the pipeline, top operator first.
+
+        This is the declarative twin of :func:`repro.data.operators
+        .build_pipeline`: the same canonical shape, renderable without a
+        data system at hand.
+        """
+        operators: list[tuple[str, str]] = []
+        if self.projection.select_all:
+            operators.append(("Project", "ALL"))
+        else:
+            operators.append(
+                ("Project", f"{len(self.projection.items)} item(s)")
+            )
+        if self.limit is not None:
+            operators.append(("Limit", str(self.limit)))
+        if self.offset:
+            operators.append(("Offset", str(self.offset)))
+        if self.order_by and not self.order_served_by_access:
+            rendered = ", ".join(
+                f"{attr} {'DESC' if desc else 'ASC'}"
+                for attr, desc in self.order_by
+            )
+            operators.append(("Sort", f"{rendered} — pipeline breaker"))
+        if self.residual_where is not None:
+            operators.append(
+                ("ResidualFilter", "residual qualification per molecule")
+            )
+        if self.cluster_name is not None:
+            operators.append(
+                ("MoleculeConstruct", f"from atom cluster {self.cluster_name}")
+            )
+        else:
+            operators.append(("MoleculeConstruct", "association traversal"))
+        operators.append(("RootScan", self.root_access.explain()))
+        return operators
 
     def explain(self) -> str:
         lines = [f"MOLECULE TYPE SCAN {self.structure!r}"]
@@ -80,8 +133,20 @@ class QueryPlan:
             how = "from the sort order (free)" if \
                 self.order_served_by_access else "explicit final sort"
             lines.append(f"  order: {rendered} — {how}")
+        if self.limit is not None or self.offset:
+            parts = []
+            if self.limit is not None:
+                parts.append(f"limit {self.limit}")
+            if self.offset:
+                parts.append(f"offset {self.offset}")
+            lines.append(f"  window: {', '.join(parts)}")
         if self.projection.select_all:
             lines.append("  project: ALL")
         else:
             lines.append(f"  project: {len(self.projection.items)} item(s)")
+        lines.append("  pipeline:")
+        for depth, (name, detail) in enumerate(self.operator_descriptions()):
+            indent = "    " + "  " * depth
+            lines.append(f"{indent}{name} ({detail})" if detail
+                         else f"{indent}{name}")
         return "\n".join(lines)

@@ -1,43 +1,142 @@
 """Result sets: what the data system hands back across the MAD interface.
 
-A result set is a set of molecules (heterogeneous record sets) plus the
-plan that produced it; the one-molecule-at-a-time interface of the paper's
-molecule management maps onto iteration.
+A result set is a **cursor** over the physical operator pipeline: the
+paper's molecule management hands molecules to the application one at a
+time, and iteration over a :class:`ResultSet` pulls molecules on demand
+from the compiled operator tree — the first molecule arrives before the
+root scan is exhausted, and abandoning the iteration cancels the rest of
+the work.
+
+Cursor contract:
+
+* ``for molecule in result`` streams lazily; consumed molecules are
+  cached, so iterating twice is safe and yields the same sequence.
+* ``len(result)``, negative/slice indexing, ``to_dicts()`` and
+  ``atom_count()`` materialise the remainder on demand.
+* ``result[i]`` with ``i >= 0`` materialises only the first ``i + 1``
+  molecules.
+* ``fetch_next()`` is the explicit one-molecule-at-a-time interface
+  (returns None at end); it works on eager sets (DML outcomes,
+  parallel results) too.  ``close()`` abandons the pipeline early.
+* Molecules are delivered against the root scan's opening snapshot:
+  atoms deleted while the cursor is open are skipped at delivery time
+  (the scan position-maintenance contract, paper 3.2).  Callers that
+  mutate mid-result should drain the cursor first (DML statements and
+  ``execute_script`` do so automatically).
 """
 
 from __future__ import annotations
 
-from typing import Any, Iterator
+from typing import TYPE_CHECKING, Any, Iterator
 
 from repro.mad.molecule import Molecule
 from repro.mad.types import Surrogate
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.data.operators import Operator
+
 
 class ResultSet:
-    """An ordered set of molecules (or DML outcome)."""
+    """An ordered set of molecules (or DML outcome), delivered lazily."""
 
     def __init__(self, molecules: list[Molecule] | None = None,
                  plan_text: str = "", affected: int = 0,
-                 inserted: Surrogate | None = None) -> None:
-        self.molecules = molecules if molecules is not None else []
+                 inserted: Surrogate | None = None,
+                 source: "Operator | None" = None) -> None:
+        #: Molecules pulled from the pipeline (or given eagerly) so far.
+        self._fetched: list[Molecule] = \
+            list(molecules) if molecules is not None else []
+        #: The operator pipeline still to be drained (None: materialised).
+        self._source = source
+        #: Position of the explicit fetch_next() cursor in ``_fetched``.
+        self._fetch_pos = 0
         self.plan_text = plan_text
         #: Atoms touched by a DML statement.
         self.affected = affected
         #: Surrogate produced by an INSERT.
         self.inserted = inserted
 
+    # -- the cursor ---------------------------------------------------------
+
+    def _pull(self) -> Molecule | None:
+        """Draw one molecule from the pipeline into the cache (does not
+        move the ``fetch_next()`` cursor)."""
+        if self._source is None:
+            return None
+        molecule = self._source.next()
+        if molecule is None:
+            self.close()
+            return None
+        self._fetched.append(molecule)
+        return molecule
+
+    def fetch_next(self) -> Molecule | None:
+        """Deliver the next molecule of the set (None at end).
+
+        Advances through already-fetched (or eagerly-given) molecules
+        first, then pulls from the pipeline.  Iteration, indexing and
+        ``materialize()`` do not move this cursor.
+        """
+        if self._fetch_pos >= len(self._fetched):
+            self._pull()
+        if self._fetch_pos < len(self._fetched):
+            molecule = self._fetched[self._fetch_pos]
+            self._fetch_pos += 1
+            return molecule
+        return None
+
+    def close(self) -> None:
+        """Abandon the pipeline; already-fetched molecules stay available."""
+        if self._source is not None:
+            self._source.close()
+            self._source = None
+
+    @property
+    def exhausted(self) -> bool:
+        """True once the pipeline is fully drained (or was never lazy)."""
+        return self._source is None
+
+    def materialize(self) -> list[Molecule]:
+        """Drain the pipeline; returns the complete molecule list.
+
+        Does not advance the ``fetch_next()`` cursor — materialising is
+        transparent to the explicit one-molecule-at-a-time interface.
+        """
+        while self._pull() is not None:
+            pass
+        return self._fetched
+
+    @property
+    def molecules(self) -> list[Molecule]:
+        """The complete molecule list (materialises the remainder)."""
+        return self.materialize()
+
+    # -- sequence protocol ---------------------------------------------------
+
     def __len__(self) -> int:
-        return len(self.molecules)
+        return len(self.materialize())
 
     def __iter__(self) -> Iterator[Molecule]:
-        return iter(self.molecules)
+        index = 0
+        while True:
+            if index < len(self._fetched):
+                yield self._fetched[index]
+                index += 1
+            elif self._pull() is None:
+                return
 
-    def __getitem__(self, index: int) -> Molecule:
-        return self.molecules[index]
+    def __getitem__(self, index: int | slice) -> Molecule | list[Molecule]:
+        if isinstance(index, slice):
+            return self.materialize()[index]
+        if index >= 0:
+            while len(self._fetched) <= index and self._pull() is not None:
+                pass
+            return self._fetched[index]
+        return self.materialize()[index]
 
     def to_dicts(self) -> list[dict[str, Any]]:
         """Plain-data rendering of every molecule."""
-        return [m.to_dict() for m in self.molecules]
+        return [m.to_dict() for m in self.materialize()]
 
     def atom_count(self) -> int:
         """Distinct atoms across all molecules in the set."""
@@ -49,7 +148,7 @@ class ResultSet:
                 for comp in comps:
                     visit(comp)
 
-        for molecule in self.molecules:
+        for molecule in self.materialize():
             visit(molecule)
         return len(seen)
 
@@ -58,4 +157,6 @@ class ResultSet:
             return f"ResultSet(inserted={self.inserted})"
         if self.affected:
             return f"ResultSet(affected={self.affected})"
-        return f"ResultSet({len(self.molecules)} molecules)"
+        if self._source is not None:
+            return f"ResultSet(streaming, {len(self._fetched)} fetched)"
+        return f"ResultSet({len(self._fetched)} molecules)"

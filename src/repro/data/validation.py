@@ -206,7 +206,7 @@ class Validator:
                     self._check_expr_against_node(item.subquery.where, node)
                 continue
             assert item.path is not None
-            self._resolve_path(item.path, structure, allow_label_only=True)
+            self.resolve_path(item.path, structure, allow_label_only=True)
 
     def _check_expr(self, expr: Expr, structure: StructureNode) -> None:
         if isinstance(expr, (And, Or)):
@@ -217,8 +217,8 @@ class Validator:
         elif isinstance(expr, Comparison):
             for side in (expr.left, expr.right):
                 if isinstance(side, Path):
-                    self._resolve_path(side, structure,
-                                       allow_label_only=False)
+                    self.resolve_path(side, structure,
+                                      allow_label_only=False)
         elif isinstance(expr, Quantified):
             node = structure.find(expr.label)
             if node is None:
@@ -253,9 +253,12 @@ class Validator:
                 f"atom type {node.atom_type!r} has no attribute {attr!r}"
             )
 
-    def _resolve_path(self, path: Path, structure: StructureNode,
-                      allow_label_only: bool) -> tuple[str, str | None]:
-        """Returns (label, attr-or-None); raises on unknown names.
+    def resolve_path(self, path: Path, structure: StructureNode,
+                     allow_label_only: bool) -> tuple[str, str | None]:
+        """Resolve an attribute path against a structure (public: the
+        projection operator and external tooling use it too).
+
+        Returns (label, attr-or-None); raises on unknown names.
 
         Bare names resolve as: a structure label (whole subtree, when
         allowed), else an attribute of the root atom type.

@@ -58,11 +58,33 @@ class Prima:
         return self.data.execute(parse(mql))
 
     def execute_script(self, mql: str) -> list[ResultSet]:
-        """Parse and execute a ';'-separated MQL script."""
-        return [self.data.execute(stmt) for stmt in parse_script(mql)]
+        """Parse and execute a ';'-separated MQL script.
+
+        Each SELECT is drained before the next statement runs, so a later
+        DML statement cannot mutate atoms under an open cursor.
+        """
+        results = []
+        for statement in parse_script(mql):
+            result = self.data.execute(statement)
+            result.materialize()
+            results.append(result)
+        return results
 
     def query(self, mql: str) -> ResultSet:
-        """Alias of :meth:`execute` for read-only statements."""
+        """Alias of :meth:`execute` for read-only statements.
+
+        SELECTs return a **lazy** :class:`ResultSet`: a cursor over the
+        compiled operator pipeline that constructs molecules as they are
+        pulled (``for m in result``); ``len()``/indexing materialise on
+        demand.
+        """
+        return self.execute(mql)
+
+    def stream(self, mql: str) -> ResultSet:
+        """One-molecule-at-a-time cursor over a SELECT (the paper's MAD
+        interface contract): molecules are constructed on demand via
+        ``fetch_next()``/iteration, and ``close()`` cancels the remaining
+        work deterministically."""
         return self.execute(mql)
 
     def explain(self, mql: str) -> str:

@@ -177,6 +177,10 @@ class SelectStatement(Statement):
     #: Result ordering over root attributes (the 'sorting' functional
     #: descriptor of query preparation, paper 3.1).
     order_by: list[OrderItem] = field(default_factory=list)
+    #: LIMIT n — deliver at most n molecules (None: unbounded).
+    limit: int | None = None
+    #: OFFSET m — skip the first m molecules of the (ordered) stream.
+    offset: int = 0
 
 
 @dataclass

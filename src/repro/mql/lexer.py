@@ -33,6 +33,8 @@ KEYWORDS = {
     "ON", "USING", "BTREE", "GRID",
     # result ordering (the data system's 'sorting' functional descriptor)
     "BY", "ASC", "DESC",
+    # result windowing (early termination of the streaming pipeline)
+    "LIMIT", "OFFSET",
 }
 
 

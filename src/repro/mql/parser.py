@@ -6,6 +6,8 @@ Grammar summary (see the module docstrings of :mod:`repro.mql.lexer` and
     statement   := select | create_at | drop_at | define_mt | drop_mt
                  | insert | delete | modify
     select      := SELECT projection FROM structure [WHERE qual]
+                   [ORDER BY path [ASC|DESC] (',' path [ASC|DESC])*]
+                   [LIMIT INT [OFFSET INT]]
     projection  := ALL | proj_item (',' proj_item)*
     proj_item   := IDENT ':=' select            -- qualified projection
                  | path
@@ -196,7 +198,16 @@ class Parser:
                     self._advance()
                     continue
                 break
-        return SelectStatement(projection, structure, where, order_by)
+        limit: int | None = None
+        offset = 0
+        if self._peek().is_keyword("LIMIT"):
+            self._advance()
+            limit = self._expect_int()
+            if self._peek().is_keyword("OFFSET"):
+                self._advance()
+                offset = self._expect_int()
+        return SelectStatement(projection, structure, where, order_by,
+                               limit=limit, offset=offset)
 
     def _projection(self) -> Projection:
         if self._peek().is_keyword("ALL"):

@@ -1,7 +1,12 @@
 """Semantic parallelism: decomposition, conflicts, simulated scheduling
 (paper, section 4; [HHM86])."""
 
-from repro.parallel.decompose import SemanticDecomposer, UnitOfWork
+from repro.parallel.decompose import (
+    ConstructionWorker,
+    SemanticDecomposer,
+    UnitOfWork,
+    partition_units,
+)
 from repro.parallel.scheduler import (
     ScheduleReport,
     ScheduledUnit,
@@ -11,6 +16,7 @@ from repro.parallel.scheduler import (
 from repro.parallel.api import ParallelQueryResult, parallel_select
 
 __all__ = [
+    "ConstructionWorker",
     "ParallelQueryResult",
     "ScheduleReport",
     "ScheduledUnit",
@@ -18,5 +24,6 @@ __all__ = [
     "UnitOfWork",
     "build_conflict_edges",
     "parallel_select",
+    "partition_units",
     "simulate",
 ]

@@ -1,8 +1,10 @@
 """Convenience entry point: run one MQL SELECT with semantic parallelism.
 
 ``parallel_select(db, mql, processors)`` decomposes the query into DUs,
-executes them (measuring per-DU cost), verifies the result equals the
-serial execution, and reports the simulated multi-processor schedule.
+partitions the root-scan stream round-robin (one molecule-construction
+worker per partition, riding the physical operator layer), executes the
+units (measuring per-DU cost), and reports the simulated multi-processor
+schedule.
 """
 
 from __future__ import annotations
@@ -27,12 +29,20 @@ class ParallelQueryResult:
                f"{self.report.explain()})"
 
 
-def parallel_select(db: Prima, mql: str,
-                    processors: int = 4) -> ParallelQueryResult:
+def parallel_select(db: Prima, mql: str, processors: int = 4,
+                    partitions: int | None = None) -> ParallelQueryResult:
     """Execute a molecule query with semantic parallelism on a simulated
-    ``processors``-way PRIMA."""
+    ``processors``-way PRIMA.
+
+    ``partitions`` controls how the root stream is carved across the
+    construction workers; it defaults to one partition per processor.
+    """
     decomposer = SemanticDecomposer(db.data)
     plan, units = decomposer.decompose_select(mql)
-    result = decomposer.run_all(plan, units)
+    result = decomposer.run_all(
+        plan, units,
+        partitions=max(1, partitions if partitions is not None
+                       else processors),
+    )
     report = simulate(units, processors)
     return ParallelQueryResult(result=result, report=report)

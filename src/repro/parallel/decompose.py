@@ -16,14 +16,26 @@ but serialises DML units.
 
 Each DU records its read and write sets and its *measured cost* (atom
 reads performed), which the scheduler uses as service time.
+
+Since the streaming refactor the decomposer rides on the physical
+operator layer: the root atoms come from a :class:`~repro.data.operators
+.RootScan` operator, the stream is partitioned round-robin, and one
+:class:`ConstructionWorker` per partition drives a ``MoleculeConstruct``
+operator over its :class:`~repro.data.operators.RootPartition` slice.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import Any
 
 from repro.data.executor import DataSystem
+from repro.data.operators import (
+    MoleculeConstruct,
+    RootPartition,
+    RootScan,
+    sort_stable,
+)
 from repro.data.plan import QueryPlan
 from repro.data.result import ResultSet
 from repro.errors import DecompositionError
@@ -39,6 +51,9 @@ class UnitOfWork:
 
     index: int
     root: Surrogate
+    #: Pre-projection values of the plan's ORDER BY attributes (the final
+    #: sort runs after the workers, when projection may have pruned them).
+    order_values: dict[str, Any] = field(default_factory=dict)
     #: Atoms this DU reads (filled during execution).
     read_set: set[Surrogate] = field(default_factory=set)
     #: Atoms this DU writes (empty for retrieval).
@@ -60,6 +75,61 @@ class UnitOfWork:
         return False
 
 
+def partition_units(units: list[UnitOfWork],
+                    partitions: int) -> list[list[UnitOfWork]]:
+    """Round-robin the DU stream into ``partitions`` non-empty slices."""
+    if partitions < 1:
+        raise DecompositionError("need at least one partition")
+    slices = [units[p::partitions] for p in range(partitions)]
+    return [part for part in slices if part]
+
+
+class ConstructionWorker:
+    """One molecule-construction worker over one partition of the roots.
+
+    The worker owns a ``MoleculeConstruct`` operator fed by the
+    ``RootPartition`` slice assigned to it; pulling a DU's molecule
+    through the operator measures the unit's cost (atom reads), fills its
+    read set, evaluates the residual qualification and projects — exactly
+    what the serial pipeline does above the root scan.
+    """
+
+    def __init__(self, data: DataSystem, plan: QueryPlan,
+                 units: list[UnitOfWork], index: int = 0,
+                 of: int = 1) -> None:
+        self._data = data
+        self._plan = plan
+        self.units = units
+        source = RootPartition([unit.root for unit in units],
+                               index=index, of=of)
+        self.construct = MoleculeConstruct(source, data, plan.structure,
+                                           plan.cluster_name)
+        self.construct.bind_counters(data.access.counters)
+
+    def run(self) -> None:
+        for unit in self.units:
+            self._run_unit(unit)
+
+    def _run_unit(self, unit: UnitOfWork) -> None:
+        data = self._data
+        plan = self._plan
+        counters = data.access.counters
+        before = counters.get("atoms_read")
+        molecule = self.construct.next()
+        assert molecule is not None   # one molecule per root in the slice
+        for _label, atom in molecule.atoms():
+            for value in atom.values():
+                if isinstance(value, Surrogate):
+                    unit.read_set.add(value)
+        if plan.residual_where is None or \
+                data.evaluator.matches(plan.residual_where, molecule):
+            unit.order_values = {attr: molecule.atom.get(attr)
+                                 for attr, _desc in plan.order_by}
+            data.apply_projection(molecule, plan.projection, plan.structure)
+            unit.result = molecule
+        unit.cost = max(counters.get("atoms_read") - before, 1)
+
+
 class SemanticDecomposer:
     """Decomposes a molecule query into per-molecule units of work."""
 
@@ -67,7 +137,12 @@ class SemanticDecomposer:
         self._data = data
 
     def decompose_select(self, mql: str) -> tuple[QueryPlan, list[UnitOfWork]]:
-        """Parse + plan a SELECT and create one (unexecuted) DU per root."""
+        """Parse + plan a SELECT and create one (unexecuted) DU per root.
+
+        The roots are drawn from the same ``RootScan`` operator the
+        serial pipeline uses — the sequential prologue of the paper's
+        decomposition.
+        """
         statement = parse(mql)
         if not isinstance(statement, SelectStatement):
             raise DecompositionError(
@@ -75,7 +150,7 @@ class SemanticDecomposer:
             )
         self._data._ensure_symmetry()  # noqa: SLF001
         plan = self._data.plan_select(statement)
-        roots = list(self._data._root_atoms(plan.root_access))  # noqa: SLF001
+        roots = list(RootScan(self._data, plan.root_access))
         units = [UnitOfWork(index=i, root=root)
                  for i, root in enumerate(roots)]
         return plan, units
@@ -87,35 +162,37 @@ class SemanticDecomposer:
         quantity of molecule construction and a deterministic, hardware-
         independent service time for the scheduler.
         """
-        data = self._data
-        counters = data.access.counters
-        before = counters.get("atoms_read")
-        cluster = None
-        if plan.cluster_name is not None:
-            structure = data.access.atoms.structure(plan.cluster_name)
-            from repro.access.cluster import AtomCluster
-            assert isinstance(structure, AtomCluster)
-            cluster = structure
-        molecule = data.construct_molecule(plan.structure, unit.root, cluster)
-        for _label, atom in molecule.atoms():
-            for value in atom.values():
-                if isinstance(value, Surrogate):
-                    unit.read_set.add(value)
-        if plan.residual_where is None or \
-                data.evaluator.matches(plan.residual_where, molecule):
-            data._apply_projection(  # noqa: SLF001
-                molecule, plan.projection, plan.structure
-            )
-            unit.result = molecule
-        unit.cost = max(counters.get("atoms_read") - before, 1)
+        ConstructionWorker(self._data, plan, [unit]).run()
 
-    def run_all(self, plan: QueryPlan,
-                units: list[UnitOfWork]) -> ResultSet:
-        """Execute every DU (serially — the scheduler replays the costs)
-        and assemble the molecule set in DU order."""
-        for unit in units:
-            self.execute_unit(plan, unit)
-        molecules = [u.result for u in units if u.result is not None]
+    def run_all(self, plan: QueryPlan, units: list[UnitOfWork],
+                partitions: int = 1) -> ResultSet:
+        """Execute every DU and assemble the molecule set in DU order.
+
+        The DU stream is partitioned round-robin; one construction worker
+        per partition drives its slice through the operator layer.  The
+        execution itself stays serial — the scheduler replays the measured
+        costs on the simulated multiprocessor — but the partitioning is
+        the same carving a real multi-processor PRIMA would use.
+        """
+        workers = [
+            ConstructionWorker(self._data, plan, part, index=i,
+                               of=partitions)
+            for i, part in enumerate(partition_units(units, partitions))
+        ]
+        for worker in workers:
+            worker.run()
+        qualified = [u for u in sorted(units, key=lambda u: u.index)
+                     if u.result is not None]
+        # Result shaping mirrors the serial pipeline above the workers:
+        # explicit final sort, then the OFFSET/LIMIT window.
+        if plan.order_by and not plan.order_served_by_access:
+            sort_stable(qualified, plan.order_by,
+                        lambda unit, attr: unit.order_values.get(attr))
+        molecules = [u.result for u in qualified]
+        if plan.offset:
+            molecules = molecules[plan.offset:]
+        if plan.limit is not None:
+            molecules = molecules[:plan.limit]
         return ResultSet(molecules, plan_text=plan.explain())
 
     # -- DML decomposition ----------------------------------------------------------
@@ -145,7 +222,7 @@ class SemanticDecomposer:
             raise DecompositionError(
                 f"MODIFY names unknown label {statement.label!r}"
             )
-        roots = list(self._data._root_atoms(plan.root_access))  # noqa: SLF001
+        roots = list(RootScan(self._data, plan.root_access))
         units = [UnitOfWork(index=i, root=root)
                  for i, root in enumerate(roots)]
         return (statement, plan), units

@@ -137,7 +137,9 @@ class TestExecution:
         db = handles.db
         db.execute_ldl("CREATE ATOM_CLUSTER bc FROM brep-face-edge-point")
         db.reset_accounting()
-        db.query("SELECT ALL FROM brep-face-edge-point WHERE brep_no = 1713")
+        result = db.query(
+            "SELECT ALL FROM brep-face-edge-point WHERE brep_no = 1713")
+        assert len(result) == 1   # drain the lazy cursor
         assert db.io_report().get("molecules_from_cluster", 0) == 1
 
     def test_cluster_ignored_for_other_structures(self, handles):
