@@ -16,7 +16,13 @@ from __future__ import annotations
 
 import time
 
-from common import brep_database, print_header, print_table
+from common import (
+    brep_database,
+    emit_json,
+    operator_timings,
+    print_header,
+    print_table,
+)
 
 QUERY = "SELECT ALL FROM brep-face-edge-point"
 
@@ -77,12 +83,33 @@ def report(n_solids: int = 24) -> None:
     )
     print()
     print("first-molecule vs. full-result latency")
-    print_table(["execution", "latency", "molecules"],
-                first_vs_full(n_solids))
+    latency_rows = first_vs_full(n_solids)
+    print_table(["execution", "latency", "molecules"], latency_rows)
     print()
     print("early termination (access counters)")
+    counter_rows = limit_counters(n_solids)
     print_table(["query", "atoms read", "molecules built", "roots pulled"],
-                limit_counters(n_solids))
+                counter_rows)
+    # A dedicated drain for the per-operator times, so the emitted
+    # timings describe exactly one known run of QUERY.
+    db = brep_database(n_solids).db
+    db.reset_accounting()
+    db.query(QUERY).materialize()
+    emit_json("bench_b1_streaming", {
+        "bench": "b1_streaming",
+        "query": QUERY,
+        "n_solids": n_solids,
+        "latency": [
+            {"execution": row[0], "latency": row[1], "molecules": row[2]}
+            for row in latency_rows
+        ],
+        "early_termination": [
+            {"query": row[0], "atoms_read": row[1],
+             "molecules_built": row[2], "roots_pulled": row[3]}
+            for row in counter_rows
+        ],
+        "operator_time_ms_full_result": operator_timings(db.io_report()),
+    })
 
 
 def test_limit_reads_less() -> None:

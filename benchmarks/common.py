@@ -4,10 +4,18 @@ Every bench file is runnable two ways (DESIGN.md §7):
 
 * ``python benchmarks/bench_*.py`` — prints the figure/table-shaped report;
 * ``pytest benchmarks/ --benchmark-only`` — timings via pytest-benchmark.
+
+Benches additionally emit their measurements as JSON via
+:func:`emit_json` (one ``<bench>.json`` per bench under
+``BENCH_RESULTS_DIR``, default ``benchmarks/results/``) — the CI
+``bench-smoke`` job uploads these as workflow artifacts, giving the
+repository a benchmark trajectory over time.
 """
 
 from __future__ import annotations
 
+import json
+import os
 from functools import lru_cache
 from typing import Any, Iterable
 
@@ -29,6 +37,35 @@ def vlsi_database(n_cells: int = 24) -> vlsi.VlsiDatabase:
 @lru_cache(maxsize=None)
 def gis_database(rows: int = 4, cols: int = 4) -> gis.GisDatabase:
     return gis.generate(rows=rows, cols=cols)
+
+
+def emit_json(name: str, payload: dict[str, Any]) -> str:
+    """Write one bench's measurements to ``<results dir>/<name>.json``.
+
+    The directory comes from ``BENCH_RESULTS_DIR`` (default
+    ``benchmarks/results/`` next to this file); the path written to is
+    returned and echoed so CI logs show where the artifact landed.
+    """
+    directory = os.environ.get(
+        "BENCH_RESULTS_DIR",
+        os.path.join(os.path.dirname(os.path.abspath(__file__)), "results"),
+    )
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"{name}.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True, default=str)
+        handle.write("\n")
+    print(f"\n[json] {path}")
+    return path
+
+
+def operator_timings(report: dict[str, Any]) -> dict[str, float]:
+    """The ``operator_time:*`` counters of an ``io_report()``, in ms."""
+    return {
+        name.split(":", 1)[1]: round(value * 1000.0, 3)
+        for name, value in report.items()
+        if name.startswith("operator_time:")
+    }
 
 
 def print_header(title: str, subtitle: str = "") -> None:

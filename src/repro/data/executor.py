@@ -143,14 +143,22 @@ class DataSystem:
         order_by = self._validate_order_by(statement, structure)
         root_access = self._choose_root_access(structure, where)
         order_served = False
+        order_prefix = 0
         if order_by and root_access.kind == "atom_type_scan" and \
                 not root_access.detail.get("search"):
-            # A matching (all-ascending) sort order delivers the requested
-            # order for free — the paper's sort scan as root access.
-            sort_access = self._matching_sort_order(structure, order_by)
+            # A sort order matching the (all-ascending) ORDER BY prefix
+            # makes the sort scan the root access: a full match delivers
+            # the requested order for free; a partial match still orders
+            # the stream on the leading attributes, which lets TopK cut
+            # the scan short once its heap bound is reached.
+            sort_access, served = self._ordering_sort_scan(structure,
+                                                           order_by)
             if sort_access is not None:
                 root_access = sort_access
-                order_served = True
+                if served == len(order_by):
+                    order_served = True
+                else:
+                    order_prefix = served
         cluster = self._matching_cluster(structure)
         if statement.limit is not None and statement.limit < 0:
             raise ValidationError("LIMIT must be non-negative")
@@ -164,6 +172,7 @@ class DataSystem:
             projection=statement.projection,
             order_by=order_by,
             order_served_by_access=order_served,
+            order_prefix_served=order_prefix,
             limit=statement.limit,
             offset=statement.offset,
         )
@@ -191,22 +200,44 @@ class DataSystem:
             out.append((attr, item.descending))
         return out
 
-    def _matching_sort_order(self, structure: StructureNode,
-                             order_by: list[tuple[str, bool]]
-                             ) -> RootAccess | None:
-        if any(descending for _attr, descending in order_by):
-            return None
-        attrs = tuple(attr for attr, _d in order_by)
+    def _ordering_sort_scan(self, structure: StructureNode,
+                            order_by: list[tuple[str, bool]]
+                            ) -> tuple[RootAccess | None, int]:
+        """The sort scan serving the longest ORDER BY prefix, if any.
+
+        Returns ``(access, served)`` where ``served`` counts the leading
+        ORDER BY attributes the scan delivers in order.  Only the
+        all-ascending prefix of the ORDER BY can match (sort orders are
+        ascending); ``served == len(order_by)`` means the order comes for
+        free, a shorter prefix still enables TopK's early exit.
+        """
+        ascending: list[str] = []
+        for attr, descending in order_by:
+            if descending:
+                break
+            ascending.append(attr)
+        if not ascending:
+            return None, 0
         from repro.access.sort_order import SortOrder
+        best: SortOrder | None = None
+        best_len = 0
         for candidate in self.access.atoms.structures_for(
                 structure.atom_type, "sort_order"):
             assert isinstance(candidate, SortOrder)
-            if candidate.sort_attrs == attrs:
-                return RootAccess("sort_scan", structure.atom_type, {
-                    "order": candidate.name,
-                    "attrs": attrs,
-                })
-        return None
+            matched = 0
+            for have, want in zip(candidate.sort_attrs, ascending):
+                if have != want:
+                    break
+                matched += 1
+            if matched > best_len:
+                best, best_len = candidate, matched
+        if best is None:
+            return None, 0
+        served = len(order_by) if best_len == len(order_by) else best_len
+        return RootAccess("sort_scan", structure.atom_type, {
+            "order": best.name,
+            "attrs": best.sort_attrs,
+        }), served
 
     def select(self, statement: SelectStatement) -> ResultSet:
         """Compile the plan into the operator pipeline; return a cursor.

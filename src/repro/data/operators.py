@@ -17,22 +17,34 @@ RootPartition        replays a pre-partitioned slice of a RootScan stream
 MoleculeConstruct    root surrogate -> molecule, by association traversal
                      or from a materialised atom cluster
 ResidualFilter       evaluates the residual qualification per molecule
-Sort                 explicit final sort — the only pipeline breaker,
-                     skipped when the root access already delivers the order
+Sort                 explicit final sort — a pipeline breaker, skipped when
+                     the root access already delivers the order; caches its
+                     sorted run so a rewound pipeline does not re-sort
+TopK                 ORDER BY + LIMIT k (+ OFFSET m) fused into one bounded
+                     heap of k+m entries; when the input stream is already
+                     ordered on a prefix of the sort attributes (a prefix-
+                     matching sort scan) the heap bound cuts the scan short
 Offset / Limit       skip the first m molecules / stop after n molecules
 Project              applies (qualified) projections to delivered molecules
 ===================  =======================================================
 
 Every operator counts the rows it emits (``rows_out`` and the access
-counters ``operator_rows:<Name>``), which benchmark reports use as
-per-operator cost/row accounting.
+counters ``operator_rows:<Name>``) and the cumulative wall-time of its
+``next()`` calls (``time_total``; the access counters
+``operator_time:<Name>`` carry the *self* time, children's time already
+subtracted), which benchmark reports use as per-operator cost/row/time
+accounting and ``explain(analyze=True)`` renders per operator.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Iterator
+import heapq
+import time
+from functools import total_ordering
+from typing import TYPE_CHECKING, Any, Callable, Iterator
 
 from repro.access.access_path import AccessPath
+from repro.access.btree import make_key
 from repro.access.cluster import AtomCluster
 from repro.access.scans import AccessPathScan, AtomTypeScan, SearchArgument, SortScan
 from repro.mad.molecule import Molecule, StructureNode
@@ -58,9 +70,13 @@ class Operator:
         self.children: tuple[Operator, ...] = children
         #: Rows this operator has emitted so far.
         self.rows_out = 0
+        #: Cumulative wall-time spent inside ``next()`` (children included).
+        self.time_total = 0.0
         self._iterator: Iterator[Any] | None = None
         self._closed = False
         self._counters = None
+        self._rows_key = f"operator_rows:{self.name}"
+        self._time_key = f"operator_time:{self.name}"
 
     def bind_counters(self, counters) -> None:
         """Attach the access-system counters down the whole tree."""
@@ -76,19 +92,41 @@ class Operator:
 
     def next(self) -> Any | None:
         """Deliver the next row (None at end of the stream or after
-        ``close()`` — a closed operator never reopens)."""
+        ``close()`` — a closed operator never reopens).
+
+        Every call is timed with :func:`time.perf_counter`; the counter
+        ``operator_time:<Name>`` accumulates the call's *self* time (the
+        time the children spent inside this call already subtracted), so
+        the per-operator times of one pipeline add up to its wall-time.
+        """
         if self._closed:
             return None
+        started = time.perf_counter()
+        children_before = sum(c.time_total for c in self.children)
         self.open()
         assert self._iterator is not None
         try:
             row = next(self._iterator)
         except StopIteration:
+            row = None
+        elapsed = time.perf_counter() - started
+        self.time_total += elapsed
+        if self._counters is not None:
+            children_elapsed = \
+                sum(c.time_total for c in self.children) - children_before
+            self._counters.bump(self._time_key,
+                                max(elapsed - children_elapsed, 0.0))
+        if row is None:
             return None
         self.rows_out += 1
         if self._counters is not None:
-            self._counters.bump(f"operator_rows:{self.name}")
+            self._counters.bump(self._rows_key)
         return row
+
+    @property
+    def self_time(self) -> float:
+        """Cumulative ``next()`` wall-time minus the children's share."""
+        return self.time_total - sum(c.time_total for c in self.children)
 
     def close(self) -> None:
         """Release the tree's resources; the operator stays closed."""
@@ -100,6 +138,24 @@ class Operator:
             self._iterator = None
         for child in self.children:
             child.close()
+
+    def rewind(self) -> None:
+        """Re-open the operator at the start of its stream.
+
+        A closed operator stays closed; row/time accounting keeps
+        accumulating across rewinds.  Pipeline breakers (Sort, TopK)
+        override this to replay their cached run without re-pulling —
+        and without re-sorting — their children.
+        """
+        if self._closed:
+            return
+        if self._iterator is not None:
+            generator_close = getattr(self._iterator, "close", None)
+            if generator_close is not None:
+                generator_close()
+            self._iterator = None
+        for child in self.children:
+            child.rewind()
 
     def __iter__(self) -> Iterator[Any]:
         while True:
@@ -123,11 +179,19 @@ class Operator:
         inner = self.detail()
         return f"{self.name} ({inner})" if inner else self.name
 
-    def render_tree(self, indent: int = 0) -> list[str]:
-        """The operator subtree, one line per operator, children indented."""
-        lines = [" " * indent + self.describe()]
+    def render_tree(self, indent: int = 0, analyze: bool = False) -> list[str]:
+        """The operator subtree, one line per operator, children indented.
+
+        With ``analyze=True`` every line carries the measured row count and
+        self time of the operator (``explain(analyze=True)`` output).
+        """
+        line = " " * indent + self.describe()
+        if analyze:
+            line += (f"  [rows={self.rows_out}, "
+                     f"self {max(self.self_time, 0.0) * 1000.0:.3f} ms]")
+        lines = [line]
         for child in self.children:
-            lines.extend(child.render_tree(indent + 2))
+            lines.extend(child.render_tree(indent + 2, analyze=analyze))
         return lines
 
 
@@ -260,11 +324,16 @@ class ResidualFilter(Operator):
 
 
 class Sort(Operator):
-    """Explicit final sort over root attributes — the pipeline breaker.
+    """Explicit final sort over root attributes — a pipeline breaker.
 
     Materialises the child stream, then emits in the requested order.
     Query preparation skips this operator when the root access (a sort
-    scan) already delivers the order.
+    scan) already delivers the order, and replaces it (together with the
+    Offset/Limit window) by :class:`TopK` when a LIMIT bounds the result.
+
+    The sorted run is cached after the first exhaustion: re-opening the
+    pipeline (``rewind()``, e.g. through ``ResultSet.reopen()``) replays
+    the cached run instead of re-pulling the children and re-sorting.
     """
 
     name = "Sort"
@@ -273,17 +342,190 @@ class Sort(Operator):
                  order_by: list[tuple[str, bool]]) -> None:
         super().__init__(child)
         self._order_by = order_by
+        self._sorted_run: list[Molecule] | None = None
 
     def _produce(self) -> Iterator[Molecule]:
-        molecules = list(self.children[0])
-        sort_stable(molecules, self._order_by,
-                    lambda molecule, attr: molecule.atom.get(attr))
-        yield from molecules
+        if self._sorted_run is None:
+            molecules = list(self.children[0])
+            sort_stable(molecules, self._order_by,
+                        lambda molecule, attr: molecule.atom.get(attr))
+            self._sorted_run = molecules
+            if self._counters is not None:
+                self._counters.bump("operator_sort_runs")
+        yield from self._sorted_run
+
+    def rewind(self) -> None:
+        """Replay the cached sorted run; only an un-run Sort rewinds its
+        children."""
+        if self._closed:
+            return
+        cascade = self._sorted_run is None
+        if self._iterator is not None:
+            self._iterator.close()
+            self._iterator = None
+        if cascade:
+            for child in self.children:
+                child.rewind()
 
     def detail(self) -> str:
         rendered = ", ".join(f"{attr} {'DESC' if desc else 'ASC'}"
                              for attr, desc in self._order_by)
         return f"{rendered} — pipeline breaker"
+
+
+@total_ordering
+class _Descending:
+    """Inverts the order of one key part (a DESC attribute in ORDER BY)."""
+
+    __slots__ = ("key",)
+
+    def __init__(self, key: Any) -> None:
+        self.key = key
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _Descending) and self.key == other.key
+
+    def __lt__(self, other: "_Descending") -> bool:
+        return other.key < self.key
+
+
+class _HeapEntry:
+    """One retained row of a bounded top-k heap.
+
+    ``rank`` is the full ordering: per-attribute keys (inverted for DESC
+    attributes) followed by the arrival sequence number, so ties keep the
+    earlier row — exactly the stable full sort's outcome.  ``__lt__`` is
+    inverted because :mod:`heapq` builds min-heaps and the heap must keep
+    its *worst* retained entry at the root for cheap replacement.
+    """
+
+    __slots__ = ("rank", "row")
+
+    def __init__(self, rank: tuple, row: Any) -> None:
+        self.rank = rank
+        self.row = row
+
+    def __lt__(self, other: "_HeapEntry") -> bool:
+        return other.rank < self.rank
+
+
+def order_rank(item: Any, order_by: list[tuple[str, bool]],
+               value_of: Callable[[Any, str], Any]) -> tuple:
+    """The comparable ordering key of one item under ``order_by``."""
+    parts: list[Any] = []
+    for attr, descending in order_by:
+        key = make_key(value_of(item, attr))
+        parts.append(_Descending(key) if descending else key)
+    return tuple(parts)
+
+
+class TopK(Operator):
+    """ORDER BY + OFFSET m + LIMIT k fused into one bounded-heap operator.
+
+    Where Sort materialises the whole child stream, TopK retains at most
+    ``k + m`` molecules in a :mod:`heapq` heap whose root is the worst
+    retained entry; every further molecule either replaces that root or is
+    dropped on arrival.  Ties resolve to the earlier molecule, so the
+    emitted window equals the stable full sort's.
+
+    When the child stream is already ordered on the first
+    ``ordered_prefix`` sort attributes (a prefix-matching sort scan as
+    root access), the heap bound becomes a search argument: once the heap
+    is full and an arriving molecule's prefix key exceeds the worst
+    retained one, no later molecule can enter the heap and the child —
+    ``MoleculeConstruct`` included — is cut short.
+
+    Like Sort, the emitted run is cached for ``rewind()``.
+    """
+
+    name = "TopK"
+
+    def __init__(self, child: Operator, order_by: list[tuple[str, bool]],
+                 limit: int, offset: int = 0,
+                 ordered_prefix: int = 0) -> None:
+        super().__init__(child)
+        self._order_by = order_by
+        self._limit = limit
+        self._offset = offset
+        self._ordered_prefix = ordered_prefix
+        #: High-water mark of the heap — never exceeds limit + offset.
+        self.max_heap_size = 0
+        #: True when the ordered-prefix bound stopped the child early.
+        self.cut_short = False
+        self._run: list[Molecule] | None = None
+
+    def _rank(self, molecule: Molecule, seq: int) -> tuple:
+        return order_rank(molecule, self._order_by,
+                          lambda m, attr: m.atom.get(attr)) + (seq,)
+
+    def _produce(self) -> Iterator[Molecule]:
+        if self._run is None:
+            self._run = self._select_top()
+            if self._counters is not None:
+                self._counters.bump("operator_topk_runs")
+        yield from self._run
+
+    def _select_top(self) -> list[Molecule]:
+        bound = self._limit + self._offset
+        if self._limit <= 0 or bound <= 0:
+            return []
+        heap: list[_HeapEntry] = []
+        child = self.children[0]
+        prefix = self._ordered_prefix
+        first_attr, first_desc = self._order_by[0]
+        seq = 0
+        while True:
+            molecule = child.next()
+            if molecule is None:
+                break
+            seq += 1
+            if len(heap) < bound:
+                heapq.heappush(
+                    heap, _HeapEntry(self._rank(molecule, seq), molecule))
+                if len(heap) > self.max_heap_size:
+                    self.max_heap_size = len(heap)
+                continue
+            # Fast reject on the first sort attribute alone: a molecule
+            # strictly worse than the heap root there can never enter
+            # (lexicographic order), so skip building the full rank.
+            first = make_key(molecule.atom.get(first_attr))
+            if first_desc:
+                first = _Descending(first)
+            worst_first = heap[0].rank[0]
+            if worst_first < first:
+                if prefix:
+                    # Sargable early exit: the stream is ordered on the
+                    # first attribute(s), so no later molecule can beat
+                    # the worst retained entry — stop constructing.
+                    self.cut_short = True
+                    break
+                continue
+            entry = _HeapEntry(self._rank(molecule, seq), molecule)
+            if entry.rank < heap[0].rank:
+                heapq.heapreplace(heap, entry)
+        ordered = sorted(heap, key=lambda e: e.rank)
+        return [e.row for e in ordered[self._offset:]]
+
+    def rewind(self) -> None:
+        """Replay the cached top-k run; only an un-run TopK rewinds its
+        children."""
+        if self._closed:
+            return
+        cascade = self._run is None
+        if self._iterator is not None:
+            self._iterator.close()
+            self._iterator = None
+        if cascade:
+            for child in self.children:
+                child.rewind()
+
+    def detail(self) -> str:
+        rendered = ", ".join(f"{attr} {'DESC' if desc else 'ASC'}"
+                             for attr, desc in self._order_by)
+        suffix = f"; input ordered on first {self._ordered_prefix}" \
+            if self._ordered_prefix else ""
+        return (f"k={self._limit}, offset={self._offset}; {rendered} — "
+                f"bounded heap{suffix}")
 
 
 class Offset(Operator):
@@ -373,16 +615,46 @@ def sort_stable(items: list, order_by: list[tuple[str, bool]],
                    reverse=descending)
 
 
+def top_k_stable(items: Iterator[Any], order_by: list[tuple[str, bool]],
+                 value_of, limit: int, offset: int = 0) -> list:
+    """Bounded-heap selection over an iterable: the first ``limit`` items
+    after ``offset`` of the stable full sort, retaining at most
+    ``limit + offset`` items at any moment.
+
+    The list-shaped twin of the :class:`TopK` operator — the parallel
+    subsystem's merge stage uses it over its units' order values.
+    """
+    bound = limit + offset
+    if limit <= 0 or bound <= 0:
+        return []
+    heap: list[_HeapEntry] = []
+    for seq, item in enumerate(items):
+        entry = _HeapEntry(order_rank(item, order_by, value_of) + (seq,),
+                           item)
+        if len(heap) < bound:
+            heapq.heappush(heap, entry)
+        elif entry.rank < heap[0].rank:
+            heapq.heapreplace(heap, entry)
+    ordered = sorted(heap, key=lambda e: e.rank)
+    return [e.row for e in ordered[offset:]]
+
+
 def build_pipeline(data: "DataSystem", plan: "QueryPlan",
-                   source: Operator | None = None) -> Operator:
+                   source: Operator | None = None,
+                   use_topk: bool = True) -> Operator:
     """Compile a processing plan into its physical operator tree.
 
     ``source`` replaces the RootScan when the caller already partitioned
     the root stream (the parallel subsystem's workers).  The canonical
     shape, bottom to top::
 
-        RootScan -> MoleculeConstruct -> [ResidualFilter] -> [Sort]
-                 -> [Offset] -> [Limit] -> Project
+        RootScan -> MoleculeConstruct -> [ResidualFilter]
+                 -> [Sort | TopK] -> [Offset] -> [Limit] -> Project
+
+    An explicit sort with a LIMIT fuses into one :class:`TopK` operator
+    (which swallows the Offset/Limit window); ``use_topk=False`` keeps the
+    Sort/Offset/Limit stack — the full-sort baseline benchmarks compare
+    against.
     """
     operator: Operator = source if source is not None \
         else RootScan(data, plan.root_access)
@@ -390,12 +662,20 @@ def build_pipeline(data: "DataSystem", plan: "QueryPlan",
                                  plan.cluster_name)
     if plan.residual_where is not None:
         operator = ResidualFilter(operator, data, plan.residual_where)
+    windowed = False
     if plan.order_by and not plan.order_served_by_access:
-        operator = Sort(operator, plan.order_by)
-    if plan.offset:
-        operator = Offset(operator, plan.offset)
-    if plan.limit is not None:
-        operator = Limit(operator, plan.limit)
+        if use_topk and plan.limit is not None:
+            operator = TopK(operator, plan.order_by, plan.limit,
+                            plan.offset,
+                            ordered_prefix=plan.order_prefix_served)
+            windowed = True
+        else:
+            operator = Sort(operator, plan.order_by)
+    if not windowed:
+        if plan.offset:
+            operator = Offset(operator, plan.offset)
+        if plan.limit is not None:
+            operator = Limit(operator, plan.limit)
     operator = Project(operator, data, plan.projection, plan.structure)
     operator.bind_counters(data.access.counters)
     return operator

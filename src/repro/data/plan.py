@@ -63,16 +63,30 @@ class QueryPlan:
     order_by: list[tuple[str, bool]] = field(default_factory=list)
     #: True when the root access already delivers the requested order.
     order_served_by_access: bool = False
+    #: Number of leading ORDER BY attributes the root access delivers in
+    #: order (a prefix-matching sort scan) — lets TopK cut the scan short.
+    order_prefix_served: int = 0
     #: LIMIT n — stop after n molecules (None: unbounded).
     limit: int | None = None
     #: OFFSET m — skip the first m molecules.
     offset: int = 0
 
+    @property
+    def uses_topk(self) -> bool:
+        """True when Sort + window fuse into the TopK operator."""
+        return bool(self.order_by) and not self.order_served_by_access \
+            and self.limit is not None
+
     def compile(self, data: "DataSystem",
-                source: "Operator | None" = None) -> "Operator":
-        """Lower this plan into its physical operator tree."""
+                source: "Operator | None" = None,
+                use_topk: bool = True) -> "Operator":
+        """Lower this plan into its physical operator tree.
+
+        ``use_topk=False`` compiles the Sort/Offset/Limit stack even when
+        TopK applies — the full-sort baseline for benchmarks.
+        """
         from repro.data.operators import build_pipeline
-        return build_pipeline(data, self, source=source)
+        return build_pipeline(data, self, source=source, use_topk=use_topk)
 
     def operator_descriptions(self) -> list[tuple[str, str]]:
         """(name, detail) pairs of the pipeline, top operator first.
@@ -88,16 +102,25 @@ class QueryPlan:
             operators.append(
                 ("Project", f"{len(self.projection.items)} item(s)")
             )
-        if self.limit is not None:
-            operators.append(("Limit", str(self.limit)))
-        if self.offset:
-            operators.append(("Offset", str(self.offset)))
-        if self.order_by and not self.order_served_by_access:
-            rendered = ", ".join(
-                f"{attr} {'DESC' if desc else 'ASC'}"
-                for attr, desc in self.order_by
-            )
-            operators.append(("Sort", f"{rendered} — pipeline breaker"))
+        rendered = ", ".join(
+            f"{attr} {'DESC' if desc else 'ASC'}"
+            for attr, desc in self.order_by
+        )
+        if self.uses_topk:
+            suffix = f"; input ordered on first {self.order_prefix_served}" \
+                if self.order_prefix_served else ""
+            operators.append((
+                "TopK",
+                f"k={self.limit}, offset={self.offset}; {rendered} — "
+                f"bounded heap{suffix}",
+            ))
+        else:
+            if self.limit is not None:
+                operators.append(("Limit", str(self.limit)))
+            if self.offset:
+                operators.append(("Offset", str(self.offset)))
+            if self.order_by and not self.order_served_by_access:
+                operators.append(("Sort", f"{rendered} — pipeline breaker"))
         if self.residual_where is not None:
             operators.append(
                 ("ResidualFilter", "residual qualification per molecule")
@@ -130,8 +153,12 @@ class QueryPlan:
                 f"{attr} {'DESC' if desc else 'ASC'}"
                 for attr, desc in self.order_by
             )
-            how = "from the sort order (free)" if \
-                self.order_served_by_access else "explicit final sort"
+            if self.order_served_by_access:
+                how = "from the sort order (free)"
+            elif self.uses_topk:
+                how = "top-k bounded heap"
+            else:
+                how = "explicit final sort"
             lines.append(f"  order: {rendered} — {how}")
         if self.limit is not None or self.offset:
             parts = []
@@ -139,6 +166,8 @@ class QueryPlan:
                 parts.append(f"limit {self.limit}")
             if self.offset:
                 parts.append(f"offset {self.offset}")
+            if self.uses_topk:
+                parts.append("fused into TopK")
             lines.append(f"  window: {', '.join(parts)}")
         if self.projection.select_all:
             lines.append("  project: ALL")

@@ -18,6 +18,10 @@ Cursor contract:
 * ``fetch_next()`` is the explicit one-molecule-at-a-time interface
   (returns None at end); it works on eager sets (DML outcomes,
   parallel results) too.  ``close()`` abandons the pipeline early.
+* ``reopen()`` restarts the cursor from the beginning: the pipeline is
+  rewound and re-executed against the current database state — except
+  that pipeline breakers (Sort, TopK) replay their cached run, so a
+  re-opened ORDER BY result does not re-construct or re-sort.
 * Molecules are delivered against the root scan's opening snapshot:
   atoms deleted while the cursor is open are skipped at delivery time
   (the scan position-maintenance contract, paper 3.2).  Callers that
@@ -48,6 +52,9 @@ class ResultSet:
             list(molecules) if molecules is not None else []
         #: The operator pipeline still to be drained (None: materialised).
         self._source = source
+        #: The pipeline kept across exhaustion so ``reopen()`` can rewind
+        #: it (dropped by an explicit ``close()``).
+        self._pipeline = source
         #: Position of the explicit fetch_next() cursor in ``_fetched``.
         self._fetch_pos = 0
         self.plan_text = plan_text
@@ -65,7 +72,9 @@ class ResultSet:
             return None
         molecule = self._source.next()
         if molecule is None:
-            self.close()
+            # Natural exhaustion: the cursor is done, but the pipeline is
+            # kept (un-closed) so ``reopen()`` can rewind it.
+            self._source = None
             return None
         self._fetched.append(molecule)
         return molecule
@@ -86,10 +95,29 @@ class ResultSet:
         return None
 
     def close(self) -> None:
-        """Abandon the pipeline; already-fetched molecules stay available."""
-        if self._source is not None:
-            self._source.close()
-            self._source = None
+        """Abandon the pipeline; already-fetched molecules stay available.
+
+        Unlike natural exhaustion, an explicit close releases the operator
+        tree for good — a closed result set cannot be re-opened."""
+        if self._pipeline is not None:
+            self._pipeline.close()
+            self._pipeline = None
+        self._source = None
+
+    def reopen(self) -> None:
+        """Restart the cursor at the first molecule of the set.
+
+        Lazy sets rewind and re-execute the pipeline (dropping the fetch
+        cache); pipeline breakers replay their cached run, so an ORDER BY
+        result re-opens without re-constructing or re-sorting.  Eager and
+        explicitly closed sets just reset the ``fetch_next()`` cursor over
+        what they hold.
+        """
+        if self._pipeline is not None:
+            self._pipeline.rewind()
+            self._source = self._pipeline
+            self._fetched.clear()
+        self._fetch_pos = 0
 
     @property
     def exhausted(self) -> bool:

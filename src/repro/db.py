@@ -87,14 +87,34 @@ class Prima:
         work deterministically."""
         return self.execute(mql)
 
-    def explain(self, mql: str) -> str:
-        """The processing plan of a SELECT, without executing it."""
+    def explain(self, mql: str, analyze: bool = False) -> str:
+        """The processing plan of a SELECT.
+
+        With ``analyze=False`` (the default) the plan is rendered without
+        executing anything.  With ``analyze=True`` the compiled pipeline
+        is executed to exhaustion and the rendered operator tree carries
+        each operator's measured row count and self wall-time (the same
+        quantities the ``operator_rows:*`` / ``operator_time:*`` counters
+        accumulate in :meth:`io_report`).
+        """
         statement = parse(mql)
         from repro.mql.ast import SelectStatement
         if not isinstance(statement, SelectStatement):
             raise PrimaError("EXPLAIN supports SELECT statements only")
         self.data._ensure_symmetry()  # noqa: SLF001
-        return self.data.plan_select(statement).explain()
+        plan = self.data.plan_select(statement)
+        if not analyze:
+            return plan.explain()
+        pipeline = plan.compile(self.data)
+        try:
+            while pipeline.next() is not None:
+                pass
+        finally:
+            pipeline.close()
+        lines = [plan.explain(), "  analyzed:"]
+        lines.extend("    " + line
+                     for line in pipeline.render_tree(analyze=True))
+        return "\n".join(lines)
 
     # -- LDL ------------------------------------------------------------------------
 

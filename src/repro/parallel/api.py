@@ -30,12 +30,17 @@ class ParallelQueryResult:
 
 
 def parallel_select(db: Prima, mql: str, processors: int = 4,
-                    partitions: int | None = None) -> ParallelQueryResult:
+                    partitions: int | None = None,
+                    max_workers: int | None = None) -> ParallelQueryResult:
     """Execute a molecule query with semantic parallelism on a simulated
     ``processors``-way PRIMA.
 
     ``partitions`` controls how the root stream is carved across the
     construction workers; it defaults to one partition per processor.
+    Each worker runs on its own thread, feeding the merge stage through a
+    bounded queue; ``max_workers`` caps the number of threads
+    (``max_workers=1`` forces the serial loop).  The molecule order is
+    deterministic either way.
     """
     decomposer = SemanticDecomposer(db.data)
     plan, units = decomposer.decompose_select(mql)
@@ -43,6 +48,7 @@ def parallel_select(db: Prima, mql: str, processors: int = 4,
         plan, units,
         partitions=max(1, partitions if partitions is not None
                        else processors),
+        max_workers=max_workers,
     )
     report = simulate(units, processors)
     return ParallelQueryResult(result=result, report=report)

@@ -22,10 +22,24 @@ operator layer: the root atoms come from a :class:`~repro.data.operators
 .RootScan` operator, the stream is partitioned round-robin, and one
 :class:`ConstructionWorker` per partition drives a ``MoleculeConstruct``
 operator over its :class:`~repro.data.operators.RootPartition` slice.
+
+**Threading model.**  ``run_all`` runs one real :class:`threading.Thread`
+per construction worker (capped by ``max_workers``); each completed DU is
+pushed into a bounded queue that the merge/shaping stage drains while the
+workers are still producing.  A per-run construction lock serialises the
+single-user storage engine at molecule granularity — under CPython's GIL
+the threads provide latency overlap, not CPU parallelism, which is
+exactly the carving a real multi-processor PRIMA would use; the
+scheduler replays the measured DU costs on the simulated multiprocessor.
+Result shaping sorts the completed units by DU index, so the molecule
+order is deterministic regardless of thread interleaving.
 """
 
 from __future__ import annotations
 
+import queue
+import threading
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -35,6 +49,7 @@ from repro.data.operators import (
     RootPartition,
     RootScan,
     sort_stable,
+    top_k_stable,
 )
 from repro.data.plan import QueryPlan
 from repro.data.result import ResultSet
@@ -92,14 +107,22 @@ class ConstructionWorker:
     through the operator measures the unit's cost (atom reads), fills its
     read set, evaluates the residual qualification and projects — exactly
     what the serial pipeline does above the root scan.
+
+    When run on a thread, ``lock`` serialises the storage engine at DU
+    granularity (cost measurement stays exact because the whole counted
+    region is inside the lock) and every completed unit is pushed into
+    ``sink`` for the merge stage to drain.
     """
 
     def __init__(self, data: DataSystem, plan: QueryPlan,
                  units: list[UnitOfWork], index: int = 0,
-                 of: int = 1) -> None:
+                 of: int = 1, lock: threading.Lock | None = None,
+                 sink: "queue.Queue[UnitOfWork] | None" = None) -> None:
         self._data = data
         self._plan = plan
         self.units = units
+        self._lock = lock
+        self._sink = sink
         source = RootPartition([unit.root for unit in units],
                                index=index, of=of)
         self.construct = MoleculeConstruct(source, data, plan.structure,
@@ -109,25 +132,30 @@ class ConstructionWorker:
     def run(self) -> None:
         for unit in self.units:
             self._run_unit(unit)
+            if self._sink is not None:
+                self._sink.put(unit)
 
     def _run_unit(self, unit: UnitOfWork) -> None:
         data = self._data
         plan = self._plan
         counters = data.access.counters
-        before = counters.get("atoms_read")
-        molecule = self.construct.next()
-        assert molecule is not None   # one molecule per root in the slice
-        for _label, atom in molecule.atoms():
-            for value in atom.values():
-                if isinstance(value, Surrogate):
-                    unit.read_set.add(value)
-        if plan.residual_where is None or \
-                data.evaluator.matches(plan.residual_where, molecule):
-            unit.order_values = {attr: molecule.atom.get(attr)
-                                 for attr, _desc in plan.order_by}
-            data.apply_projection(molecule, plan.projection, plan.structure)
-            unit.result = molecule
-        unit.cost = max(counters.get("atoms_read") - before, 1)
+        guard = self._lock if self._lock is not None else nullcontext()
+        with guard:
+            before = counters.get("atoms_read")
+            molecule = self.construct.next()
+            assert molecule is not None  # one molecule per root in the slice
+            for _label, atom in molecule.atoms():
+                for value in atom.values():
+                    if isinstance(value, Surrogate):
+                        unit.read_set.add(value)
+            if plan.residual_where is None or \
+                    data.evaluator.matches(plan.residual_where, molecule):
+                unit.order_values = {attr: molecule.atom.get(attr)
+                                     for attr, _desc in plan.order_by}
+                data.apply_projection(molecule, plan.projection,
+                                      plan.structure)
+                unit.result = molecule
+            unit.cost = max(counters.get("atoms_read") - before, 1)
 
 
 class SemanticDecomposer:
@@ -165,35 +193,104 @@ class SemanticDecomposer:
         ConstructionWorker(self._data, plan, [unit]).run()
 
     def run_all(self, plan: QueryPlan, units: list[UnitOfWork],
-                partitions: int = 1) -> ResultSet:
+                partitions: int = 1,
+                max_workers: int | None = None) -> ResultSet:
         """Execute every DU and assemble the molecule set in DU order.
 
         The DU stream is partitioned round-robin; one construction worker
-        per partition drives its slice through the operator layer.  The
-        execution itself stays serial — the scheduler replays the measured
-        costs on the simulated multiprocessor — but the partitioning is
-        the same carving a real multi-processor PRIMA would use.
+        per partition drives its slice through the operator layer, and
+        each worker runs on its own :class:`threading.Thread` (capped by
+        ``max_workers``; ``max_workers=1`` forces the serial loop).  The
+        completed units flow through a bounded queue into the
+        merge/shaping stage, which sorts them by DU index — the result
+        order is deterministic for any partition count and interleaving.
         """
-        workers = [
-            ConstructionWorker(self._data, plan, part, index=i,
-                               of=partitions)
-            for i, part in enumerate(partition_units(units, partitions))
-        ]
-        for worker in workers:
-            worker.run()
+        if max_workers is not None and max_workers < 1:
+            raise DecompositionError("need at least one worker thread")
+        parts = partition_units(units, partitions)
+        threaded = len(parts) > 1 and (max_workers is None
+                                       or max_workers > 1)
+        if not threaded:
+            workers = [
+                ConstructionWorker(self._data, plan, part, index=i,
+                                   of=len(parts))
+                for i, part in enumerate(parts)
+            ]
+            for worker in workers:
+                worker.run()
+        else:
+            self._run_threaded(plan, parts, max_workers)
         qualified = [u for u in sorted(units, key=lambda u: u.index)
                      if u.result is not None]
         # Result shaping mirrors the serial pipeline above the workers:
-        # explicit final sort, then the OFFSET/LIMIT window.
-        if plan.order_by and not plan.order_served_by_access:
-            sort_stable(qualified, plan.order_by,
-                        lambda unit, attr: unit.order_values.get(attr))
-        molecules = [u.result for u in qualified]
-        if plan.offset:
-            molecules = molecules[plan.offset:]
-        if plan.limit is not None:
-            molecules = molecules[:plan.limit]
+        # bounded-heap top-k under ORDER BY + LIMIT, otherwise the
+        # explicit final sort followed by the OFFSET/LIMIT window.
+        value_of = lambda unit, attr: unit.order_values.get(attr)  # noqa: E731
+        if plan.uses_topk:
+            selected = top_k_stable(qualified, plan.order_by, value_of,
+                                    plan.limit, plan.offset)
+            molecules = [u.result for u in selected]
+        else:
+            if plan.order_by and not plan.order_served_by_access:
+                sort_stable(qualified, plan.order_by, value_of)
+            molecules = [u.result for u in qualified]
+            if plan.offset:
+                molecules = molecules[plan.offset:]
+            if plan.limit is not None:
+                molecules = molecules[:plan.limit]
         return ResultSet(molecules, plan_text=plan.explain())
+
+    def _run_threaded(self, plan: QueryPlan,
+                      parts: list[list[UnitOfWork]],
+                      max_workers: int | None) -> None:
+        """One thread per construction worker, merge draining the queue.
+
+        The queue is bounded, so workers never run unboundedly ahead of
+        the merge stage; a per-run lock serialises the single-user storage
+        engine at DU granularity (see the module docstring).
+        """
+        sink: queue.Queue = queue.Queue(maxsize=max(2, 2 * len(parts)))
+        lock = threading.Lock()
+        workers = [
+            ConstructionWorker(self._data, plan, part, index=i,
+                               of=len(parts), lock=lock, sink=sink)
+            for i, part in enumerate(parts)
+        ]
+        thread_count = len(workers) if max_workers is None \
+            else min(max_workers, len(workers))
+        failures: list[BaseException] = []
+        done = object()
+
+        def drive(assigned: list[ConstructionWorker]) -> None:
+            try:
+                for worker in assigned:
+                    worker.run()
+            except BaseException as exc:  # noqa: BLE001 - reraised below
+                failures.append(exc)
+            finally:
+                sink.put(done)
+
+        threads = [
+            threading.Thread(target=drive,
+                             args=(workers[t::thread_count],),
+                             name=f"construction-worker-{t}", daemon=True)
+            for t in range(thread_count)
+        ]
+        for thread in threads:
+            thread.start()
+        finished = 0
+        drained = 0
+        while finished < len(threads):
+            item = sink.get()
+            if item is done:
+                finished += 1
+            else:
+                drained += 1
+        for thread in threads:
+            thread.join()
+        if failures:
+            raise failures[0]
+        assert drained == sum(len(w.units) for w in workers)
 
     # -- DML decomposition ----------------------------------------------------------
 

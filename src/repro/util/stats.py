@@ -8,44 +8,69 @@ report the same quantities the paper reasons about.
 
 from __future__ import annotations
 
+import threading
 from collections import Counter
 from typing import Iterator
 
 
 class Counters:
-    """A named bag of monotonically increasing integer counters."""
+    """A named bag of monotonically increasing counters.
 
-    __slots__ = ("_values",)
+    Most counters are integer event counts; the per-operator timing
+    counters (``operator_time:*``) accumulate fractional seconds.  A lock
+    makes ``bump()`` safe under the parallel subsystem's construction
+    threads (a bare ``+=`` on a shared Counter is a read-modify-write that
+    can lose updates between bytecodes).
+    """
+
+    __slots__ = ("_values", "_lock")
 
     def __init__(self) -> None:
         self._values: Counter[str] = Counter()
+        self._lock = threading.Lock()
 
-    def bump(self, name: str, amount: int = 1) -> None:
+    def __getstate__(self) -> dict[str, Counter]:
+        # Locks are not picklable; persistence checkpoints recreate one.
+        return {"_values": self._values}
+
+    def __setstate__(self, state) -> None:
+        if isinstance(state, tuple):
+            # Legacy __slots__ pickle (pre-lock checkpoints): the payload
+            # arrives as (None, {'_values': ...}).
+            state = state[1]
+        self._values = state["_values"]
+        self._lock = threading.Lock()
+
+    def bump(self, name: str, amount: float = 1) -> None:
         """Increase counter ``name`` by ``amount`` (default 1)."""
-        self._values[name] += amount
+        with self._lock:
+            self._values[name] += amount
 
-    def get(self, name: str) -> int:
+    def get(self, name: str) -> float:
         """Current value of counter ``name`` (0 if never bumped)."""
         return self._values.get(name, 0)
 
     def reset(self) -> None:
         """Zero every counter."""
-        self._values.clear()
+        with self._lock:
+            self._values.clear()
 
-    def snapshot(self) -> dict[str, int]:
+    def snapshot(self) -> dict[str, float]:
         """A plain-dict copy of all counters, sorted by name."""
-        return {name: self._values[name] for name in sorted(self._values)}
+        with self._lock:
+            return {name: self._values[name]
+                    for name in sorted(self._values)}
 
-    def diff(self, earlier: dict[str, int]) -> dict[str, int]:
+    def diff(self, earlier: dict[str, float]) -> dict[str, float]:
         """Counters gained since ``earlier`` (a prior :meth:`snapshot`)."""
-        result: dict[str, int] = {}
+        result: dict[str, float] = {}
         for name, value in self._values.items():
             delta = value - earlier.get(name, 0)
             if delta:
                 result[name] = delta
         return dict(sorted(result.items()))
 
-    def __iter__(self) -> Iterator[tuple[str, int]]:
+    def __iter__(self) -> Iterator[tuple[str, float]]:
         return iter(sorted(self._values.items()))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -269,14 +269,24 @@ class TestExplainTree:
         assert "RootScan (SORT SCAN by_n" in tree
         assert "Sort (" not in tree     # order served by the access
 
-    def test_explicit_sort_and_window_in_tree(self, db):
+    def test_explicit_sort_without_limit_in_tree(self, db):
+        plan = db.explain("SELECT ALL FROM part ORDER BY n DESC")
+        tree = self._tree(plan)
+        assert "Sort (n DESC — pipeline breaker)" in tree
+        assert "TopK" not in tree
+        assert tree.index("Sort") < tree.index("RootScan")
+
+    def test_sort_window_fuses_into_topk(self, db):
+        """ORDER BY + LIMIT compiles the Sort/Offset/Limit stack into one
+        bounded-heap TopK operator."""
         plan = db.explain("SELECT ALL FROM part ORDER BY n DESC "
                           "LIMIT 3 OFFSET 1")
         tree = self._tree(plan)
-        assert "Sort (n DESC — pipeline breaker)" in tree
-        assert "Limit (3)" in tree and "Offset (1)" in tree
-        assert tree.index("Limit") < tree.index("Offset") < \
-            tree.index("Sort") < tree.index("RootScan")
+        assert "TopK (k=3, offset=1; n DESC — bounded heap)" in tree
+        assert "Sort (" not in tree
+        assert "Limit (" not in tree and "Offset (" not in tree
+        assert tree.index("TopK") < tree.index("MoleculeConstruct") < \
+            tree.index("RootScan")
 
     def test_compiled_tree_matches_description(self, db):
         statement = parse("SELECT ALL FROM part WHERE grp = 1 "
