@@ -1,0 +1,48 @@
+"""CI gate: fail when any benchmark JSON reports a regression marker.
+
+Benches emit their measurements via :func:`common.emit_json`; a bench
+that detects a (typically timing-based) regression records it under the
+``"regressions"`` key of its payload instead of raising — deterministic
+structural properties stay hard assertions inside the bench itself.
+This script scans a results directory and exits non-zero when any
+payload carries a non-empty marker list, so the bench-smoke job *fails*
+on a regression rather than merely uploading the evidence.
+
+Usage: ``python benchmarks/check_regressions.py [results_dir]``
+(default: ``benchmarks/results`` or ``$BENCH_RESULTS_DIR``).
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+import sys
+
+
+def scan(directory: str) -> int:
+    paths = sorted(glob.glob(os.path.join(directory, "*.json")))
+    if not paths:
+        print(f"no benchmark JSON found under {directory!r}")
+        return 1
+    failures = 0
+    for path in paths:
+        with open(path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+        markers = payload.get("regressions") or []
+        if markers:
+            failures += 1
+            print(f"REGRESSION {path}:")
+            for marker in markers:
+                print(f"  - {marker}")
+        else:
+            print(f"ok {path}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    results_dir = sys.argv[1] if len(sys.argv) > 1 else os.environ.get(
+        "BENCH_RESULTS_DIR",
+        os.path.join(os.path.dirname(os.path.abspath(__file__)), "results"),
+    )
+    sys.exit(scan(results_dir))

@@ -88,15 +88,23 @@ class AccessPath(StorageStructure):
         return [s for _k, s in self._index.box(conditions)]
 
     def scan(self, conditions: list[KeyCondition] | None = None,
-             ) -> Iterator[tuple[tuple, Surrogate]]:
+             reverse: bool = False) -> Iterator[tuple[tuple, Surrogate]]:
         """Range scan with per-key start/stop conditions and directions.
 
         For the B*-tree only the first key's condition bounds the scan
         (linear order); the grid file honours every key's condition
-        individually (the n-dimensional selection path).
+        individually (the n-dimensional selection path).  ``reverse``
+        flips the scan direction when no explicit conditions are given —
+        a convenience mirroring ``SortOrder.iterate(reverse=...)``;
+        callers with explicit conditions set ``descending`` per key
+        instead (as the direction-aware sort scan does).  A reverse
+        B*-tree walk keeps the surrogate tie-break ascending within
+        equal keys (see :meth:`BStarTree.range`), so descending
+        access-path scans agree with the stable sort on ties.
         """
         if conditions is None:
-            conditions = [KeyCondition() for _ in self.attrs]
+            conditions = [KeyCondition(descending=reverse)] + \
+                [KeyCondition() for _ in self.attrs[1:]]
         if len(conditions) != len(self.attrs):
             raise AccessError(
                 f"access path {self.name!r} needs {len(self.attrs)} key "

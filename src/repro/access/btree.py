@@ -207,6 +207,13 @@ class BStarTree:
 
         ``None`` bounds are open; inclusivity flags realise the start/stop
         conditions of the access-path scan.
+
+        A reverse scan delivers *keys* in descending order but keeps the
+        surrogate tie-break **ascending** within each run of equal keys:
+        equal-key entries arrive in insertion order either way, which is
+        exactly what a stable sort with a reversed key produces — so an
+        index-backed descending scan and the explicit Sort operator agree
+        on ties.
         """
         start_key = None if start is None else make_key(start)
         stop_key = None if stop is None else make_key(stop)
@@ -238,23 +245,35 @@ class BStarTree:
                 node = node.next
                 pos = 0
         else:
-            if stop_key is None:
-                node = self._rightmost()
-                pos = len(node.keys) - 1
-            else:
-                probe = (stop_key, Surrogate("￿", 2 ** 62))
-                node = self._find_leaf(probe)
-                pos = _bisect(node.keys, probe, right=True) - 1
-            while node is not None:
-                while pos >= 0:
-                    key, surrogate = node.keys[pos]
-                    if start_key is not None and key < start_key:
-                        return
-                    if in_range(key):
-                        yield key, surrogate
-                    pos -= 1
-                node = node.prev
-                pos = len(node.keys) - 1 if node is not None else -1
+            def walk_backward() -> Iterator[tuple[Key, Surrogate]]:
+                if stop_key is None:
+                    node = self._rightmost()
+                    pos = len(node.keys) - 1
+                else:
+                    probe = (stop_key, Surrogate("￿", 2 ** 62))
+                    node = self._find_leaf(probe)
+                    pos = _bisect(node.keys, probe, right=True) - 1
+                while node is not None:
+                    while pos >= 0:
+                        key, surrogate = node.keys[pos]
+                        if start_key is not None and key < start_key:
+                            return
+                        if in_range(key):
+                            yield key, surrogate
+                        pos -= 1
+                    node = node.prev
+                    pos = len(node.keys) - 1 if node is not None else -1
+
+            # Re-establish the ascending surrogate tie-break: the backward
+            # walk visits a run of equal keys in descending surrogate
+            # order, so buffer each run and emit it reversed.
+            run: list[tuple[Key, Surrogate]] = []
+            for key, surrogate in walk_backward():
+                if run and run[-1][0] != key:
+                    yield from reversed(run)
+                    run.clear()
+                run.append((key, surrogate))
+            yield from reversed(run)
 
     def items(self) -> Iterator[tuple[Key, Surrogate]]:
         """All entries in key order."""

@@ -24,6 +24,16 @@ attribute-operator-value terms decidable on each atom in isolation.
 Position maintenance: a scan snapshots the membership order when opened;
 atoms deleted after opening are skipped at delivery time, so NEXT/PRIOR
 remain well-defined under concurrent modification of the set.
+
+Scans opened with ``lazy=True`` derive their positions *incrementally*
+instead of materialising the snapshot at open time: the underlying
+structure (B*-tree walk, sort-order list, access-path range) is advanced
+only as far as delivery demands, so a bounded consumer (LIMIT, TopK's
+tightening heap bound) leaves the rest of the walk untouched.  Positions
+already derived stay snapshotted — NEXT/PRIOR over the consumed prefix
+behave exactly like the eager scan.  The execution pipeline opens its
+root scans lazily; direct (interactive) scans default to eager, which
+keeps the full snapshot-at-open contract under concurrent deletes.
 """
 
 from __future__ import annotations
@@ -86,10 +96,12 @@ class Scan:
     benchmarks report on.
     """
 
-    def __init__(self, counters: Any = None) -> None:
+    def __init__(self, counters: Any = None, lazy: bool = False) -> None:
         self._positions: list[Any] | None = None
+        self._stream: Iterator[Any] | None = None   # pending tail (lazy)
         self._cursor = -1          # index of the element delivered last
         self._closed = False
+        self._lazy = lazy
         self._counters = counters
         #: Rows this scan has delivered over its lifetime.
         self.rows_delivered = 0
@@ -105,6 +117,10 @@ class Scan:
     def _snapshot(self) -> list[Any]:
         raise NotImplementedError
 
+    def _snapshot_iter(self) -> Iterator[Any]:
+        """The ordered positions as a stream (default: the eager list)."""
+        return iter(self._snapshot())
+
     def _deliver(self, position: Any) -> tuple[Surrogate, dict[str, Any]] | None:
         """Fetch the atom at ``position``; None when it vanished or fails
         the search argument."""
@@ -116,16 +132,34 @@ class Scan:
         if self._closed:
             raise ScanStateError("scan is closed")
         if self._positions is None:
-            self._positions = self._snapshot()
+            if self._lazy:
+                self._positions = []
+                self._stream = self._snapshot_iter()
+            else:
+                self._positions = list(self._snapshot_iter())
             if self._counters is not None:
                 self._counters.bump("scans_opened")
         return self._positions
+
+    def _fill_to(self, index: int) -> bool:
+        """Grow the position list to cover ``index`` (lazy scans pull from
+        the pending stream); False when the set ends first."""
+        assert self._positions is not None
+        while len(self._positions) <= index:
+            if self._stream is None:
+                return False
+            try:
+                self._positions.append(next(self._stream))
+            except StopIteration:
+                self._stream = None
+                return False
+        return True
 
     def next(self) -> tuple[Surrogate, dict[str, Any]] | None:
         """Advance to and return the next qualifying atom (None at end)."""
         positions = self._ensure_open()
         cursor = self._cursor
-        while cursor + 1 < len(positions):
+        while self._fill_to(cursor + 1):
             cursor += 1
             result = self._deliver(positions[cursor])
             if result is not None:
@@ -156,6 +190,11 @@ class Scan:
 
     def close(self) -> None:
         self._closed = True
+        if self._stream is not None:
+            generator_close = getattr(self._stream, "close", None)
+            if generator_close is not None:
+                generator_close()
+            self._stream = None
         self._positions = None
 
     def __iter__(self) -> Iterator[tuple[Surrogate, dict[str, Any]]]:
@@ -204,7 +243,18 @@ class SortScan(Scan):
     Uses a redundant :class:`SortOrder` when one matches the criterion;
     otherwise the sort is performed explicitly into a temporary order
     (which is exactly what the paper allows — the scan works either way).
-    Start and stop conditions bound the delivered key range.
+    Start and stop conditions bound the delivered key range; the
+    direction is first-class (``reverse=True`` walks the order
+    descending, with the surrogate tie-break kept ascending on every
+    backing — sort order, access path, and explicit sort agree on ties).
+
+    Besides the static start/stop conditions the scan accepts a
+    **dynamic** stop key (:meth:`set_stop_bound`): a consumer that learns
+    mid-scan how far the walk can possibly matter (TopK's tightening heap
+    threshold) feeds the bound in, and the walk terminates as soon as the
+    current key passes it in scan direction.  Combined with ``lazy=True``
+    the underlying B*-tree/sort-order walk itself stops — not just the
+    delivery.
     """
 
     def __init__(self, manager: "AtomManager", type_name: str,
@@ -212,8 +262,8 @@ class SortScan(Scan):
                  search: SearchArgument | None = None,
                  start: Any = None, stop: Any = None,
                  include_start: bool = True, include_stop: bool = True,
-                 reverse: bool = False) -> None:
-        super().__init__(counters=manager.counters)
+                 reverse: bool = False, lazy: bool = False) -> None:
+        super().__init__(counters=manager.counters, lazy=lazy)
         self._manager = manager
         self._type_name = type_name
         self._sort_attrs = tuple(sort_attrs)
@@ -223,6 +273,8 @@ class SortScan(Scan):
         self._include_start = include_start
         self._include_stop = include_stop
         self._reverse = reverse
+        #: Dynamic stop key over a prefix of ``sort_attrs`` (raw values).
+        self._stop_bound: tuple | None = None
         self._support: SortOrder | None = None
         for structure in manager.structures_for(type_name, "sort_order"):
             assert isinstance(structure, SortOrder)
@@ -243,14 +295,40 @@ class SortScan(Scan):
                     break
         self.used_access_path = self._path_support is not None
 
-    def _snapshot(self) -> list[Surrogate]:
+    def set_stop_bound(self, values: tuple) -> None:
+        """Install (or tighten) the dynamic stop key.
+
+        ``values`` are raw attribute values for a leading prefix of the
+        sort attributes.  The walk stops at the first entry whose key
+        prefix lies strictly *beyond* the bound in scan direction —
+        entries tying the bound on the prefix still flow, because a
+        consumer bounding on a prefix cannot reject ties.
+        """
+        bound = tuple(values)
+        if len(bound) > len(self._sort_attrs):
+            raise AccessError(
+                f"stop bound {bound!r} is longer than the sort criterion "
+                f"{self._sort_attrs!r}"
+            )
+        self._stop_bound = bound
+
+    def _beyond_stop_bound(self, key_values: tuple) -> bool:
+        bound = self._stop_bound
+        if bound is None:
+            return False
+        probe = make_key(tuple(key_values[:len(bound)]))
+        limit = make_key(bound)
+        return probe < limit if self._reverse else limit < probe
+
+    def _snapshot_iter(self) -> Iterator[Surrogate]:
         if self._support is not None:
-            return list(self._support.iterate(
-                start=self._start, stop=self._stop,
-                include_start=self._include_start,
-                include_stop=self._include_stop, reverse=self._reverse,
-            ))
-        if self._path_support is not None:
+            entries: Iterator[tuple[tuple, Surrogate]] = \
+                self._support.iterate_entries(
+                    start=self._start, stop=self._stop,
+                    include_start=self._include_start,
+                    include_stop=self._include_stop, reverse=self._reverse,
+                )
+        elif self._path_support is not None:
             condition = KeyCondition(
                 start=self._start, stop=self._stop,
                 include_start=self._include_start,
@@ -259,11 +337,28 @@ class SortScan(Scan):
             )
             conditions = [condition] + \
                 [KeyCondition()] * (len(self._sort_attrs) - 1)
-            return [s for _key, s in self._path_support.scan(conditions)]
-        # Explicit sort into a temporary order.
-        entries: list[tuple[Any, Surrogate]] = []
+            entries = self._path_support.scan(conditions)
+        else:
+            entries = self._explicit_entries()
+        for key_values, surrogate in entries:
+            if self._counters is not None:
+                self._counters.bump("sort_scan_entries_walked")
+            if self._beyond_stop_bound(key_values):
+                return
+            yield surrogate
+
+    def _explicit_entries(self) -> Iterator[tuple[tuple, Surrogate]]:
+        """Explicit sort into a temporary order (no supporting structure).
+
+        The sort is by (key, surrogate) ascending; a descending scan
+        stably re-sorts on the key alone, which keeps the surrogate
+        tie-break ascending — the same tie semantics as the index-backed
+        paths and the stable explicit Sort operator.
+        """
+        entries: list[tuple[Any, tuple, Surrogate]] = []
         for surrogate, values in self._manager.atoms_of_type(self._type_name):
-            key = make_key(tuple(values.get(a) for a in self._sort_attrs))
+            raw = tuple(values.get(a) for a in self._sort_attrs)
+            key = make_key(raw)
             if self._start is not None:
                 lo = make_key(self._start)
                 if key < lo or (key == lo and not self._include_start):
@@ -272,9 +367,12 @@ class SortScan(Scan):
                 hi = make_key(self._stop)
                 if hi < key or (key == hi and not self._include_stop):
                     continue
-            entries.append((key, surrogate))
-        entries.sort(key=lambda e: (e[0], e[1]), reverse=self._reverse)
-        return [surrogate for _key, surrogate in entries]
+            entries.append((key, raw, surrogate))
+        entries.sort(key=lambda e: (e[0], e[2]))
+        if self._reverse:
+            entries.sort(key=lambda e: e[0], reverse=True)
+        for _key, raw, surrogate in entries:
+            yield raw, surrogate
 
     def _deliver(self, position: Surrogate):
         if not self._manager.exists(position):
@@ -301,15 +399,16 @@ class AccessPathScan(Scan):
 
     def __init__(self, manager: "AtomManager", path: AccessPath,
                  conditions: list[KeyCondition] | None = None,
-                 search: SearchArgument | None = None) -> None:
-        super().__init__(counters=manager.counters)
+                 search: SearchArgument | None = None,
+                 lazy: bool = False) -> None:
+        super().__init__(counters=manager.counters, lazy=lazy)
         self._manager = manager
         self._path = path
         self._conditions = conditions
         self._search = search
 
-    def _snapshot(self) -> list[Surrogate]:
-        return [s for _key, s in self._path.scan(self._conditions)]
+    def _snapshot_iter(self) -> Iterator[Surrogate]:
+        return (s for _key, s in self._path.scan(self._conditions))
 
     def _deliver(self, position: Surrogate):
         if not self._manager.exists(position):

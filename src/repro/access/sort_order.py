@@ -97,12 +97,32 @@ class SortOrder(StorageStructure):
     def iterate(self, start: Any = None, stop: Any = None,
                 include_start: bool = True, include_stop: bool = True,
                 reverse: bool = False) -> Iterator[Surrogate]:
-        """Surrogates in sort-key order within the start/stop conditions."""
-        for _key, surrogate in self._index.range(
+        """Surrogates in sort-key order within the start/stop conditions.
+
+        ``reverse=True`` walks the order backwards (descending keys); the
+        surrogate tie-break stays ascending either way, so a reverse walk
+        equals a stable descending sort.
+        """
+        for _values, surrogate in self.iterate_entries(
             start=start, stop=stop, include_start=include_start,
             include_stop=include_stop, reverse=reverse,
         ):
             yield surrogate
+
+    def iterate_entries(self, start: Any = None, stop: Any = None,
+                        include_start: bool = True, include_stop: bool = True,
+                        reverse: bool = False,
+                        ) -> Iterator[tuple[tuple, Surrogate]]:
+        """(sort-key values, surrogate) pairs in scan order.
+
+        The key values let a caller drive a *dynamic* stop condition
+        (e.g. TopK's tightening heap bound) without re-reading atoms.
+        """
+        for key, surrogate in self._index.range(
+            start=start, stop=stop, include_start=include_start,
+            include_stop=include_stop, reverse=reverse,
+        ):
+            yield key.values, surrogate
 
     def read(self, surrogate: Surrogate) -> dict[str, Any] | None:
         """The sort order's record copy, or None when absent/stale."""

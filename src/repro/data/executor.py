@@ -146,11 +146,12 @@ class DataSystem:
         order_prefix = 0
         if order_by and root_access.kind == "atom_type_scan" and \
                 not root_access.detail.get("search"):
-            # A sort order matching the (all-ascending) ORDER BY prefix
-            # makes the sort scan the root access: a full match delivers
-            # the requested order for free; a partial match still orders
-            # the stream on the leading attributes, which lets TopK cut
-            # the scan short once its heap bound is reached.
+            # An ordering structure matching the leading uniform-direction
+            # ORDER BY prefix makes the (possibly reverse) sort scan the
+            # root access: a full match delivers the requested order for
+            # free; a partial match still orders the stream on the leading
+            # attributes, which lets TopK cut the scan short — and push
+            # its tightening heap bound into the walk itself.
             sort_access, served = self._ordering_sort_scan(structure,
                                                            order_by)
             if sort_access is not None:
@@ -187,6 +188,15 @@ class DataSystem:
                 attr = parts[1]
             elif len(parts) == 1:
                 attr = parts[0]
+            elif len(parts) == 2:
+                # A two-part path whose qualifier is not the root label:
+                # the label is wrong, not the shape — say so.
+                raise ValidationError(
+                    f"ORDER BY path {'.'.join(parts)!r} must be qualified "
+                    f"by the root label {structure.label!r}, not "
+                    f"{parts[0]!r} (only root attributes can order the "
+                    f"result)"
+                )
             else:
                 raise ValidationError(
                     f"ORDER BY supports root attributes only, got "
@@ -206,38 +216,74 @@ class DataSystem:
         """The sort scan serving the longest ORDER BY prefix, if any.
 
         Returns ``(access, served)`` where ``served`` counts the leading
-        ORDER BY attributes the scan delivers in order.  Only the
-        all-ascending prefix of the ORDER BY can match (sort orders are
-        ascending); ``served == len(order_by)`` means the order comes for
-        free, a shorter prefix still enables TopK's early exit.
+        ORDER BY attributes the scan delivers in order.  An ordering
+        structure — a sort order, or a B*-tree access path over the sort
+        attributes — delivers its attribute list ascending when scanned
+        forward and descending when scanned in **reverse**, so the
+        servable prefix is the longest leading run of ORDER BY attributes
+        sharing one direction: ``ORDER BY a DESC, b DESC`` matches a
+        structure on ``(a, b)`` walked backwards, ``ORDER BY a DESC, b``
+        still serves its first attribute (``served == 1``), which arms
+        TopK's early exit and dynamic scan bound.  ``served ==
+        len(order_by)`` means the requested order comes for free.
+
+        Tie semantics of a served order: molecules equal on *all* of the
+        structure's attributes arrive in insertion (ascending surrogate)
+        order in either scan direction; when a longer structure serves a
+        shorter ORDER BY, ties beyond the requested attributes follow
+        the structure's remaining attributes in scan direction — a valid
+        instance of the requested order, exactly as in the ascending
+        case.
         """
-        ascending: list[str] = []
+        direction = order_by[0][1]
+        wanted: list[str] = []
         for attr, descending in order_by:
-            if descending:
+            if descending != direction:
                 break
-            ascending.append(attr)
-        if not ascending:
-            return None, 0
+            wanted.append(attr)
         from repro.access.sort_order import SortOrder
-        best: SortOrder | None = None
+
+        def prefix_len(have: tuple[str, ...]) -> int:
+            matched = 0
+            for have_attr, want_attr in zip(have, wanted):
+                if have_attr != want_attr:
+                    break
+                matched += 1
+            return matched
+
+        best_name: str | None = None
+        best_attrs: tuple[str, ...] = ()
         best_len = 0
         for candidate in self.access.atoms.structures_for(
                 structure.atom_type, "sort_order"):
             assert isinstance(candidate, SortOrder)
-            matched = 0
-            for have, want in zip(candidate.sort_attrs, ascending):
-                if have != want:
-                    break
-                matched += 1
+            matched = prefix_len(candidate.sort_attrs)
             if matched > best_len:
-                best, best_len = candidate, matched
-        if best is None:
+                best_name = candidate.name
+                best_attrs = candidate.sort_attrs
+                best_len = matched
+        # "It may engage an access path if available" (paper, 3.2): a
+        # B*-tree over the attributes delivers the value order too.  A
+        # path serving a strictly longer prefix beats a sort order (more
+        # of the ORDER BY comes for free); at equal length the sort
+        # order wins — its record copies save the atom fetches.
+        for candidate in self.access.atoms.structures_for(
+                structure.atom_type, "access_path"):
+            assert isinstance(candidate, AccessPath)
+            if candidate.method != "btree":
+                continue
+            matched = prefix_len(candidate.attrs)
+            if matched > best_len:
+                best_name = candidate.name
+                best_attrs = candidate.attrs
+                best_len = matched
+        if best_name is None:
             return None, 0
-        served = len(order_by) if best_len == len(order_by) else best_len
         return RootAccess("sort_scan", structure.atom_type, {
-            "order": best.name,
-            "attrs": best.sort_attrs,
-        }), served
+            "order": best_name,
+            "attrs": best_attrs,
+            "reverse": direction,
+        }), best_len
 
     def select(self, statement: SelectStatement) -> ResultSet:
         """Compile the plan into the operator pipeline; return a cursor.

@@ -11,7 +11,9 @@ Operator inventory (bottom to top of a pipeline):
 
 ===================  =======================================================
 RootScan             produces root surrogates: key lookup, access-path scan,
-                     sort scan, or atom-type scan with a search argument
+                     sort scan (forward or reverse), or atom-type scan with
+                     a search argument; ordered scans stream their B*-tree
+                     walk lazily and accept a dynamic stop key (``bound()``)
 RootPartition        replays a pre-partitioned slice of a RootScan stream
                      (the parallel subsystem's construction workers)
 MoleculeConstruct    root surrogate -> molecule, by association traversal
@@ -23,7 +25,9 @@ Sort                 explicit final sort — a pipeline breaker, skipped when
 TopK                 ORDER BY + LIMIT k (+ OFFSET m) fused into one bounded
                      heap of k+m entries; when the input stream is already
                      ordered on a prefix of the sort attributes (a prefix-
-                     matching sort scan) the heap bound cuts the scan short
+                     matching sort scan, in either direction) the heap bound
+                     cuts the scan short — and is pushed into the root
+                     scan's walk as a dynamically tightening stop key
 Offset / Limit       skip the first m molecules / stop after n molecules
 Project              applies (qualified) projections to delivered molecules
 ===================  =======================================================
@@ -199,9 +203,17 @@ class RootScan(Operator):
     """Produce the root surrogates of a molecule-type scan.
 
     Wraps the four root-access kinds of query preparation: exact KEYS_ARE
-    lookup, access-path scan, sort scan, and atom-type scan with a
-    pushed-down search argument.  Delivery is lazy — downstream operators
-    that stop pulling (LIMIT) leave the rest of the atom set untouched.
+    lookup, access-path scan, sort scan (forward or reverse), and
+    atom-type scan with a pushed-down search argument.  Delivery is lazy
+    down to the storage structure — sort and access-path scans stream
+    their B*-tree walk incrementally, so downstream operators that stop
+    pulling (LIMIT) leave the rest of the *walk* untouched, not just the
+    atom fetches.
+
+    ``bound()`` is the dynamic search-argument hook: a consumer that
+    learns mid-query how far the ordered walk can possibly matter (TopK's
+    tightening heap threshold) feeds the key prefix in, and the
+    underlying sort scan stops as soon as the walk passes it.
     """
 
     name = "RootScan"
@@ -210,6 +222,18 @@ class RootScan(Operator):
         super().__init__()
         self._data = data
         self.root_access = root_access
+        self._scan: Any = None
+        self._stop_bound: tuple | None = None
+        #: How many times a consumer pushed a (tighter) bound down.
+        self.bounds_received = 0
+
+    def bound(self, values: tuple) -> None:
+        """Install/tighten a dynamic stop key on the underlying ordered
+        scan (a no-op for unordered root accesses)."""
+        self._stop_bound = tuple(values)
+        self.bounds_received += 1
+        if self._scan is not None and hasattr(self._scan, "set_stop_bound"):
+            self._scan.set_stop_bound(self._stop_bound)
 
     def _produce(self) -> Iterator[Surrogate]:
         atoms = self._data.access.atoms
@@ -224,19 +248,32 @@ class RootScan(Operator):
             path = atoms.structure(access.detail["path"])
             assert isinstance(path, AccessPath)
             scan: Any = AccessPathScan(atoms, path,
-                                       access.detail["conditions"])
+                                       access.detail["conditions"],
+                                       lazy=True)
         elif access.kind == "sort_scan":
             scan = SortScan(atoms, access.atom_type,
-                            list(access.detail["attrs"]))
+                            list(access.detail["attrs"]),
+                            reverse=bool(access.detail.get("reverse")),
+                            lazy=True)
+            if self._stop_bound is not None:
+                scan.set_stop_bound(self._stop_bound)
         else:
             search_terms = access.detail.get("search") or []
             search = SearchArgument(*search_terms) if search_terms else None
             scan = AtomTypeScan(atoms, access.atom_type, search=search)
+        self._scan = scan
         try:
             for surrogate, _values in scan:
                 yield surrogate
         finally:
+            self._scan = None
             scan.close()
+
+    def rewind(self) -> None:
+        """Restart the stream; a stale dynamic bound is dropped (the next
+        consumer run re-derives its own)."""
+        self._stop_bound = None
+        super().rewind()
 
     def detail(self) -> str:
         return self.root_access.explain()
@@ -430,10 +467,18 @@ class TopK(Operator):
 
     When the child stream is already ordered on the first
     ``ordered_prefix`` sort attributes (a prefix-matching sort scan as
-    root access), the heap bound becomes a search argument: once the heap
-    is full and an arriving molecule's prefix key exceeds the worst
-    retained one, no later molecule can enter the heap and the child —
-    ``MoleculeConstruct`` included — is cut short.
+    root access), the heap bound becomes a search argument in two ways:
+
+    * **delivery-time early exit** — once the heap is full and an
+      arriving molecule's prefix key exceeds the worst retained one, no
+      later molecule can enter the heap and the child —
+      ``MoleculeConstruct`` included — is cut short;
+    * **dynamic bound pushdown** — whenever the heap fills or its worst
+      retained entry improves, the worst entry's prefix key is fed into
+      ``bound_target.bound()`` (the root scan), which installs it as a
+      dynamically tightening stop key on the B*-tree/sort-order walk
+      itself: the walk stops *before* the first beyond-bound root is
+      even constructed.
 
     Like Sort, the emitted run is cached for ``rewind()``.
     """
@@ -442,16 +487,21 @@ class TopK(Operator):
 
     def __init__(self, child: Operator, order_by: list[tuple[str, bool]],
                  limit: int, offset: int = 0,
-                 ordered_prefix: int = 0) -> None:
+                 ordered_prefix: int = 0,
+                 bound_target: Operator | None = None) -> None:
         super().__init__(child)
         self._order_by = order_by
         self._limit = limit
         self._offset = offset
         self._ordered_prefix = ordered_prefix
+        self._bound_target = bound_target if ordered_prefix else None
+        self._pushed_bound: tuple | None = None
         #: High-water mark of the heap — never exceeds limit + offset.
         self.max_heap_size = 0
         #: True when the ordered-prefix bound stopped the child early.
         self.cut_short = False
+        #: How many times the tightening heap bound was pushed down.
+        self.bounds_pushed = 0
         self._run: list[Molecule] | None = None
 
     def _rank(self, molecule: Molecule, seq: int) -> tuple:
@@ -464,6 +514,23 @@ class TopK(Operator):
             if self._counters is not None:
                 self._counters.bump("operator_topk_runs")
         yield from self._run
+
+    def _push_bound(self, heap: list[_HeapEntry]) -> None:
+        """Feed the worst retained entry's ordered-prefix key into the
+        root scan as its (tightening) dynamic stop key."""
+        if self._bound_target is None:
+            return
+        worst = heap[0].row
+        values = tuple(worst.atom.get(attr)
+                       for attr, _desc in
+                       self._order_by[:self._ordered_prefix])
+        if values == self._pushed_bound:
+            return   # a replacement within the same prefix group
+        self._pushed_bound = values
+        self._bound_target.bound(values)
+        self.bounds_pushed += 1
+        if self._counters is not None:
+            self._counters.bump("topk_bounds_pushed")
 
     def _select_top(self) -> list[Molecule]:
         bound = self._limit + self._offset
@@ -484,6 +551,8 @@ class TopK(Operator):
                     heap, _HeapEntry(self._rank(molecule, seq), molecule))
                 if len(heap) > self.max_heap_size:
                     self.max_heap_size = len(heap)
+                if len(heap) == bound:
+                    self._push_bound(heap)
                 continue
             # Fast reject on the first sort attribute alone: a molecule
             # strictly worse than the heap root there can never enter
@@ -503,6 +572,7 @@ class TopK(Operator):
             entry = _HeapEntry(self._rank(molecule, seq), molecule)
             if entry.rank < heap[0].rank:
                 heapq.heapreplace(heap, entry)
+                self._push_bound(heap)
         ordered = sorted(heap, key=lambda e: e.rank)
         return [e.row for e in ordered[self._offset:]]
 
@@ -522,8 +592,11 @@ class TopK(Operator):
     def detail(self) -> str:
         rendered = ", ".join(f"{attr} {'DESC' if desc else 'ASC'}"
                              for attr, desc in self._order_by)
-        suffix = f"; input ordered on first {self._ordered_prefix}" \
-            if self._ordered_prefix else ""
+        suffix = ""
+        if self._ordered_prefix:
+            suffix = f"; input ordered on first {self._ordered_prefix}"
+            if self._bound_target is not None:
+                suffix += " — dynamic scan bound"
         return (f"k={self._limit}, offset={self._offset}; {rendered} — "
                 f"bounded heap{suffix}")
 
@@ -641,7 +714,8 @@ def top_k_stable(items: Iterator[Any], order_by: list[tuple[str, bool]],
 
 def build_pipeline(data: "DataSystem", plan: "QueryPlan",
                    source: Operator | None = None,
-                   use_topk: bool = True) -> Operator:
+                   use_topk: bool = True,
+                   push_bound: bool = True) -> Operator:
     """Compile a processing plan into its physical operator tree.
 
     ``source`` replaces the RootScan when the caller already partitioned
@@ -654,10 +728,14 @@ def build_pipeline(data: "DataSystem", plan: "QueryPlan",
     An explicit sort with a LIMIT fuses into one :class:`TopK` operator
     (which swallows the Offset/Limit window); ``use_topk=False`` keeps the
     Sort/Offset/Limit stack — the full-sort baseline benchmarks compare
-    against.
+    against.  When the root access serves an ORDER BY prefix, TopK is
+    additionally wired back to the root scan so its tightening heap bound
+    stops the ordered walk itself (``push_bound=False`` disconnects that
+    feedback — the pushdown baseline).
     """
-    operator: Operator = source if source is not None \
+    root: Operator = source if source is not None \
         else RootScan(data, plan.root_access)
+    operator: Operator = root
     operator = MoleculeConstruct(operator, data, plan.structure,
                                  plan.cluster_name)
     if plan.residual_where is not None:
@@ -665,9 +743,12 @@ def build_pipeline(data: "DataSystem", plan: "QueryPlan",
     windowed = False
     if plan.order_by and not plan.order_served_by_access:
         if use_topk and plan.limit is not None:
+            bound_target = root if push_bound and hasattr(root, "bound") \
+                else None
             operator = TopK(operator, plan.order_by, plan.limit,
                             plan.offset,
-                            ordered_prefix=plan.order_prefix_served)
+                            ordered_prefix=plan.order_prefix_served,
+                            bound_target=bound_target)
             windowed = True
         else:
             operator = Sort(operator, plan.order_by)

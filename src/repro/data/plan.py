@@ -41,9 +41,10 @@ class RootAccess:
             return (f"ACCESS PATH SCAN {self.detail.get('path')} ON "
                     f"{self.atom_type} ({self.detail.get('range')})")
         if self.kind == "sort_scan":
+            direction = " DESC" if self.detail.get("reverse") else ""
             return (f"SORT SCAN {self.detail.get('order')} ON "
                     f"{self.atom_type} "
-                    f"({', '.join(self.detail.get('attrs', ()))})")
+                    f"({', '.join(self.detail.get('attrs', ()))}){direction}")
         terms = self.detail.get("search")
         suffix = f" (search: {terms})" if terms else ""
         return f"ATOM TYPE SCAN {self.atom_type}{suffix}"
@@ -61,10 +62,13 @@ class QueryPlan:
     recursion_strategy: str = "level-wise"
     #: (root attribute, descending) pairs of the ORDER BY clause.
     order_by: list[tuple[str, bool]] = field(default_factory=list)
-    #: True when the root access already delivers the requested order.
+    #: True when the root access already delivers the requested order
+    #: (possibly by walking a sort order / access path in reverse).
     order_served_by_access: bool = False
     #: Number of leading ORDER BY attributes the root access delivers in
-    #: order (a prefix-matching sort scan) — lets TopK cut the scan short.
+    #: order (a prefix-matching sort scan in either direction) — lets
+    #: TopK cut the scan short and feed its tightening heap bound into
+    #: the walk as a dynamic stop key.
     order_prefix_served: int = 0
     #: LIMIT n — stop after n molecules (None: unbounded).
     limit: int | None = None
@@ -79,14 +83,19 @@ class QueryPlan:
 
     def compile(self, data: "DataSystem",
                 source: "Operator | None" = None,
-                use_topk: bool = True) -> "Operator":
+                use_topk: bool = True,
+                push_bound: bool = True) -> "Operator":
         """Lower this plan into its physical operator tree.
 
         ``use_topk=False`` compiles the Sort/Offset/Limit stack even when
         TopK applies — the full-sort baseline for benchmarks.
+        ``push_bound=False`` keeps TopK but disconnects its dynamic heap
+        bound from the root scan (the delivery-time early exit remains) —
+        the bound-pushdown baseline.
         """
         from repro.data.operators import build_pipeline
-        return build_pipeline(data, self, source=source, use_topk=use_topk)
+        return build_pipeline(data, self, source=source, use_topk=use_topk,
+                              push_bound=push_bound)
 
     def operator_descriptions(self) -> list[tuple[str, str]]:
         """(name, detail) pairs of the pipeline, top operator first.
@@ -107,8 +116,9 @@ class QueryPlan:
             for attr, desc in self.order_by
         )
         if self.uses_topk:
-            suffix = f"; input ordered on first {self.order_prefix_served}" \
-                if self.order_prefix_served else ""
+            suffix = (f"; input ordered on first {self.order_prefix_served}"
+                      f" — dynamic scan bound"
+                      if self.order_prefix_served else "")
             operators.append((
                 "TopK",
                 f"k={self.limit}, offset={self.offset}; {rendered} — "
@@ -154,9 +164,18 @@ class QueryPlan:
                 for attr, desc in self.order_by
             )
             if self.order_served_by_access:
-                how = "from the sort order (free)"
+                how = "from the sort order (free"
+                if self.root_access.detail.get("reverse"):
+                    how += ", reverse scan"
+                how += ")"
             elif self.uses_topk:
                 how = "top-k bounded heap"
+                if self.order_prefix_served:
+                    direction = "reverse " \
+                        if self.root_access.detail.get("reverse") else ""
+                    how += (f" (order_prefix_served="
+                            f"{self.order_prefix_served}, dynamic bound "
+                            f"into the {direction}scan)")
             else:
                 how = "explicit final sort"
             lines.append(f"  order: {rendered} — {how}")

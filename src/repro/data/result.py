@@ -21,7 +21,16 @@ Cursor contract:
 * ``reopen()`` restarts the cursor from the beginning: the pipeline is
   rewound and re-executed against the current database state — except
   that pipeline breakers (Sort, TopK) replay their cached run, so a
-  re-opened ORDER BY result does not re-construct or re-sort.
+  re-opened ORDER BY result does not re-construct or re-sort.  A set
+  whose pipeline was explicitly ``close()``-d **before it was fully
+  fetched** is truncated for good: ``reopen()`` and the whole-set
+  accessors (``len()``, ``to_dicts()``, ``materialize()``, slicing)
+  raise :class:`~repro.errors.CursorStateError` instead of presenting
+  the partial fetch cache as the complete result; the streaming
+  interface keeps serving the cached prefix.  Closing after the last
+  molecule was fetched — even without pulling the terminal None — is
+  not a truncation (``close()`` probes the pipeline once to decide),
+  and ``reopen()`` stays legal over the complete cache.
 * Molecules are delivered against the root scan's opening snapshot:
   atoms deleted while the cursor is open are skipped at delivery time
   (the scan position-maintenance contract, paper 3.2).  Callers that
@@ -33,6 +42,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any, Iterator
 
+from repro.errors import CursorStateError
 from repro.mad.molecule import Molecule
 from repro.mad.types import Surrogate
 
@@ -57,6 +67,9 @@ class ResultSet:
         self._pipeline = source
         #: Position of the explicit fetch_next() cursor in ``_fetched``.
         self._fetch_pos = 0
+        #: True when close() abandoned the pipeline before it was fully
+        #: fetched — the cache is a truncated prefix, not the set.
+        self._truncated = False
         self.plan_text = plan_text
         #: Atoms touched by a DML statement.
         self.affected = affected
@@ -95,24 +108,53 @@ class ResultSet:
         return None
 
     def close(self) -> None:
-        """Abandon the pipeline; already-fetched molecules stay available.
+        """Abandon the pipeline; already-fetched molecules stay available
+        through the cursor interface (``fetch_next()``, iteration).
 
         Unlike natural exhaustion, an explicit close releases the operator
-        tree for good — a closed result set cannot be re-opened."""
+        tree for good.  Closing while molecules were still pending marks
+        the set **truncated**: the fetch cache is a prefix of the result,
+        and ``reopen()`` / the whole-set accessors (``len()``,
+        ``to_dicts()``, ...) will refuse to present it as the complete
+        set.  Whether molecules were pending is decided by one bounded
+        probe of the pipeline — a cursor that consumed every molecule but
+        never pulled the terminal None is complete, not truncated (the
+        probed molecule, if any, joins the cache)."""
+        if self._source is not None:
+            probe = self._source.next()
+            if probe is not None:
+                self._fetched.append(probe)
+                self._truncated = True
         if self._pipeline is not None:
             self._pipeline.close()
             self._pipeline = None
         self._source = None
+
+    @property
+    def truncated(self) -> bool:
+        """True when an explicit ``close()`` abandoned unfetched
+        molecules — the cache holds a prefix, not the set."""
+        return self._truncated
 
     def reopen(self) -> None:
         """Restart the cursor at the first molecule of the set.
 
         Lazy sets rewind and re-execute the pipeline (dropping the fetch
         cache); pipeline breakers replay their cached run, so an ORDER BY
-        result re-opens without re-constructing or re-sorting.  Eager and
-        explicitly closed sets just reset the ``fetch_next()`` cursor over
-        what they hold.
+        result re-opens without re-constructing or re-sorting.  Eager
+        sets — and sets closed only *after* they were fully fetched —
+        just reset the ``fetch_next()`` cursor over the complete cache.
+
+        Raises :class:`~repro.errors.CursorStateError` on a set that was
+        explicitly closed while partially fetched: its cache is a
+        truncated prefix and must not masquerade as the result.
         """
+        if self._truncated:
+            raise CursorStateError(
+                "cannot reopen a result set that was closed before it "
+                "was fully fetched — the cursor cache holds only "
+                f"{len(self._fetched)} molecule(s) of a longer result"
+            )
         if self._pipeline is not None:
             self._pipeline.rewind()
             self._source = self._pipeline
@@ -129,7 +171,19 @@ class ResultSet:
 
         Does not advance the ``fetch_next()`` cursor — materialising is
         transparent to the explicit one-molecule-at-a-time interface.
+
+        Raises :class:`~repro.errors.CursorStateError` on a truncated
+        set (explicitly closed while molecules were pending): the cache
+        is a prefix and cannot be completed.  The streaming interface
+        (``fetch_next()``, iteration) still serves that prefix.
         """
+        if self._truncated:
+            raise CursorStateError(
+                "cannot materialize a result set that was closed before "
+                "it was fully fetched — only the "
+                f"{len(self._fetched)}-molecule prefix is available "
+                "(via fetch_next()/iteration)"
+            )
         while self._pull() is not None:
             pass
         return self._fetched

@@ -146,6 +146,15 @@ class ExecutionError(DataSystemError):
     """A processing plan failed during evaluation."""
 
 
+class CursorStateError(DataSystemError):
+    """A result-set cursor was used in an illegal state.
+
+    Raised e.g. when ``reopen()`` is called on a result set whose
+    pipeline was explicitly closed before it was fully fetched — the
+    truncated fetch cache must not be presented as the complete set.
+    """
+
+
 # --------------------------------------------------------------------------
 # Transactions
 # --------------------------------------------------------------------------

@@ -169,7 +169,13 @@ class SemanticDecomposer:
 
         The roots are drawn from the same ``RootScan`` operator the
         serial pipeline uses — the sequential prologue of the paper's
-        decomposition.
+        decomposition.  The prologue applies the same direction + bound
+        shaping as the serial pipeline: an ORDER BY fully served by the
+        (possibly reverse) root scan with a LIMIT derives only the
+        ``limit + offset`` leading roots, and a prefix-served ORDER BY
+        pushes the window anchor's prefix key into the scan as the
+        dynamic stop bound — no worker is ever spawned for a root that
+        cannot reach the result window.
         """
         statement = parse(mql)
         if not isinstance(statement, SelectStatement):
@@ -178,10 +184,43 @@ class SemanticDecomposer:
             )
         self._data._ensure_symmetry()  # noqa: SLF001
         plan = self._data.plan_select(statement)
-        roots = list(RootScan(self._data, plan.root_access))
+        roots = self._derive_roots(plan)
         units = [UnitOfWork(index=i, root=root)
                  for i, root in enumerate(roots)]
         return plan, units
+
+    def _derive_roots(self, plan: QueryPlan) -> list[Surrogate]:
+        """The sequential prologue: root surrogates, window-shaped.
+
+        Shaping only applies when no residual qualification can
+        disqualify a unit afterwards (a disqualified unit would shrink
+        the delivered window below LIMIT, and a bound anchored on a
+        disqualified molecule could prune true result members).
+        """
+        scan = RootScan(self._data, plan.root_access)
+        window = plan.limit + plan.offset \
+            if plan.limit is not None and plan.residual_where is None \
+            else None
+        if window is None or not (plan.order_served_by_access
+                                  or plan.order_prefix_served):
+            return list(scan)
+        roots: list[Surrogate] = []
+        prefix_attrs = [attr for attr, _desc in
+                        plan.order_by[:plan.order_prefix_served]]
+        for root in scan:
+            roots.append(root)
+            if plan.order_served_by_access:
+                if len(roots) >= window:
+                    break   # the scan order IS the result order
+            elif len(roots) == window:
+                # The k-th retained candidate anchors the prefix bound:
+                # any later root with a strictly greater (in scan
+                # direction) prefix key is beaten by all k candidates
+                # already derived, so the walk can stop there.
+                anchor = self._data.access.atoms.get(root)
+                scan.bound(tuple(anchor.get(attr)
+                                 for attr in prefix_attrs))
+        return roots
 
     def execute_unit(self, plan: QueryPlan, unit: UnitOfWork) -> None:
         """Run one DU: construct, qualify, project; measure its cost.

@@ -93,10 +93,16 @@ class TestSortOrderExploitation:
         assert [m.atom["brep_no"] for m in with_order] == \
             [m.atom["brep_no"] for m in without]
 
-    def test_descending_falls_back_to_explicit_sort(self, tuned):
+    def test_descending_served_by_reverse_scan(self, tuned):
         plan = tuned.db.explain(
             "SELECT ALL FROM brep ORDER BY brep_no DESC")
-        assert "explicit final sort" in plan
+        assert "SORT SCAN brep_by_no" in plan
+        assert "DESC" in plan and "reverse scan" in plan
+        assert "explicit final sort" not in plan
+        result = tuned.db.query(
+            "SELECT ALL FROM brep ORDER BY brep_no DESC")
+        nos = [m.atom["brep_no"] for m in result]
+        assert nos == sorted(nos, reverse=True)
 
     def test_key_lookup_beats_sort_order(self, tuned):
         plan = tuned.db.explain(

@@ -195,13 +195,18 @@ class TestLazyResultSet:
         assert outcome.result.fetch_next() is None
 
     def test_close_abandons_pipeline(self, db):
+        from repro.errors import CursorStateError
         db.reset_accounting()
         result = db.query("SELECT ALL FROM part")
         result.fetch_next()
         result.close()
         assert result.exhausted
-        assert len(result) == 1   # only the fetched molecule remains
-        assert db.io_report().get("molecules_from_traversal", 0) == 1
+        assert result.truncated
+        # The truncated prefix streams, but must not pose as the set.
+        with pytest.raises(CursorStateError):
+            len(result)
+        # one fetched + close()'s single pending-work probe
+        assert db.io_report().get("molecules_from_traversal", 0) == 2
 
     def test_sort_is_a_pipeline_breaker(self, db):
         """ORDER BY without index support must construct everything

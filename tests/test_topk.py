@@ -162,12 +162,31 @@ class TestEarlyExit:
         got = [m.atom["n"] for m in pipeline]
         assert got == [0, 4, 8, 12]          # the first four of grp 0
         topk = _find(pipeline, TopK)
-        assert topk.cut_short
+        # The dynamic bound pushdown stops the sort-order walk *before*
+        # the first grp-1 root is constructed, so the delivery-time early
+        # exit never has to fire.
+        assert topk.bounds_pushed > 0
+        assert not topk.cut_short
         constructed = db.io_report().get("operator_rows:MoleculeConstruct")
-        # grp 0 holds 15 parts; the 16th construction (first grp 1 part)
-        # triggers the sargable early exit.
+        # grp 0 holds 15 parts; the walk stops at the first grp 1 entry,
+        # which is never constructed (the pre-pushdown pipeline built 16).
         assert constructed < N_PARTS
-        assert constructed == 16
+        assert constructed == 15
+
+    def test_delivery_time_exit_without_bound_pushdown(self, db):
+        """``push_bound=False`` keeps the old delivery-time early exit:
+        one beyond-bound molecule is constructed before TopK stops."""
+        db.execute_ldl("CREATE SORT ORDER by_grp ON part (grp)")
+        statement = parse("SELECT ALL FROM part ORDER BY grp, n LIMIT 4")
+        plan = db.data.plan_select(statement)
+        db.reset_accounting()
+        pipeline = plan.compile(db.data, push_bound=False)
+        got = [m.atom["n"] for m in pipeline]
+        assert got == [0, 4, 8, 12]
+        topk = _find(pipeline, TopK)
+        assert topk.cut_short
+        assert topk.bounds_pushed == 0
+        assert db.io_report().get("operator_rows:MoleculeConstruct") == 16
 
     def test_early_exit_result_equals_full_sort(self, db):
         mql = "SELECT ALL FROM part ORDER BY grp, n LIMIT 6 OFFSET 2"
@@ -256,13 +275,23 @@ class TestSortRunCaching:
         # no pipeline breaker: the molecules really are re-constructed
         assert db.io_report().get("operator_rows:MoleculeConstruct") == 6
 
-    def test_reopen_after_close_keeps_cache_only(self, db):
+    def test_reopen_after_partial_close_raises(self, db):
+        from repro.errors import CursorStateError
         result = db.query("SELECT ALL FROM part ORDER BY n LIMIT 5")
         result.fetch_next()
-        result.close()
-        result.reopen()                        # cursor reset, no pipeline
+        result.close()                         # 4 molecules abandoned
+        assert result.truncated
+        with pytest.raises(CursorStateError):
+            result.reopen()                    # the cache is a prefix
+
+    def test_reopen_after_exhausted_close_is_legal(self, db):
+        result = db.query("SELECT ALL FROM part ORDER BY n LIMIT 5")
+        assert len(result.materialize()) == 5
+        result.close()                         # nothing was pending
+        assert not result.truncated
+        result.reopen()                        # cursor reset over the cache
         assert result.fetch_next() is not None
-        assert len(result) == 1
+        assert len(result) == 5
 
     def test_rewound_sort_operator_emits_same_run(self, db):
         statement = parse("SELECT ALL FROM part ORDER BY grp")
