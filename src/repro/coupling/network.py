@@ -7,16 +7,25 @@ The substitution (DESIGN.md §5) is a message/byte cost model: every request
 or response is one message paying a fixed latency plus size/bandwidth.
 Absolute parameters resemble a 1987 10-Mbit LAN with heavy per-message
 software overhead; only the ratios matter.
+
+Both classes are **thread-safe**: :class:`NetworkModel` is a frozen
+(immutable) dataclass, and :class:`NetworkStats` guards its accumulation
+with a lock — the serving layer (:mod:`repro.serve`) accounts messages
+from many concurrent session threads against one stats object.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import threading
+from dataclasses import dataclass
 
 
 @dataclass(frozen=True)
 class NetworkModel:
-    """Service-time parameters (milliseconds / bytes-per-ms)."""
+    """Service-time parameters (milliseconds / bytes-per-ms).
+
+    Frozen, hence safely shared by any number of session threads.
+    """
 
     #: Fixed software+protocol overhead per message.
     per_message_ms: float = 5.0
@@ -27,22 +36,52 @@ class NetworkModel:
         return self.per_message_ms + nbytes / self.bytes_per_ms
 
 
-@dataclass
 class NetworkStats:
-    """Accumulated communication accounting of one coupling session."""
+    """Accumulated communication accounting of one coupling endpoint.
 
-    messages: int = 0
-    bytes_sent: int = 0
-    comm_time_ms: float = 0.0
+    ``account()`` is atomic under a lock: a bare ``+=`` on the shared
+    counters would be a read-modify-write that loses updates when several
+    serving sessions bill messages concurrently.
+    """
+
+    __slots__ = ("messages", "bytes_sent", "comm_time_ms", "_lock")
+
+    def __init__(self) -> None:
+        self.messages = 0
+        self.bytes_sent = 0
+        self.comm_time_ms = 0.0
+        self._lock = threading.Lock()
+
+    def __getstate__(self) -> dict[str, float | int]:
+        # Locks are not picklable; persistence checkpoints recreate one.
+        return {"messages": self.messages, "bytes_sent": self.bytes_sent,
+                "comm_time_ms": self.comm_time_ms}
+
+    def __setstate__(self, state) -> None:
+        if isinstance(state, tuple):   # legacy __slots__ pickle shape
+            state = state[1]
+        self.messages = state.get("messages", 0)
+        self.bytes_sent = state.get("bytes_sent", 0)
+        self.comm_time_ms = state.get("comm_time_ms", 0.0)
+        self._lock = threading.Lock()
 
     def account(self, model: NetworkModel, nbytes: int) -> None:
-        self.messages += 1
-        self.bytes_sent += nbytes
-        self.comm_time_ms += model.transfer_ms(nbytes)
+        with self._lock:
+            self.messages += 1
+            self.bytes_sent += nbytes
+            self.comm_time_ms += model.transfer_ms(nbytes)
 
     def snapshot(self) -> dict[str, float | int]:
-        return {
-            "messages": self.messages,
-            "bytes_sent": self.bytes_sent,
-            "comm_time_ms": round(self.comm_time_ms, 3),
-        }
+        with self._lock:
+            return {
+                "messages": self.messages,
+                "bytes_sent": self.bytes_sent,
+                "comm_time_ms": round(self.comm_time_ms, 3),
+            }
+
+    def reset(self) -> None:
+        """Zero the accounting (the endpoint stays usable)."""
+        with self._lock:
+            self.messages = 0
+            self.bytes_sent = 0
+            self.comm_time_ms = 0.0

@@ -2,8 +2,14 @@
 
 The server executes molecule queries on behalf of workstations and accepts
 checked-in modifications at commit time (checkout/checkin, [KLMP84]).
-Every entry point accounts one request and one response message against the
-network model.
+Since the serving-layer rewrite the façade rides on :mod:`repro.serve`:
+a :class:`~repro.serve.SessionManager` multiplexes the workstations (each
+holding its own session with transaction/lock scope), queries stream
+through remote cursors (OPEN / FETCH(n) / CLOSE over the network model),
+and checkins run as short-lived transactions.  The historical surface is
+preserved: ``query()`` with the default whole-set fetch still costs one
+request and one response message (open-with-fetch), exactly the
+set-oriented MAD interface of benchmark A9.
 """
 
 from __future__ import annotations
@@ -11,89 +17,87 @@ from __future__ import annotations
 from typing import Any
 
 from repro.access.encoding import encoded_size
-from repro.coupling.network import NetworkModel, NetworkStats
+from repro.coupling.network import NetworkModel
 from repro.data.result import ResultSet
 from repro.db import Prima
-from repro.errors import CouplingError
 from repro.mad.types import Surrogate
+from repro.serve import DEFAULT_FETCH_SIZE, Session, SessionManager
 
 
 class PrimaServer:
-    """Message-oriented facade over a Prima instance."""
+    """Message-oriented facade over a Prima instance.
 
-    def __init__(self, db: Prima, model: NetworkModel | None = None) -> None:
+    ``sessions`` is the serving subsystem underneath: workstations open
+    their own sessions against it, while the server's direct entry
+    points (``query``, ``checkin``, the record-at-a-time baseline) run on
+    a lazily opened *service session*.  ``stats``/``model`` alias the
+    manager's network accounting, so all traffic of all sessions lands in
+    one place — per-session splits come from ``sessions.io_report()``.
+    """
+
+    def __init__(self, db: Prima, model: NetworkModel | None = None,
+                 max_sessions: int = 8, admission: str = "reject",
+                 fetch_size: int | None = None) -> None:
         self.db = db
-        self.model = model if model is not None else NetworkModel()
-        self.stats = NetworkStats()
+        self.sessions = SessionManager(db, model=model,
+                                       max_sessions=max_sessions,
+                                       admission=admission,
+                                       default_fetch_size=fetch_size)
+        self.model = self.sessions.model
+        self.stats = self.sessions.stats
+        self._service: Session | None = None
 
     # -- internals ---------------------------------------------------------------
 
     def _message(self, nbytes: int) -> None:
         self.stats.account(self.model, nbytes)
 
-    @staticmethod
-    def _molecule_bytes(result: ResultSet) -> int:
-        total = 0
-        for molecule in result:
-            for _label, atom in molecule.atoms():
-                total += encoded_size(atom)
-        return total
+    def _service_session(self) -> Session:
+        """The server's own session for direct (non-workstation) calls."""
+        if self._service is None or self._service.closed:
+            self._service = self.sessions.open(name="service")
+        return self._service
+
+    def disconnect(self) -> None:
+        """Close the service session: releases its cursors, its read
+        locks (which would otherwise block sessions' DML on the queried
+        types for the server's lifetime) and its admission slot.  The
+        next direct call reconnects transparently."""
+        if self._service is not None and not self._service.closed:
+            self._service.close()
 
     # -- set-oriented interface (the MAD interface across the wire) -----------------
 
-    def query(self, mql: str) -> ResultSet:
-        """One request, one response carrying the complete molecule set."""
-        self._message(len(mql.encode("utf-8")))          # request
-        result = self.db.query(mql)
-        self._message(self._molecule_bytes(result))      # response
-        return result
+    def query(self, mql: str,
+              fetch_size: Any = DEFAULT_FETCH_SIZE) -> ResultSet:
+        """A molecule query over a remote streaming cursor.
+
+        With ``fetch_size=None`` (the default when the server has no
+        ``fetch_size`` knob set) the whole set ships in the open response
+        — one request, one response, the paper's set-oriented coupling.
+        An integer ``fetch_size`` streams the set in batches with
+        one-batch prefetch instead (see :mod:`repro.serve.cursor`).
+        """
+        return self._service_session().query(mql, fetch_size=fetch_size)
 
     def checkin(self, modifications: dict[Surrogate, dict[str, Any]],
                 deletions: list[Surrogate] | None = None,
                 creations: list[tuple[Surrogate, dict[str, Any]]] | None
                 = None) -> dict[Surrogate, Surrogate]:
-        """Apply a workstation's object buffer in one message.
+        """Apply a workstation's object buffer in one message pair.
 
-        ``creations`` carries atoms created locally under *temporary*
-        surrogates; they are inserted here and the mapping temporary →
-        real surrogate is returned (and billed into the ack message).
-        References among new atoms are remapped, in two phases so cyclic
-        n:m references among creations work.
+        Delegates to the service session's transactional checkin (see
+        :meth:`repro.serve.Session.checkin`): creations are inserted
+        under real surrogates (the temporary → real mapping is returned
+        and billed into the ack), references among new atoms are
+        remapped in two phases so cyclic n:m references work, and the
+        whole application is undo-logged — a failing checkin rolls back
+        cleanly.
         """
-        payload = sum(encoded_size(values)
-                      for values in modifications.values())
-        payload += sum(encoded_size(values) for _t, values in creations or [])
-        payload += 16 * len(deletions or [])
-        self._message(payload)                            # request
-
-        mapping: dict[Surrogate, Surrogate] = {}
-        deferred_refs: list[tuple[Surrogate, dict[str, Any]]] = []
-        for temp, values in creations or []:
-            plain = {k: v for k, v in values.items()
-                     if not _mentions_temp(v, creations or [])}
-            refs = {k: v for k, v in values.items() if k not in plain}
-            real = self.db.access.insert(temp.atom_type, plain)
-            mapping[temp] = real
-            if refs:
-                deferred_refs.append((real, refs))
-        for real, refs in deferred_refs:
-            self.db.access.modify(real, _remap(refs, mapping))
-
-        for surrogate, values in modifications.items():
-            if not self.db.access.atoms.exists(surrogate):
-                raise CouplingError(
-                    f"checkin of unknown atom {surrogate}"
-                )
-            self.db.access.modify(surrogate, _remap(values, mapping))
-        for surrogate in deletions or []:
-            self.db.access.delete(surrogate)
-        self.db.commit()
-        self._message(8 + 24 * len(mapping))              # ack + mapping
-        return mapping
+        return self._service_session().checkin(
+            modifications, deletions=deletions, creations=creations)
 
     # -- record-at-a-time interface (the conventional baseline) ------------------------
-
-
 
     def query_roots(self, mql: str) -> list[Surrogate]:
         """Baseline step 1: ship only the qualifying root surrogates."""
@@ -110,32 +114,19 @@ class PrimaServer:
         self._message(encoded_size(values))               # response
         return values
 
-# ---------------------------------------------------------------------------
-# checkin helpers: temporary-surrogate remapping
-# ---------------------------------------------------------------------------
+    def fetch_atoms(self, surrogates: list[Surrogate]
+                    ) -> dict[Surrogate, dict[str, Any]]:
+        """Fetch a *batch* of atoms in one message pair.
 
-def _is_temp(value: Any, creations) -> bool:
-    return isinstance(value, Surrogate) and \
-        any(temp == value for temp, _v in creations)
-
-
-def _mentions_temp(value: Any, creations) -> bool:
-    if _is_temp(value, creations):
-        return True
-    if isinstance(value, list):
-        return any(_mentions_temp(item, creations) for item in value)
-    return False
-
-
-def _remap(values: dict[str, Any],
-           mapping: dict[Surrogate, Surrogate]) -> dict[str, Any]:
-    out: dict[str, Any] = {}
-    for key, value in values.items():
-        if isinstance(value, Surrogate):
-            out[key] = mapping.get(value, value)
-        elif isinstance(value, list):
-            out[key] = [mapping.get(v, v) if isinstance(v, Surrogate) else v
-                        for v in value]
-        else:
-            out[key] = value
-    return out
+        The fix for the record-at-a-time N+1: instead of one round trip
+        per atom, a closure traversal ships each BFS frontier as one
+        request (16 bytes per surrogate) and receives all its atoms in
+        one response — the message count drops from atoms to frontier
+        levels (visible in :class:`NetworkStats`).
+        """
+        self._message(16 * max(len(surrogates), 1))       # request
+        atoms = {surrogate: self.db.access.get(surrogate)
+                 for surrogate in surrogates}
+        self._message(sum(encoded_size(values)
+                          for values in atoms.values()) or 8)  # response
+        return atoms

@@ -7,12 +7,26 @@ runs close to the application: molecules are **checked out** into a local
 locality of reference), and modified molecules move back to PRIMA at commit
 time (**checkin**).
 
-Two checkout modes realise benchmark A9's comparison:
+Every workstation holds its own **session** on the server's serving layer
+(:mod:`repro.serve`): checkout drives a *remote streaming cursor*, and
+checkin runs as a short transaction under the session scope.  Three
+checkout shapes cover benchmark A9's comparison and the streaming mode the
+serving layer adds:
 
-* ``set_oriented=True`` — one query message, one response carrying whole
-  molecule sets (the MAD interface);
-* ``set_oriented=False`` — the conventional record-at-a-time baseline: the
-  root set is fetched first, then every atom in its own round trip.
+* ``set_oriented=True`` (default, ``fetch_size=None``) — the whole
+  molecule set ships in the cursor's open response: one query message,
+  one response (the MAD interface);
+* ``set_oriented=True`` with an integer ``fetch_size`` — the **checkout
+  stream**: molecules arrive in fetch-size batches with one-batch
+  prefetch, and the object buffer fills incrementally as the returned
+  cursor is consumed — at most ``2 * fetch_size`` molecules are in
+  flight, so abandoning the cursor stops server-side construction at
+  most one batch later;
+* ``set_oriented=False`` — the conventional record-at-a-time baseline:
+  the root set is fetched first, then the atom closure round trip by
+  round trip (``batched=True`` upgrades the closure to one message pair
+  per BFS frontier via the server's ``fetch_atoms`` — the N+1 fix —
+  while the default keeps the historical one-atom-per-trip baseline).
 """
 
 from __future__ import annotations
@@ -24,6 +38,7 @@ from repro.data.result import ResultSet
 from repro.errors import CouplingError
 from repro.mad.molecule import Molecule
 from repro.mad.types import Surrogate, reference_values
+from repro.serve import DEFAULT_FETCH_SIZE, Session
 
 
 class ObjectBuffer:
@@ -78,6 +93,7 @@ class Workstation:
         self.server = server
         self.name = name
         self.buffer = ObjectBuffer()
+        self._session: Session | None = None
         self._checked_out: list[Molecule] = []
         #: atoms created locally: temporary surrogate -> values.
         self._creations: dict[Surrogate, dict[str, Any]] = {}
@@ -86,46 +102,95 @@ class Workstation:
         #: temp -> real mapping of the last commit.
         self.last_mapping: dict[Surrogate, Surrogate] = {}
 
+    @property
+    def session(self) -> Session:
+        """This workstation's serving-layer session (opened lazily)."""
+        if self._session is None or self._session.closed:
+            self._session = self.server.sessions.open(name=self.name)
+        return self._session
+
+    def disconnect(self) -> None:
+        """Close the session: releases cursors, locks, the admission
+        slot.  Local state (object buffer, pending creations) survives —
+        the next server interaction reconnects."""
+        if self._session is not None and not self._session.closed:
+            self._session.close()
+
     # -- checkout ------------------------------------------------------------------
 
-    def checkout(self, mql: str, set_oriented: bool = True) -> ResultSet:
-        """Fetch the molecules of ``mql`` into the object buffer."""
+    def checkout(self, mql: str, set_oriented: bool = True,
+                 fetch_size: Any = DEFAULT_FETCH_SIZE,
+                 batched: bool = False) -> ResultSet:
+        """Fetch the molecules of ``mql`` into the object buffer.
+
+        Set-oriented checkout opens a remote cursor on this workstation's
+        session; every molecule is loaded into the object buffer *as its
+        batch arrives at the workstation* — immediately for the default
+        whole-set fetch, incrementally while the returned cursor is
+        consumed for a streaming ``fetch_size``.
+        """
         if set_oriented:
-            result = self.server.query(mql)
-            for molecule in result:
-                self._load_molecule(molecule)
-            self._checked_out.extend(result.molecules)
-            return result
-        # Record-at-a-time baseline: roots first, then atom by atom.
+            cursor = self.session.open_cursor(
+                mql, fetch_size=fetch_size, on_arrival=self._receive)
+            return ResultSet(source=cursor, plan_text=cursor.plan_text)
+        # Record-at-a-time baseline: roots first, then the closure —
+        # atom by atom, or frontier-batched when ``batched`` is set.
         roots = self.server.query_roots(mql)
-        molecules: list[Molecule] = []
         for root in roots:
-            self._fetch_closure(root)
+            self._fetch_closure(root, batched=batched)
         result = self.server.db.query(mql)   # shape only; atoms came singly
         for molecule in result:
-            self._load_molecule(molecule)
-        self._checked_out.extend(result.molecules)
+            self._receive(molecule)
         return result
 
-    def _fetch_closure(self, root: Surrogate) -> None:
-        """Fetch ``root`` and everything it references, one atom per
-        round trip (the conventional interface)."""
+    def _receive(self, molecule: Molecule) -> None:
+        """One checked-out molecule arrived at the workstation."""
+        self._load_molecule(molecule)
+        self._checked_out.append(molecule)
+
+    def _fetch_closure(self, root: Surrogate, batched: bool = False) -> None:
+        """Fetch ``root`` and everything it references.
+
+        ``batched=True`` (the fixed protocol) ships each BFS frontier as
+        one ``fetch_atoms`` message pair; the default replays the
+        conventional one-atom-per-round-trip interface (the A9 baseline,
+        N+1 round trips by design — matching :meth:`checkout`'s
+        default, so the benchmark comparison stays honest)."""
         seen: set[Surrogate] = set()
-        frontier = [root]
         schema = self.server.db.schema
-        while frontier:
-            surrogate = frontier.pop()
-            if surrogate in seen:
-                continue
-            seen.add(surrogate)
-            values = self.server.fetch_atom(surrogate)
-            self.buffer.load(surrogate, values)
+
+        def references(surrogate: Surrogate,
+                       values: dict[str, Any]) -> list[Surrogate]:
             atom_type = schema.atom_type(surrogate.atom_type)
+            out: list[Surrogate] = []
             for attr_name in atom_type.reference_attrs():
-                for target in reference_values(
-                        atom_type.attr(attr_name), values.get(attr_name)):
-                    if target not in seen:
-                        frontier.append(target)
+                out.extend(reference_values(atom_type.attr(attr_name),
+                                            values.get(attr_name)))
+            return out
+
+        frontier = [root]
+        while frontier:
+            if batched:
+                wanted = [s for s in dict.fromkeys(frontier)
+                          if s not in seen]
+                seen.update(wanted)
+                frontier = []
+                if not wanted:
+                    continue
+                for surrogate, values in \
+                        self.server.fetch_atoms(wanted).items():
+                    self.buffer.load(surrogate, values)
+                    frontier.extend(t for t in references(surrogate, values)
+                                    if t not in seen)
+            else:
+                surrogate = frontier.pop()
+                if surrogate in seen:
+                    continue
+                seen.add(surrogate)
+                values = self.server.fetch_atom(surrogate)
+                self.buffer.load(surrogate, values)
+                frontier.extend(t for t in references(surrogate, values)
+                                if t not in seen)
 
     def _load_molecule(self, molecule: Molecule) -> None:
         self.buffer.load(molecule.surrogate, molecule.atom)
@@ -190,8 +255,8 @@ class Workstation:
         deletions = list(self._deletions)
         applied = 0
         if cleaned or creations or deletions:
-            mapping = self.server.checkin(cleaned, deletions=deletions,
-                                          creations=creations)
+            mapping = self.session.checkin(cleaned, deletions=deletions,
+                                           creations=creations)
             applied = len(cleaned) + len(creations) + len(deletions)
             self.last_mapping = mapping
         self.buffer.clear()

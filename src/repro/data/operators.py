@@ -79,6 +79,7 @@ class Operator:
         self._iterator: Iterator[Any] | None = None
         self._closed = False
         self._counters = None
+        self._close_hooks: list[Callable[["Operator"], None]] = []
         self._rows_key = f"operator_rows:{self.name}"
         self._time_key = f"operator_time:{self.name}"
 
@@ -132,8 +133,21 @@ class Operator:
         """Cumulative ``next()`` wall-time minus the children's share."""
         return self.time_total - sum(c.time_total for c in self.children)
 
+    def add_close_hook(self, hook: Callable[["Operator"], None]) -> None:
+        """Register a cursor-release hook, run once when this operator is
+        explicitly closed.
+
+        The serving layer (:mod:`repro.serve`) uses this to observe when a
+        remote client's CLOSE (or a server-side cursor teardown) actually
+        releases the pipeline — e.g. to account released pipelines and to
+        drop per-cursor bookkeeping.  Hooks fire on the first ``close()``
+        only (close is idempotent) and receive the operator.
+        """
+        self._close_hooks.append(hook)
+
     def close(self) -> None:
         """Release the tree's resources; the operator stays closed."""
+        first_close = not self._closed
         self._closed = True
         if self._iterator is not None:
             generator_close = getattr(self._iterator, "close", None)
@@ -142,6 +156,10 @@ class Operator:
             self._iterator = None
         for child in self.children:
             child.close()
+        if first_close:
+            hooks, self._close_hooks = self._close_hooks, []
+            for hook in hooks:
+                hook(self)
 
     def rewind(self) -> None:
         """Re-open the operator at the start of its stream.

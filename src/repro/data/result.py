@@ -36,6 +36,14 @@ Cursor contract:
   (the scan position-maintenance contract, paper 3.2).  Callers that
   mutate mid-result should drain the cursor first (DML statements and
   ``execute_script`` do so automatically).
+
+The ``source`` of a lazy set is anything honouring the operator cursor
+protocol — ``next()``/``close()``/``rewind()``.  Besides the physical
+operator pipeline that is, notably, a :class:`repro.serve.RemoteCursor`:
+the serving layer wraps a remote streaming cursor in a ResultSet, so the
+client-side cursor contract above (including close-while-pending
+truncation, which then propagates to the server's pipeline) holds
+unchanged across the coupling network.
 """
 
 from __future__ import annotations
@@ -107,6 +115,31 @@ class ResultSet:
             return molecule
         return None
 
+    def fetch_many(self, count: int) -> list[Molecule]:
+        """Deliver up to ``count`` molecules through the explicit cursor.
+
+        The batch-shaped twin of :meth:`fetch_next` — the serving layer's
+        FETCH(n) message is one call.  A batch shorter than ``count``
+        means the set is exhausted; an empty batch at the end is legal.
+        """
+        batch: list[Molecule] = []
+        for _ in range(count):
+            molecule = self.fetch_next()
+            if molecule is None:
+                break
+            batch.append(molecule)
+        return batch
+
+    def on_close(self, hook) -> None:
+        """Register a cursor-release hook on the underlying pipeline.
+
+        The hook runs once, when the pipeline is explicitly closed (an
+        eager set has no pipeline — the hook is dropped).  See
+        :meth:`repro.data.operators.Operator.add_close_hook`.
+        """
+        if self._pipeline is not None:
+            self._pipeline.add_close_hook(hook)
+
     def close(self) -> None:
         """Abandon the pipeline; already-fetched molecules stay available
         through the cursor interface (``fetch_next()``, iteration).
@@ -119,11 +152,21 @@ class ResultSet:
         set.  Whether molecules were pending is decided by one bounded
         probe of the pipeline — a cursor that consumed every molecule but
         never pulled the terminal None is complete, not truncated (the
-        probed molecule, if any, joins the cache)."""
+        probed molecule, if any, joins the cache).  A source that can
+        answer ``has_pending()`` (a remote cursor, whose probe would cost
+        a network round trip and ahead-of-need construction) is asked
+        instead of pulled."""
         if self._source is not None:
-            probe = self._source.next()
-            if probe is not None:
-                self._fetched.append(probe)
+            pending: bool | None = None
+            has_pending = getattr(self._source, "has_pending", None)
+            if has_pending is not None:
+                pending = has_pending()
+            if pending is None:
+                probe = self._source.next()
+                if probe is not None:
+                    self._fetched.append(probe)
+                    self._truncated = True
+            elif pending:
                 self._truncated = True
         if self._pipeline is not None:
             self._pipeline.close()

@@ -50,6 +50,9 @@ class Prima:
         self.catalog = MoleculeTypeCatalog()
         self.data = DataSystem(self.access, self.catalog)
         self.ldl = LdlExecutor(self.access, self.data.validator)
+        #: Network accounting of attached serving endpoints (see
+        #: :meth:`attach_network`); summed into :meth:`io_report`.
+        self._network_stats: list[Any] = []
 
     # -- MQL ----------------------------------------------------------------------
 
@@ -144,6 +147,42 @@ class Prima:
         """Delete one atom directly."""
         self.access.delete(surrogate)
 
+    # -- serving ------------------------------------------------------------------------
+
+    def serve(self, model=None, max_sessions: int = 8,
+              admission: str = "reject",
+              queue_timeout: float | None = None,
+              fetch_size: int | None = None):
+        """A :class:`~repro.serve.SessionManager` over this instance.
+
+        The serving layer multiplexes many concurrent client sessions
+        onto this PRIMA: each session gets its own transaction/lock
+        scope, queries stream through remote cursors (OPEN / FETCH(n) /
+        CLOSE over the coupling network's cost model, double-buffered),
+        and admission control bounds concurrency.  Knobs:
+
+        * ``max_sessions`` — concurrent-session bound;
+        * ``admission`` — ``'reject'`` (raise at the limit) or
+          ``'queue'`` (wait for a slot, optionally ``queue_timeout``);
+        * ``fetch_size`` — default cursor batch size (None: whole set in
+          the open response, the set-oriented one-message-pair mode);
+        * ``model`` — the :class:`~repro.coupling.NetworkModel` billed.
+
+        The manager's network counters surface in :meth:`io_report` as
+        ``net_messages`` / ``net_bytes`` / ``net_comm_time_ms``.
+        """
+        from repro.serve import SessionManager
+        return SessionManager(self, model=model, max_sessions=max_sessions,
+                              admission=admission,
+                              queue_timeout=queue_timeout,
+                              default_fetch_size=fetch_size)
+
+    def attach_network(self, stats) -> None:
+        """Register a serving endpoint's :class:`NetworkStats` so its
+        communication counters appear in :meth:`io_report`."""
+        if stats not in self._network_stats:
+            self._network_stats.append(stats)
+
     # -- optimizer meta-data -----------------------------------------------------------
 
     def analyze(self, type_name: str | None = None) -> int:
@@ -185,12 +224,31 @@ class Prima:
         return verify_database(self.access.atoms)
 
     def io_report(self) -> dict[str, Any]:
-        """Disk/buffer/access counters for benchmark reporting."""
+        """Disk/buffer/access counters for benchmark reporting.
+
+        When serving endpoints are attached (:meth:`attach_network`),
+        their communication accounting is summed in as ``net_messages``,
+        ``net_bytes`` and ``net_comm_time_ms`` — the coupling-network
+        counters alongside the operator/scan counters.
+        """
         report = dict(self.storage.io_report())
         report.update(self.access.counters.snapshot())
+        if self._network_stats:
+            messages = nbytes = 0
+            comm_ms = 0.0
+            for stats in self._network_stats:
+                snapshot = stats.snapshot()
+                messages += snapshot["messages"]
+                nbytes += snapshot["bytes_sent"]
+                comm_ms += snapshot["comm_time_ms"]
+            report["net_messages"] = messages
+            report["net_bytes"] = nbytes
+            report["net_comm_time_ms"] = round(comm_ms, 3)
         return report
 
     def reset_accounting(self) -> None:
         """Zero all counters (data is untouched)."""
         self.storage.reset_accounting()
         self.access.counters.reset()
+        for stats in self._network_stats:
+            stats.reset()

@@ -185,3 +185,22 @@ class DecompositionError(PrimaError):
 
 class CouplingError(PrimaError):
     """Workstation-host coupling failure (bad checkout/checkin state)."""
+
+
+# --------------------------------------------------------------------------
+# Serving layer (sessions and remote cursors)
+# --------------------------------------------------------------------------
+
+class SessionError(PrimaError):
+    """Base class for serving-layer (session/remote cursor) failures."""
+
+
+class SessionLimitError(SessionError):
+    """Admission control rejected a session: the server is at its
+    ``max_sessions`` capacity (and the ``reject`` policy is in force, or
+    a ``queue`` wait timed out)."""
+
+
+class SessionStateError(SessionError):
+    """A session or remote cursor was used in an illegal state
+    (closed session, unknown cursor id, double close, ...)."""

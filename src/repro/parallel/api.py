@@ -31,7 +31,8 @@ class ParallelQueryResult:
 
 def parallel_select(db: Prima, mql: str, processors: int = 4,
                     partitions: int | None = None,
-                    max_workers: int | None = None) -> ParallelQueryResult:
+                    max_workers: int | None = None,
+                    engine_lock=None) -> ParallelQueryResult:
     """Execute a molecule query with semantic parallelism on a simulated
     ``processors``-way PRIMA.
 
@@ -40,7 +41,9 @@ def parallel_select(db: Prima, mql: str, processors: int = 4,
     Each worker runs on its own thread, feeding the merge stage through a
     bounded queue; ``max_workers`` caps the number of threads
     (``max_workers=1`` forces the serial loop).  The molecule order is
-    deterministic either way.
+    deterministic either way.  ``engine_lock`` lets an embedding
+    subsystem (the serving layer) substitute its own engine-serialisation
+    lock for the per-run one.
     """
     decomposer = SemanticDecomposer(db.data)
     plan, units = decomposer.decompose_select(mql)
@@ -49,6 +52,7 @@ def parallel_select(db: Prima, mql: str, processors: int = 4,
         partitions=max(1, partitions if partitions is not None
                        else processors),
         max_workers=max_workers,
+        engine_lock=engine_lock,
     )
     report = simulate(units, processors)
     return ParallelQueryResult(result=result, report=report)

@@ -233,7 +233,8 @@ class SemanticDecomposer:
 
     def run_all(self, plan: QueryPlan, units: list[UnitOfWork],
                 partitions: int = 1,
-                max_workers: int | None = None) -> ResultSet:
+                max_workers: int | None = None,
+                engine_lock=None) -> ResultSet:
         """Execute every DU and assemble the molecule set in DU order.
 
         The DU stream is partitioned round-robin; one construction worker
@@ -243,6 +244,12 @@ class SemanticDecomposer:
         completed units flow through a bounded queue into the
         merge/shaping stage, which sorts them by DU index — the result
         order is deterministic for any partition count and interleaving.
+
+        ``engine_lock`` substitutes the per-run storage-engine lock with
+        a caller-owned one: the serving layer passes its session-shared
+        engine lock here, so a parallel query's construction workers and
+        the other sessions' cursors serialise on the *same* single-user
+        engine (see :meth:`repro.serve.Session.parallel_query`).
         """
         if max_workers is not None and max_workers < 1:
             raise DecompositionError("need at least one worker thread")
@@ -252,13 +259,14 @@ class SemanticDecomposer:
         if not threaded:
             workers = [
                 ConstructionWorker(self._data, plan, part, index=i,
-                                   of=len(parts))
+                                   of=len(parts), lock=engine_lock)
                 for i, part in enumerate(parts)
             ]
             for worker in workers:
                 worker.run()
         else:
-            self._run_threaded(plan, parts, max_workers)
+            self._run_threaded(plan, parts, max_workers,
+                               engine_lock=engine_lock)
         qualified = [u for u in sorted(units, key=lambda u: u.index)
                      if u.result is not None]
         # Result shaping mirrors the serial pipeline above the workers:
@@ -281,15 +289,17 @@ class SemanticDecomposer:
 
     def _run_threaded(self, plan: QueryPlan,
                       parts: list[list[UnitOfWork]],
-                      max_workers: int | None) -> None:
+                      max_workers: int | None,
+                      engine_lock=None) -> None:
         """One thread per construction worker, merge draining the queue.
 
         The queue is bounded, so workers never run unboundedly ahead of
-        the merge stage; a per-run lock serialises the single-user storage
-        engine at DU granularity (see the module docstring).
+        the merge stage; a per-run lock (or the caller's ``engine_lock``)
+        serialises the single-user storage engine at DU granularity (see
+        the module docstring).
         """
         sink: queue.Queue = queue.Queue(maxsize=max(2, 2 * len(parts)))
-        lock = threading.Lock()
+        lock = engine_lock if engine_lock is not None else threading.Lock()
         workers = [
             ConstructionWorker(self._data, plan, part, index=i,
                                of=len(parts), lock=lock, sink=sink)

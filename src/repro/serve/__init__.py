@@ -1,0 +1,28 @@
+"""The serving layer: multi-session server with remote streaming cursors.
+
+Grows the paper's workstation–server coupling into a serving subsystem:
+a :class:`SessionManager` multiplexes many concurrent client sessions
+(each with its own transaction/lock scope and counters) onto one
+:class:`~repro.db.Prima` instance, :class:`RemoteCursor` streams lazy
+result-set pipelines across the coupling network in fetch-size batches
+(OPEN / FETCH(n) / CLOSE, double-buffered prefetch), and
+:class:`ServeLoop` interleaves whole client jobs on threads.
+
+Entry points: ``Prima.serve()`` returns a configured manager;
+:class:`~repro.coupling.PrimaServer` and
+:class:`~repro.coupling.Workstation` ride on sessions and remote cursors
+for checkout/checkin.
+"""
+
+from repro.serve.cursor import RemoteCursor, ServerCursor
+from repro.serve.loop import ServeLoop
+from repro.serve.session import DEFAULT_FETCH_SIZE, Session, SessionManager
+
+__all__ = [
+    "DEFAULT_FETCH_SIZE",
+    "RemoteCursor",
+    "ServeLoop",
+    "ServerCursor",
+    "Session",
+    "SessionManager",
+]

@@ -1,0 +1,290 @@
+"""Remote streaming cursors: the serving layer's wire protocol.
+
+A served SELECT is not shipped as one monolithic molecule set; it is an
+**OPEN / FETCH(n) / CLOSE** conversation over the coupling network's cost
+model.  The server side (:class:`ServerCursor`) keeps the lazy
+:class:`~repro.data.result.ResultSet` pipeline open and delivers it in
+``fetch_size`` batches; the client side (:class:`RemoteCursor`) honours
+the operator cursor protocol (``next()``/``close()``/``rewind()``), so a
+plain ResultSet wraps it and the whole client-side cursor contract —
+lazy iteration, fetch caching, close-while-pending truncation — holds
+unchanged across the wire.
+
+Message inventory (every message is billed against the network model):
+
+=========  ===============================================================
+OPEN       request carries the MQL text; the response carries the
+           *first batch* (open-with-fetch), so a whole-set cursor
+           (``fetch_size=None``) costs exactly one message pair — the
+           set-oriented MAD interface of benchmark A9
+FETCH(n)   small request; response carries up to ``n`` molecules and an
+           exhausted flag (a short batch implies exhaustion)
+REOPEN     restart the server pipeline at the first molecule (pipeline
+           breakers replay their cached run); small request + ack
+CLOSE      release the server pipeline for good; small request + ack
+=========  ===============================================================
+
+**Double buffering.**  With a bounded ``fetch_size`` the client cursor
+keeps at most two batches in flight: the batch the caller is consuming
+and one *prefetched* batch requested as soon as consumption of the
+current batch begins.  At most one batch (``fetch_size`` molecules) is
+therefore constructed ahead of the batch being consumed, and the cursor
+never holds more than ``2 * fetch_size`` undelivered molecules
+(``max_in_flight`` records the high-water mark) — so the execution
+pipeline's early-termination machinery (LIMIT, TopK bound pushdown)
+keeps paying off end-to-end: a client that stops consuming stops the
+server's molecule construction at most one batch later.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.access.encoding import encoded_size
+from repro.errors import SessionStateError
+from repro.mad.molecule import Molecule
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.data.result import ResultSet
+    from repro.serve.session import Session
+
+#: Fixed message sizes of the cursor protocol (bytes).
+FETCH_REQUEST_BYTES = 24
+CONTROL_REQUEST_BYTES = 16
+ACK_BYTES = 8
+BATCH_HEADER_BYTES = 8
+
+
+def batch_bytes(batch: list[Molecule]) -> int:
+    """Wire size of one response batch: encoded atoms plus a header."""
+    total = BATCH_HEADER_BYTES
+    for molecule in batch:
+        for _label, atom in molecule.atoms():
+            total += encoded_size(atom)
+    return total
+
+
+class ServerCursor:
+    """The server-resident half of one remote cursor.
+
+    Owns the lazy ResultSet over the compiled pipeline and serves FETCH
+    batches from it.  A close-hook on the pipeline root records the
+    actual release (``serve_pipelines_released``), so tests and the
+    serving benchmark can verify that a client CLOSE — truncating or
+    not — really tore the operator tree down.
+    """
+
+    def __init__(self, session: "Session", cursor_id: int,
+                 result: "ResultSet", root_type: str) -> None:
+        self.session = session
+        self.cursor_id = cursor_id
+        self.result = result
+        #: Root atom type of the plan (the session's read-lock scope).
+        self.root_type = root_type
+        #: Molecules shipped to the client so far.
+        self.delivered = 0
+        self.released = False
+        result.on_close(self._on_pipeline_close)
+
+    def _on_pipeline_close(self, _operator) -> None:
+        self.released = True
+        self.session.counters.bump("pipelines_released")
+        self.session.manager.db.access.counters.bump(
+            "serve_pipelines_released")
+
+    def fetch(self, count: int) -> tuple[list[Molecule], bool]:
+        """Deliver the next batch (at most ``count`` molecules) and
+        whether the set is exhausted with it."""
+        batch = self.result.fetch_many(count)
+        self.delivered += len(batch)
+        exhausted = self.result.exhausted or len(batch) < count
+        return batch, exhausted
+
+    def fetch_all(self) -> list[Molecule]:
+        """Drain the whole set (the ``fetch_size=None`` open)."""
+        batch: list[Molecule] = []
+        while True:
+            chunk = self.result.fetch_many(256)
+            batch.extend(chunk)
+            if len(chunk) < 256:
+                break
+        self.delivered += len(batch)
+        return batch
+
+    def reopen(self) -> None:
+        """Restart the server pipeline at the first molecule.
+
+        Raises :class:`~repro.errors.CursorStateError` when the cursor
+        was closed while molecules were pending — the truncation half of
+        the ResultSet contract, surfaced across the wire.
+        """
+        self.result.reopen()
+        self.delivered = 0
+
+    def close(self) -> None:
+        """Release the pipeline (close-while-pending marks truncation)."""
+        self.result.close()
+
+
+class RemoteCursor:
+    """The client half: a streaming cursor over the OPEN/FETCH/CLOSE wire.
+
+    Honours the operator cursor protocol, so ``ResultSet(source=cursor)``
+    turns it into an ordinary lazy result set.  ``on_arrival`` (if given)
+    runs for every molecule *as its batch arrives* — before the caller
+    pulls it — which is how a streaming checkout populates the
+    workstation's object buffer incrementally.
+    """
+
+    def __init__(self, session: "Session", cursor_id: int,
+                 fetch_size: int | None,
+                 first_batch: list[Molecule], exhausted: bool,
+                 plan_text: str = "",
+                 on_arrival: Callable[[Molecule], None] | None = None) -> None:
+        self._session = session
+        self.cursor_id = cursor_id
+        self._fetch_size = fetch_size
+        self._on_arrival = on_arrival
+        self._buffer: list[Molecule] = []
+        self._pos = 0
+        self._prefetched: list[Molecule] | None = None
+        self._server_exhausted = exhausted
+        self._closed = False
+        self._close_hooks: list[Callable[[Any], None]] = []
+        self.plan_text = plan_text
+        #: Molecules delivered to the caller so far.
+        self.rows_delivered = 0
+        #: High-water mark of undelivered molecules held client-side —
+        #: bounded by 2 * fetch_size (double buffering).
+        self.max_in_flight = 0
+        self._arrive(first_batch)
+        self._buffer = first_batch
+        self._note_in_flight()
+
+    # -- bookkeeping ---------------------------------------------------------
+
+    def _arrive(self, batch: list[Molecule]) -> None:
+        if self._on_arrival is not None:
+            for molecule in batch:
+                self._on_arrival(molecule)
+
+    def _in_flight(self) -> int:
+        held = len(self._buffer) - self._pos
+        if self._prefetched is not None:
+            held += len(self._prefetched)
+        return held
+
+    def _note_in_flight(self) -> None:
+        held = self._in_flight()
+        if held > self.max_in_flight:
+            self.max_in_flight = held
+
+    def _fetch_batch(self) -> list[Molecule]:
+        assert self._fetch_size is not None
+        batch, exhausted = self._session._fetch_message(  # noqa: SLF001
+            self.cursor_id, self._fetch_size)
+        self._server_exhausted = exhausted
+        self._arrive(batch)
+        return batch
+
+    # -- the operator cursor protocol ---------------------------------------
+
+    def next(self) -> Molecule | None:
+        """Deliver the next molecule (None at end or after close)."""
+        if self._closed:
+            return None
+        if self._pos >= len(self._buffer):
+            if self._prefetched is not None:
+                # Swap in the standing prefetched batch.
+                self._buffer, self._prefetched = self._prefetched, None
+                self._pos = 0
+            elif not self._server_exhausted and self._fetch_size is not None:
+                self._buffer = self._fetch_batch()
+                self._pos = 0
+            else:
+                return None
+            if not self._buffer:
+                return None
+        molecule = self._buffer[self._pos]
+        self._pos += 1
+        self.rows_delivered += 1
+        # One-batch prefetch: while the caller works through this batch,
+        # the next one is already requested (double buffering) — never
+        # more than one batch constructed ahead of the one in use.
+        if self._prefetched is None and self._fetch_size is not None \
+                and not self._server_exhausted:
+            self._prefetched = self._fetch_batch()
+            self._note_in_flight()
+        return molecule
+
+    def close(self) -> None:
+        """Send CLOSE: the server releases its pipeline for good."""
+        if self._closed:
+            return
+        self._closed = True
+        self._buffer = []
+        self._prefetched = None
+        self._pos = 0
+        self._session._close_message(self.cursor_id)  # noqa: SLF001
+        hooks, self._close_hooks = self._close_hooks, []
+        for hook in hooks:
+            hook(self)
+
+    def rewind(self) -> None:
+        """Send REOPEN: restart the stream at the first molecule.
+
+        Server-side truncation (the cursor was closed while molecules
+        were pending) surfaces as
+        :class:`~repro.errors.CursorStateError`.
+        """
+        if self._closed:
+            raise SessionStateError(
+                f"remote cursor #{self.cursor_id} is closed"
+            )
+        batch, exhausted = self._session._reopen_message(  # noqa: SLF001
+            self.cursor_id, self._fetch_size)
+        self._server_exhausted = exhausted
+        self._arrive(batch)
+        self._buffer = batch
+        self._prefetched = None
+        self._pos = 0
+        self._note_in_flight()
+
+    def has_pending(self) -> bool | None:
+        """Whether undelivered molecules remain — answered *without* a
+        wire round trip when possible.
+
+        ``ResultSet.close()`` consults this instead of probing with
+        ``next()``: molecules standing in the client buffers, or a
+        server known not to be exhausted, decide truncation for free —
+        no FETCH (and no prefetch cascade) just to learn what the
+        double-buffering state already proves.  ``None`` means unknown
+        (the caller falls back to the one-molecule probe), which cannot
+        occur in practice: a non-exhausted server always has a standing
+        batch client-side, and a short batch flips the exhausted flag.
+        """
+        if self._closed:
+            return False
+        if self._in_flight() > 0:
+            return True
+        if self._server_exhausted:
+            return False
+        return None   # pragma: no cover - unreachable, see docstring
+
+    def add_close_hook(self, hook: Callable[[Any], None]) -> None:
+        """Operator-protocol parity: run ``hook`` once on ``close()``."""
+        self._close_hooks.append(hook)
+
+    def __iter__(self):
+        while True:
+            molecule = self.next()
+            if molecule is None:
+                return
+            yield molecule
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else (
+            "exhausted" if self._server_exhausted and not self._in_flight()
+            else "streaming")
+        return (f"RemoteCursor(#{self.cursor_id}, {state}, "
+                f"{self.rows_delivered} delivered)")

@@ -1,0 +1,575 @@
+"""Multi-session serving: many clients multiplexed onto one PRIMA.
+
+The workstation–server coupling of the paper checks molecules out to
+engineering workstations; this module grows that single-caller façade
+into a **serving subsystem**: a :class:`SessionManager` multiplexes many
+concurrent client sessions onto one :class:`~repro.db.Prima` instance.
+
+Each :class:`Session` owns
+
+* a **top-level transaction** (:mod:`repro.txn`) as its lock scope —
+  opening a cursor takes an S lock on the root atom type, so a peer
+  session's DML (which takes X on the type in a *subtransaction*, the
+  lock inherited upward and retained until the session closes) conflicts
+  loudly instead of silently interleaving; checkins run in short-lived
+  top-level transactions that commit — and release their atom-level X
+  locks — immediately, preserving the optimistic last-writer-wins
+  checkout protocol;
+* a set of **server cursors** (:mod:`repro.serve.cursor`) streaming lazy
+  ResultSet pipelines to the client in fetch-size batches;
+* **per-session counters**, merged into :meth:`SessionManager.io_report`
+  (and mirrored as ``serve_*`` aggregates into the shared access-system
+  counters, so ``Prima.io_report()`` shows serving activity alongside
+  the operator counters).
+
+**Admission control.**  ``max_sessions`` bounds concurrency; the
+``admission`` knob decides what happens at the limit: ``"reject"``
+raises :class:`~repro.errors.SessionLimitError` immediately, ``"queue"``
+blocks the opener until a slot frees (optionally bounded by
+``queue_timeout`` seconds).
+
+**Threading model.**  Messages of one session are serialised by a
+per-session lock; the engine-touching part of every message (pipeline
+construction, batch fetching, checkin application) additionally runs
+under the manager's ``engine_lock`` — the single-user storage engine is
+shared, so concurrent sessions interleave at message granularity, which
+keeps per-session results deterministic regardless of thread timing.
+The network model and stats are thread-safe (see
+:mod:`repro.coupling.network`).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.access.encoding import encoded_size
+from repro.data.result import ResultSet
+from repro.errors import (
+    CouplingError,
+    SessionLimitError,
+    SessionStateError,
+)
+from repro.mad.molecule import Molecule
+from repro.mad.types import Surrogate
+from repro.mql.ast import (
+    DeleteStatement,
+    InsertStatement,
+    ModifyStatement,
+    SelectStatement,
+)
+from repro.mql.parser import parse
+from repro.serve.cursor import (
+    ACK_BYTES,
+    CONTROL_REQUEST_BYTES,
+    FETCH_REQUEST_BYTES,
+    RemoteCursor,
+    ServerCursor,
+    batch_bytes,
+)
+from repro.txn import Transaction, TransactionManager
+from repro.util.stats import Counters
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.coupling.network import NetworkModel
+    from repro.db import Prima
+
+#: Sentinel: "use the manager's default fetch size" — callers that
+#: want to defer the batching decision to the server's knob pass
+#: this instead of an explicit size/None.
+DEFAULT_FETCH_SIZE = object()
+
+
+def _lock_resource(atom_type: str) -> tuple[str, str]:
+    """The lock-table resource of one atom type (kept distinct from
+    surrogate resources)."""
+    return ("atom_type", atom_type)
+
+
+class Session:
+    """One client session: transaction scope, cursors, counters."""
+
+    def __init__(self, manager: "SessionManager", name: str) -> None:
+        self.manager = manager
+        self.name = name
+        self.txn: Transaction = manager.txns.begin()
+        self.counters = Counters()
+        self.closed = False
+        self._cursors: dict[int, ServerCursor] = {}
+        self._next_cursor = 0
+        #: Serialises this session's messages (the per-session half of
+        #: the serving thread model).
+        self._lock = threading.RLock()
+
+    # -- internals -----------------------------------------------------------
+
+    def _require_open(self) -> None:
+        if self.closed:
+            raise SessionStateError(f"session {self.name!r} is closed")
+
+    def _bill(self, nbytes: int) -> None:
+        self.manager.stats.account(self.manager.model, nbytes)
+
+    def _count(self, name: str, amount: float = 1) -> None:
+        """Bump a per-session counter and its ``serve_*`` aggregate."""
+        self.counters.bump(name, amount)
+        self.manager.db.access.counters.bump(f"serve_{name}", amount)
+
+    @property
+    def _db(self) -> "Prima":
+        return self.manager.db
+
+    def _cursor_of(self, cursor_id: int) -> ServerCursor:
+        try:
+            return self._cursors[cursor_id]
+        except KeyError:
+            raise SessionStateError(
+                f"session {self.name!r} has no cursor #{cursor_id}"
+            ) from None
+
+    # -- the cursor protocol, server side ------------------------------------
+
+    def _open_message(self, mql: str, fetch_size: int | None
+                      ) -> tuple[ServerCursor, list[Molecule], bool, str]:
+        """OPEN: compile the pipeline, deliver the first batch."""
+        self._bill(len(mql.encode("utf-8")))                 # request
+        with self.manager.engine_lock:
+            statement = parse(mql)
+            if not isinstance(statement, SelectStatement):
+                raise SessionStateError(
+                    "remote cursors serve SELECT statements only "
+                    "(use Session.execute for DML)"
+                )
+            data = self._db.data
+            data._ensure_symmetry()  # noqa: SLF001
+            plan = data.plan_select(statement)
+            # Lock scope: reading molecules of this type under this
+            # session's transaction.
+            self.manager.txns.locks.acquire(
+                self.txn, _lock_resource(plan.root_access.atom_type), "S")
+            result = ResultSet(source=plan.compile(data),
+                               plan_text=plan.explain())
+            self._next_cursor += 1
+            cursor = ServerCursor(self, self._next_cursor, result,
+                                  plan.root_access.atom_type)
+            self._cursors[cursor.cursor_id] = cursor
+            if fetch_size is None:
+                batch = cursor.fetch_all()
+                exhausted = True
+            else:
+                batch, exhausted = cursor.fetch(fetch_size)
+        self._bill(batch_bytes(batch))                       # response
+        self._count("cursors_opened")
+        self._count("fetch_messages")
+        self._count("rows_streamed", len(batch))
+        return cursor, batch, exhausted, result.plan_text
+
+    def _fetch_message(self, cursor_id: int,
+                       count: int) -> tuple[list[Molecule], bool]:
+        """FETCH(n): the next batch of an open cursor."""
+        with self._lock:
+            self._require_open()
+            self._bill(FETCH_REQUEST_BYTES)                  # request
+            cursor = self._cursor_of(cursor_id)
+            with self.manager.engine_lock:
+                batch, exhausted = cursor.fetch(count)
+            self._bill(batch_bytes(batch))                   # response
+            self._count("fetch_messages")
+            self._count("rows_streamed", len(batch))
+            return batch, exhausted
+
+    def _reopen_message(self, cursor_id: int, fetch_size: int | None
+                        ) -> tuple[list[Molecule], bool]:
+        """REOPEN: restart the stream (truncation raises, as locally)."""
+        with self._lock:
+            self._require_open()
+            self._bill(CONTROL_REQUEST_BYTES)                # request
+            cursor = self._cursor_of(cursor_id)
+            with self.manager.engine_lock:
+                cursor.reopen()
+                if fetch_size is None:
+                    batch = cursor.fetch_all()
+                    exhausted = True
+                else:
+                    batch, exhausted = cursor.fetch(fetch_size)
+            self._bill(batch_bytes(batch))                   # response
+            self._count("fetch_messages")
+            self._count("rows_streamed", len(batch))
+            return batch, exhausted
+
+    def _close_message(self, cursor_id: int) -> None:
+        """CLOSE: release the server pipeline for good."""
+        with self._lock:
+            if self.closed:
+                return   # session teardown already released everything
+            self._bill(CONTROL_REQUEST_BYTES)                # request
+            cursor = self._cursors.pop(cursor_id, None)
+            if cursor is not None:
+                with self.manager.engine_lock:
+                    cursor.close()
+            self._bill(ACK_BYTES)                            # ack
+            self._count("cursors_closed")
+
+    # -- client entry points -------------------------------------------------
+
+    def open_cursor(self, mql: str, fetch_size: Any = DEFAULT_FETCH_SIZE,
+                    on_arrival: Callable[[Molecule], None] | None = None
+                    ) -> RemoteCursor:
+        """OPEN a remote streaming cursor over ``mql``.
+
+        ``fetch_size=None`` ships the whole set in the open response (the
+        set-oriented one-message-pair mode); an integer streams batches
+        of that size with one-batch prefetch.  ``on_arrival`` runs per
+        molecule as its batch reaches the client.
+        """
+        with self._lock:
+            self._require_open()
+            if fetch_size is DEFAULT_FETCH_SIZE:
+                fetch_size = self.manager.default_fetch_size
+            if fetch_size is not None and fetch_size < 1:
+                raise SessionStateError("fetch_size must be >= 1 (or None)")
+            cursor, batch, exhausted, plan_text = \
+                self._open_message(mql, fetch_size)
+            return RemoteCursor(self, cursor.cursor_id, fetch_size,
+                                batch, exhausted, plan_text=plan_text,
+                                on_arrival=on_arrival)
+
+    def query(self, mql: str, fetch_size: Any = DEFAULT_FETCH_SIZE,
+              on_arrival: Callable[[Molecule], None] | None = None
+              ) -> ResultSet:
+        """A lazy :class:`ResultSet` streaming over a remote cursor."""
+        cursor = self.open_cursor(mql, fetch_size=fetch_size,
+                                  on_arrival=on_arrival)
+        return ResultSet(source=cursor, plan_text=cursor.plan_text)
+
+    def execute(self, mql: str) -> ResultSet:
+        """Execute one statement; DML runs in a *subtransaction*.
+
+        The subtransaction is the lock scope: an X lock on the target
+        atom type is taken for the statement — a peer session's open
+        cursor on that type (S) conflicts loudly, while this session's
+        own read locks never do (Moss's ancestor rule: the session
+        transaction is the writer's parent).  On success the lock is
+        inherited upward, so the session *retains* X on every type it
+        wrote until it closes; a failing statement aborts the
+        subtransaction and releases it.  Write effects themselves become
+        visible immediately, like a checkin.  SELECTs route to
+        :meth:`query`.
+        """
+        with self._lock:
+            self._require_open()
+            statement = parse(mql)
+            if isinstance(statement, SelectStatement):
+                return self.query(mql)
+            self._bill(len(mql.encode("utf-8")))             # request
+            with self.manager.engine_lock:
+                writer = self.txn.begin_nested()
+                try:
+                    target = self._statement_target(statement)
+                    if target is not None:
+                        self.manager.txns.locks.acquire(
+                            writer, _lock_resource(target), "X")
+                    result = self._db.data.execute(statement)
+                    result.materialize()
+                except BaseException:
+                    writer.abort()   # drops the writer's locks
+                    raise
+                writer.commit()      # the session inherits the X lock
+            self._bill(ACK_BYTES)                            # ack
+            self._count("statements")
+            return result
+
+    def _statement_target(self, statement) -> str | None:
+        if isinstance(statement, InsertStatement):
+            return statement.type_name
+        if isinstance(statement, (DeleteStatement, ModifyStatement)):
+            structure = self._db.data.validator.resolve_structure(
+                statement.from_clause)
+            return structure.atom_type
+        return None
+
+    def parallel_query(self, mql: str, processors: int = 4,
+                       partitions: int | None = None,
+                       max_workers: int | None = None):
+        """Run one SELECT with semantic parallelism *inside* this session.
+
+        The construction workers serialise on the manager's engine lock,
+        so a parallel query coexists with the other sessions' cursors on
+        the same single-user engine.
+        """
+        self._require_open()
+        from repro.parallel import parallel_select
+        return parallel_select(self._db, mql, processors=processors,
+                               partitions=partitions,
+                               max_workers=max_workers,
+                               engine_lock=self.manager.engine_lock)
+
+    # -- checkin (the write half of the coupling protocol) -------------------
+
+    def checkin(self, modifications: dict[Surrogate, dict[str, Any]],
+                deletions: list[Surrogate] | None = None,
+                creations: list[tuple[Surrogate, dict[str, Any]]] | None
+                = None) -> dict[Surrogate, Surrogate]:
+        """Apply a workstation's object buffer in one message pair.
+
+        ``creations`` carries atoms created locally under *temporary*
+        surrogates; they are inserted here and the mapping temporary →
+        real surrogate is returned (and billed into the ack message).
+        References among new atoms are remapped, in two phases so cyclic
+        n:m references among creations work.
+
+        The application runs in a short-lived transaction under the
+        engine lock: every touched atom is X-locked (and undo-logged) for
+        the duration, the commit releases the locks — concurrent
+        checkins serialise at message granularity and the later one wins
+        (the optimistic object-buffer protocol).
+        """
+        with self._lock:
+            self._require_open()
+            payload = sum(encoded_size(values)
+                          for values in modifications.values())
+            payload += sum(encoded_size(values)
+                           for _t, values in creations or [])
+            payload += 16 * len(deletions or [])
+            self._bill(payload)                              # request
+            with self.manager.engine_lock:
+                mapping = self._apply_checkin(modifications,
+                                              deletions or [],
+                                              creations or [])
+            self._bill(8 + 24 * len(mapping))                # ack + mapping
+            self._count("checkins")
+            return mapping
+
+    def _apply_checkin(self, modifications, deletions,
+                       creations) -> dict[Surrogate, Surrogate]:
+        db = self._db
+        writer = self.manager.txns.begin()
+        try:
+            mapping: dict[Surrogate, Surrogate] = {}
+            deferred_refs: list[tuple[Surrogate, dict[str, Any]]] = []
+            for temp, values in creations:
+                plain = {k: v for k, v in values.items()
+                         if not _mentions_temp(v, creations)}
+                refs = {k: v for k, v in values.items() if k not in plain}
+                real = writer.insert(temp.atom_type, plain)
+                mapping[temp] = real
+                if refs:
+                    deferred_refs.append((real, refs))
+            for real, refs in deferred_refs:
+                writer.modify(real, _remap(refs, mapping))
+            for surrogate, values in modifications.items():
+                if not db.access.atoms.exists(surrogate):
+                    raise CouplingError(
+                        f"checkin of unknown atom {surrogate}"
+                    )
+                writer.modify(surrogate, _remap(values, mapping))
+            for surrogate in deletions:
+                writer.delete(surrogate)
+        except BaseException:
+            # Selective recovery: roll the half-applied checkin back.
+            writer.abort()
+            raise
+        writer.commit()
+        db.commit()
+        return mapping
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Release every cursor, commit the session transaction (freeing
+        its locks), and return the admission slot."""
+        with self._lock:
+            if self.closed:
+                return
+            with self.manager.engine_lock:
+                for cursor in self._cursors.values():
+                    cursor.close()
+                self._cursors.clear()
+            self.closed = True
+            self.txn.commit()
+        self.manager._release(self)  # noqa: SLF001
+
+    def abort(self) -> None:
+        """Abort the session transaction (undoing logged effects) and
+        release everything."""
+        with self._lock:
+            if self.closed:
+                return
+            with self.manager.engine_lock:
+                for cursor in self._cursors.values():
+                    cursor.close()
+                self._cursors.clear()
+            self.closed = True
+            self.txn.abort()
+        self.manager._release(self)  # noqa: SLF001
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, exc_type, _exc, _tb) -> None:
+        if exc_type is not None and not self.closed:
+            self.abort()
+        else:
+            self.close()
+
+    @property
+    def open_cursors(self) -> int:
+        return len(self._cursors)
+
+    def __repr__(self) -> str:
+        state = "closed" if self.closed else "open"
+        return (f"Session({self.name!r}, {state}, "
+                f"{len(self._cursors)} cursor(s))")
+
+
+class SessionManager:
+    """Session lifecycle + admission control over one Prima instance."""
+
+    def __init__(self, db: "Prima", model: "NetworkModel | None" = None,
+                 max_sessions: int = 8, admission: str = "reject",
+                 queue_timeout: float | None = None,
+                 default_fetch_size: int | None = None) -> None:
+        # Imported here, not at module level: the coupling package's
+        # server rides on this module, so a top-level import would cycle.
+        from repro.coupling.network import NetworkModel, NetworkStats
+        if max_sessions < 1:
+            raise ValueError("max_sessions must be >= 1")
+        if admission not in ("reject", "queue"):
+            raise ValueError(
+                f"admission must be 'reject' or 'queue', got {admission!r}"
+            )
+        self.db = db
+        self.model = model if model is not None else NetworkModel()
+        self.stats = NetworkStats()
+        self.max_sessions = max_sessions
+        self.admission = admission
+        self.queue_timeout = queue_timeout
+        #: None: whole set in the open response; int: streaming batches.
+        self.default_fetch_size = default_fetch_size
+        self.txns = TransactionManager(db.access)
+        #: Serialises the single-user engine across session threads.  An
+        #: RLock, shared with the parallel subsystem's construction
+        #: workers (see :meth:`Session.parallel_query`).
+        self.engine_lock = threading.RLock()
+        self._slots = threading.Condition()
+        self._active = 0
+        self._peak = 0
+        self._session_seq = 0
+        #: Every session ever opened (for io_report merging) and the
+        #: labels reserved so far (uniqueness under concurrency).
+        self._sessions: list[Session] = []
+        self._names: set[str] = set()
+        attach = getattr(db, "attach_network", None)
+        if attach is not None:
+            attach(self.stats)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def open(self, name: str | None = None,
+             timeout: float | None = None) -> Session:
+        """Open one session, subject to admission control.
+
+        With ``admission='reject'`` a full server raises
+        :class:`~repro.errors.SessionLimitError` immediately; with
+        ``'queue'`` the opener waits until a slot frees (``timeout``
+        overrides the manager's ``queue_timeout``).
+        """
+        wait_limit = timeout if timeout is not None else self.queue_timeout
+        with self._slots:
+            if self._active >= self.max_sessions:
+                if self.admission == "reject":
+                    raise SessionLimitError(
+                        f"server at max_sessions={self.max_sessions}"
+                    )
+                self.db.access.counters.bump("serve_sessions_queued")
+                while self._active >= self.max_sessions:
+                    if not self._slots.wait(timeout=wait_limit):
+                        raise SessionLimitError(
+                            f"queued session timed out after "
+                            f"{wait_limit}s (max_sessions="
+                            f"{self.max_sessions})"
+                        )
+            self._active += 1
+            if self._active > self._peak:
+                self._peak = self._active
+            self._session_seq += 1
+            label = name if name is not None else f"s{self._session_seq}"
+            if label in self._names:
+                # Reserve a unique label atomically with the slot, so
+                # two concurrent opens under one name cannot collide
+                # (their io_report keys would silently merge).
+                label = f"{label}#{self._session_seq}"
+            self._names.add(label)
+        session = Session(self, label)
+        with self._slots:
+            self._sessions.append(session)
+        self.db.access.counters.bump("serve_sessions_opened")
+        return session
+
+    def _release(self, _session: Session) -> None:
+        with self._slots:
+            self._active -= 1
+            self._slots.notify_all()
+
+    def close_all(self) -> None:
+        """Close every still-open session (releasing their pipelines)."""
+        for session in list(self._sessions):
+            if not session.closed:
+                session.close()
+
+    # -- inspection ----------------------------------------------------------
+
+    @property
+    def active_sessions(self) -> int:
+        with self._slots:
+            return self._active
+
+    def io_report(self) -> dict[str, Any]:
+        """The database's report plus network and per-session counters."""
+        report = dict(self.db.io_report())
+        snapshot = self.stats.snapshot()
+        report["net_messages"] = snapshot["messages"]
+        report["net_bytes"] = snapshot["bytes_sent"]
+        report["net_comm_time_ms"] = snapshot["comm_time_ms"]
+        with self._slots:
+            report["serve_sessions_peak"] = self._peak
+            sessions = list(self._sessions)
+        for session in sessions:
+            for counter, value in session.counters:
+                report[f"session:{session.name}:{counter}"] = value
+        return report
+
+    def __repr__(self) -> str:
+        return (f"SessionManager({self.active_sessions}/"
+                f"{self.max_sessions} active, admission={self.admission})")
+
+
+# ---------------------------------------------------------------------------
+# checkin helpers: temporary-surrogate remapping
+# ---------------------------------------------------------------------------
+
+def _is_temp(value: Any, creations) -> bool:
+    return isinstance(value, Surrogate) and \
+        any(temp == value for temp, _v in creations)
+
+
+def _mentions_temp(value: Any, creations) -> bool:
+    if _is_temp(value, creations):
+        return True
+    if isinstance(value, list):
+        return any(_mentions_temp(item, creations) for item in value)
+    return False
+
+
+def _remap(values: dict[str, Any],
+           mapping: dict[Surrogate, Surrogate]) -> dict[str, Any]:
+    out: dict[str, Any] = {}
+    for key, value in values.items():
+        if isinstance(value, Surrogate):
+            out[key] = mapping.get(value, value)
+        elif isinstance(value, list):
+            out[key] = [mapping.get(v, v) if isinstance(v, Surrogate) else v
+                        for v in value]
+        else:
+            out[key] = value
+    return out

@@ -9,10 +9,18 @@ The lock manager is non-blocking: a conflicting request raises
 :class:`~repro.errors.LockConflictError` immediately — the single-user
 kernel never waits, and the semantic-parallelism scheduler serialises
 conflicting units of work before they run.
+
+The lock *table* itself is thread-safe: the serving layer runs one
+transaction per client session, and concurrent session threads acquire
+and release locks against this one table.  A table-level mutex makes
+each grant/release/inherit atomic; conflicts between sessions still
+surface as :class:`~repro.errors.LockConflictError` (the non-blocking
+contract is unchanged — only the bookkeeping is serialised).
 """
 
 from __future__ import annotations
 
+import threading
 from typing import TYPE_CHECKING, Hashable
 
 from repro.errors import LockConflictError
@@ -31,6 +39,8 @@ class LockManager:
     def __init__(self) -> None:
         #: resource -> {transaction: mode}
         self._table: dict[Hashable, dict["Transaction", str]] = {}
+        #: Serialises table mutations across concurrent session threads.
+        self._mutex = threading.Lock()
 
     # -- acquisition -------------------------------------------------------------
 
@@ -39,59 +49,64 @@ class LockManager:
         """Grant ``mode`` on ``resource`` to ``txn`` or raise on conflict."""
         if mode not in ("S", "X"):
             raise ValueError(f"unknown lock mode {mode!r}")
-        holders = self._table.setdefault(resource, {})
-        current = holders.get(txn)
-        if current == "X" or current == mode:
-            return   # already held (same or stronger)
-        ancestors = set(txn.ancestors())
-        for holder, held_mode in holders.items():
-            if holder is txn or holder in ancestors:
-                continue   # own/ancestor locks never conflict (Moss rule)
-            if not _COMPATIBLE[(held_mode, mode)] or \
-                    not _COMPATIBLE[(mode, held_mode)]:
-                raise LockConflictError(
-                    f"{txn.name} cannot lock {resource!r} in {mode}: held "
-                    f"in {held_mode} by {holder.name}"
-                )
-        holders[txn] = mode
+        with self._mutex:
+            holders = self._table.setdefault(resource, {})
+            current = holders.get(txn)
+            if current == "X" or current == mode:
+                return   # already held (same or stronger)
+            ancestors = set(txn.ancestors())
+            for holder, held_mode in holders.items():
+                if holder is txn or holder in ancestors:
+                    continue   # own/ancestor locks never conflict (Moss rule)
+                if not _COMPATIBLE[(held_mode, mode)] or \
+                        not _COMPATIBLE[(mode, held_mode)]:
+                    raise LockConflictError(
+                        f"{txn.name} cannot lock {resource!r} in {mode}: "
+                        f"held in {held_mode} by {holder.name}"
+                    )
+            holders[txn] = mode
 
     # -- release / inheritance ----------------------------------------------------------
 
     def release_all(self, txn: "Transaction") -> int:
         """Drop every lock of an aborting transaction."""
         released = 0
-        for resource in list(self._table):
-            if txn in self._table[resource]:
-                del self._table[resource][txn]
-                released += 1
-                if not self._table[resource]:
-                    del self._table[resource]
+        with self._mutex:
+            for resource in list(self._table):
+                if txn in self._table[resource]:
+                    del self._table[resource][txn]
+                    released += 1
+                    if not self._table[resource]:
+                        del self._table[resource]
         return released
 
     def inherit(self, child: "Transaction", parent: "Transaction") -> int:
         """Move a committing child's locks to its parent (upward
         inheritance); the parent keeps the stronger mode on overlap."""
         moved = 0
-        for resource in list(self._table):
-            holders = self._table[resource]
-            child_mode = holders.pop(child, None)
-            if child_mode is None:
-                continue
-            parent_mode = holders.get(parent)
-            if parent_mode is None or (parent_mode == "S" and
-                                       child_mode == "X"):
-                holders[parent] = child_mode
-            moved += 1
+        with self._mutex:
+            for resource in list(self._table):
+                holders = self._table[resource]
+                child_mode = holders.pop(child, None)
+                if child_mode is None:
+                    continue
+                parent_mode = holders.get(parent)
+                if parent_mode is None or (parent_mode == "S" and
+                                           child_mode == "X"):
+                    holders[parent] = child_mode
+                moved += 1
         return moved
 
     # -- inspection ----------------------------------------------------------------------
 
     def holders(self, resource: Hashable) -> dict["Transaction", str]:
-        return dict(self._table.get(resource, {}))
+        with self._mutex:
+            return dict(self._table.get(resource, {}))
 
     def locks_of(self, txn: "Transaction") -> dict[Hashable, str]:
-        return {
-            resource: holders[txn]
-            for resource, holders in self._table.items()
-            if txn in holders
-        }
+        with self._mutex:
+            return {
+                resource: holders[txn]
+                for resource, holders in self._table.items()
+                if txn in holders
+            }

@@ -21,6 +21,7 @@ system immediately (no-force, steal is irrelevant for the in-memory buffer
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Any, Iterator
 
@@ -48,11 +49,16 @@ class Transaction:
     """One node of the transaction tree."""
 
     _counter = 0
+    #: Guards the id counter: the serving layer begins one top-level
+    #: transaction per session, possibly from concurrent threads.
+    _counter_lock = threading.Lock()
 
     def __init__(self, manager: "TransactionManager",
                  parent: "Transaction | None") -> None:
-        Transaction._counter += 1
-        self.name = f"T{Transaction._counter}"
+        with Transaction._counter_lock:
+            Transaction._counter += 1
+            number = Transaction._counter
+        self.name = f"T{number}"
         self._manager = manager
         self.parent = parent
         self.state = ACTIVE

@@ -1,0 +1,453 @@
+"""Tests: the serving layer — sessions, remote cursors, serve loop."""
+
+import threading
+
+import pytest
+
+from repro import Prima
+from repro.coupling import PrimaServer, Workstation
+from repro.errors import (
+    CursorStateError,
+    LockConflictError,
+    SessionLimitError,
+    SessionStateError,
+)
+from repro.serve import ServeLoop
+from repro.workloads import brep
+
+N_ITEMS = 120
+GROUPS = 8
+
+
+@pytest.fixture
+def db():
+    database = Prima()
+    database.execute("CREATE ATOM_TYPE item (item_id: IDENTIFIER, "
+                     "n: INTEGER, grp: INTEGER) KEYS_ARE (n)")
+    for i in range(N_ITEMS):
+        database.insert_atom("item", {"n": i, "grp": i % GROUPS})
+    database.execute_ldl("CREATE SORT ORDER item_so ON item (n)")
+    return database
+
+
+@pytest.fixture
+def manager(db):
+    return db.serve(max_sessions=4)
+
+
+class TestSessionLifecycle:
+    def test_open_and_close(self, manager):
+        session = manager.open(name="alpha")
+        assert manager.active_sessions == 1
+        assert not session.closed
+        session.close()
+        assert session.closed
+        assert manager.active_sessions == 0
+
+    def test_closed_session_rejects_messages(self, manager):
+        session = manager.open()
+        session.close()
+        with pytest.raises(SessionStateError):
+            session.query("SELECT ALL FROM item")
+
+    def test_context_manager_closes(self, manager):
+        with manager.open() as session:
+            assert not session.closed
+        assert session.closed
+        assert manager.active_sessions == 0
+
+    def test_double_close_is_idempotent(self, manager):
+        session = manager.open()
+        session.close()
+        session.close()
+        assert manager.active_sessions == 0
+
+    def test_session_names_unique(self, manager):
+        first = manager.open(name="cad")
+        second = manager.open(name="cad")
+        assert first.name != second.name
+
+    def test_duplicate_names_keep_distinct_report_keys(self, db):
+        manager = db.serve(max_sessions=4)
+
+        def job(session):
+            session.query("SELECT ALL FROM item WHERE grp = 7",
+                          fetch_size=8).materialize()
+            return session.name
+
+        names = ServeLoop(manager).run([job, job], names=["ws", "ws"])
+        assert len(set(names)) == 2
+        report = manager.io_report()
+        for name in names:
+            assert report[f"session:{name}:cursors_opened"] == 1
+
+    def test_dml_and_select_through_session(self, manager):
+        with manager.open() as session:
+            inserted = session.execute("INSERT item (n = 900)").inserted
+            assert inserted is not None
+            rows = session.query("SELECT ALL FROM item WHERE n = 900")
+            assert [m.atom["n"] for m in rows] == [900]
+
+    def test_cursor_rejects_dml(self, manager):
+        with manager.open() as session:
+            with pytest.raises(SessionStateError):
+                session.open_cursor("INSERT item (n = 901)")
+
+
+class TestAdmissionControl:
+    def test_reject_at_limit(self, db):
+        manager = db.serve(max_sessions=2)
+        first, second = manager.open(), manager.open()
+        with pytest.raises(SessionLimitError):
+            manager.open()
+        first.close()
+        third = manager.open()   # slot freed
+        third.close()
+        second.close()
+
+    def test_queue_waits_for_slot(self, db):
+        manager = db.serve(max_sessions=1, admission="queue")
+        first = manager.open()
+        release = threading.Timer(0.05, first.close)
+        release.start()
+        try:
+            second = manager.open()   # blocks until the timer closes first
+        finally:
+            release.join()
+        assert first.closed
+        second.close()
+
+    def test_queue_timeout_raises(self, db):
+        manager = db.serve(max_sessions=1, admission="queue",
+                           queue_timeout=0.01)
+        first = manager.open()
+        with pytest.raises(SessionLimitError):
+            manager.open()
+        first.close()
+
+    def test_knob_validation(self, db):
+        with pytest.raises(ValueError):
+            db.serve(max_sessions=0)
+        with pytest.raises(ValueError):
+            db.serve(admission="drop")
+
+
+class TestRemoteCursor:
+    def test_whole_set_is_one_message_pair(self, db, manager):
+        with manager.open() as session:
+            before = manager.stats.messages
+            result = session.query("SELECT ALL FROM item WHERE grp = 0",
+                                   fetch_size=None)
+            assert manager.stats.messages == before + 2
+            assert len(result) == N_ITEMS // GROUPS
+            # fully shipped at open: consuming costs nothing further
+            assert manager.stats.messages == before + 2
+
+    def test_streaming_batches_and_order(self, db, manager):
+        with manager.open() as session:
+            result = session.query("SELECT ALL FROM item ORDER BY n",
+                                   fetch_size=16)
+            assert [m.atom["n"] for m in result] == list(range(N_ITEMS))
+
+    def test_limit_constructs_at_most_k(self, db, manager):
+        k, f = 30, 8
+        with manager.open() as session:
+            db.reset_accounting()
+            cursor = session.open_cursor(
+                f"SELECT ALL FROM item ORDER BY n LIMIT {k}", fetch_size=f)
+            rows = [m.atom["n"] for m in cursor]
+        assert rows == list(range(k))
+        constructed = db.io_report()["operator_rows:MoleculeConstruct"]
+        assert constructed <= k
+        assert cursor.max_in_flight <= 2 * f
+
+    def test_open_constructs_at_most_two_batches(self, db, manager):
+        f = 10
+        with manager.open() as session:
+            db.reset_accounting()
+            cursor = session.open_cursor("SELECT ALL FROM item ORDER BY n",
+                                         fetch_size=f)
+            cursor.next()   # first pull triggers the one-batch prefetch
+            constructed = db.io_report()["operator_rows:MoleculeConstruct"]
+            assert constructed <= 2 * f
+            cursor.close()
+
+    def test_close_while_pending_truncates_over_the_wire(self, db, manager):
+        with manager.open() as session:
+            db.reset_accounting()
+            result = session.query("SELECT ALL FROM item", fetch_size=16)
+            assert result.fetch_next() is not None
+            result.close()
+            assert result.truncated
+            with pytest.raises(CursorStateError):
+                result.reopen()
+            # ... and the server side actually released the pipeline.
+            assert db.io_report()["serve_pipelines_released"] == 1
+
+    def test_close_decides_truncation_without_a_fetch(self, db, manager):
+        # The truncation probe consults the cursor's buffered state
+        # (has_pending) — abandoning a stream costs only the CLOSE pair,
+        # never another FETCH round trip or prefetched batch.
+        with manager.open() as session:
+            result = session.query("SELECT ALL FROM item", fetch_size=16)
+            result.fetch_next()
+            before = manager.stats.messages
+            construct_before = \
+                db.io_report()["operator_rows:MoleculeConstruct"]
+            result.close()
+            assert manager.stats.messages == before + 2   # CLOSE + ack
+            # Only the server's own bounded truncation probe constructs
+            # (at most one molecule) — no client FETCH, no prefetch batch.
+            assert db.io_report()["operator_rows:MoleculeConstruct"] <= \
+                construct_before + 1
+            assert result.truncated
+
+    def test_reopen_restreams_over_the_wire(self, db, manager):
+        with manager.open() as session:
+            result = session.query("SELECT ALL FROM item WHERE grp = 3",
+                                   fetch_size=4)
+            first = [m.atom["n"] for m in result]
+            result.reopen()
+            assert [m.atom["n"] for m in result] == first
+
+    def test_close_after_exhaustion_keeps_reopen_legal(self, db, manager):
+        with manager.open() as session:
+            result = session.query("SELECT ALL FROM item WHERE grp = 3",
+                                   fetch_size=4)
+            first = [m.atom["n"] for m in result]
+            result.close()
+            assert not result.truncated
+            result.reopen()   # complete cache, no wire interaction
+            assert [m.atom["n"] for m in result] == first
+
+    def test_on_arrival_sees_every_molecule(self, db, manager):
+        arrived = []
+        with manager.open() as session:
+            cursor = session.open_cursor(
+                "SELECT ALL FROM item WHERE grp = 5", fetch_size=4,
+                on_arrival=lambda m: arrived.append(m.atom["n"]))
+            delivered = [m.atom["n"] for m in cursor]
+        assert arrived == delivered
+
+    def test_unknown_cursor_rejected(self, manager):
+        with manager.open() as session:
+            with pytest.raises(SessionStateError):
+                session._fetch_message(99, 4)  # noqa: SLF001
+
+    def test_session_close_releases_open_cursors(self, db, manager):
+        session = manager.open()
+        session.open_cursor("SELECT ALL FROM item", fetch_size=8)
+        assert session.open_cursors == 1
+        session.close()
+        assert db.io_report()["serve_pipelines_released"] >= 1
+
+
+class TestLockScope:
+    def test_peer_write_conflicts_with_open_cursor(self, manager):
+        reader = manager.open()
+        writer = manager.open()
+        reader.query("SELECT ALL FROM item WHERE grp = 0")
+        with pytest.raises(LockConflictError):
+            writer.execute("INSERT item (n = 910)")
+        reader.close()   # releases the session's S locks
+        assert writer.execute("INSERT item (n = 910)").affected == 1
+        writer.close()
+
+    def test_session_can_write_what_it_read(self, manager):
+        # The DML subtransaction is a child of the session transaction,
+        # so the session's own cursor locks never conflict with it.
+        with manager.open() as session:
+            session.query("SELECT ALL FROM item WHERE grp = 1")
+            assert session.execute("INSERT item (n = 920)").affected == 1
+
+    def test_write_lock_retained_until_session_close(self, manager):
+        writer = manager.open()
+        writer.execute("INSERT item (n = 930)")
+        reader = manager.open()
+        with pytest.raises(LockConflictError):
+            reader.query("SELECT ALL FROM item WHERE grp = 0")
+        writer.close()   # inherited X released with the session
+        assert len(reader.query("SELECT ALL FROM item WHERE n = 930")) == 1
+        reader.close()
+
+    def test_failed_write_releases_its_lock(self, manager):
+        from repro.errors import PrimaError
+        writer = manager.open()
+        with pytest.raises(PrimaError):
+            writer.execute("INSERT item (n = 0)")   # duplicate key
+        peer = manager.open()
+        peer.query("SELECT ALL FROM item WHERE grp = 0")   # no conflict
+        peer.close()
+        writer.close()
+
+    def test_server_disconnect_releases_service_locks(self, db):
+        # One serving endpoint: the lock table lives with the manager, so
+        # the conflicting session must come from the same server.
+        server = PrimaServer(db)
+        server.query("SELECT ALL FROM item WHERE grp = 0").materialize()
+        assert server.sessions.active_sessions == 1
+        with server.sessions.open() as session:
+            with pytest.raises(LockConflictError):
+                session.execute("INSERT item (n = 940)")
+            server.disconnect()   # frees the service slot + its S locks
+            assert server.sessions.active_sessions == 1   # only `session`
+            assert session.execute("INSERT item (n = 940)").affected == 1
+
+    def test_checkins_do_not_conflict_with_cursors(self):
+        database = Prima()
+        handles = brep.generate(database, n_solids=2)
+        server = PrimaServer(database)
+        cad1 = Workstation(server, name="cad-1")
+        cad2 = Workstation(server, name="cad-2")
+        query = "SELECT ALL FROM brep-edge WHERE brep_no = 1713"
+        edge = cad1.checkout(query)[0].component_list("edge")[0].surrogate
+        cad2.checkout(query)
+        cad1.modify(edge, {"length": 1.0})
+        cad2.modify(edge, {"length": 2.0})
+        cad1.commit()
+        cad2.commit()   # optimistic protocol: later checkin wins
+        assert handles.db.access.get(edge)["length"] == 2.0
+
+
+class TestServeLoop:
+    def test_concurrent_sessions_no_lost_or_duplicated(self, db):
+        manager = db.serve(max_sessions=GROUPS)
+        expected = [[n for n in range(N_ITEMS) if n % GROUPS == g]
+                    for g in range(GROUPS)]
+
+        def job(group):
+            def run(session):
+                result = session.query(
+                    f"SELECT ALL FROM item WHERE grp = {group}",
+                    fetch_size=4)
+                return [m.atom["n"] for m in result]
+            return run
+
+        loop = ServeLoop(manager)
+        results = loop.run([job(g) for g in range(GROUPS)])
+        assert results == expected          # nothing lost, nothing doubled
+        # deterministic: a second round delivers the same per-session sets
+        assert loop.run([job(g) for g in range(GROUPS)]) == expected
+        assert manager.active_sessions == 0
+
+    def test_loop_respects_admission_queue(self, db):
+        manager = db.serve(max_sessions=2, admission="queue")
+        loop = ServeLoop(manager)
+
+        def job(session):
+            return len(session.query("SELECT ALL FROM item WHERE grp = 1",
+                                     fetch_size=8))
+
+        results = loop.run([job] * 6)
+        assert results == [N_ITEMS // GROUPS] * 6
+
+    def test_loop_propagates_failures_and_closes_sessions(self, db):
+        manager = db.serve(max_sessions=2)
+
+        def bad(_session):
+            raise RuntimeError("client crashed")
+
+        with pytest.raises(RuntimeError):
+            ServeLoop(manager).run([bad])
+        assert manager.active_sessions == 0
+
+    def test_named_jobs_surface_in_io_report(self, db):
+        manager = db.serve(max_sessions=2)
+
+        def job(session):
+            session.query("SELECT ALL FROM item WHERE grp = 2",
+                          fetch_size=4).materialize()
+            return session.name
+
+        names = ServeLoop(manager).run([job, job], names=["red", "blue"])
+        assert names == ["red", "blue"]
+        report = manager.io_report()
+        assert report["session:red:cursors_opened"] == 1
+        assert report["session:blue:rows_streamed"] == N_ITEMS // GROUPS
+
+
+class TestServingCounters:
+    def test_network_counters_in_io_report(self, db, manager):
+        with manager.open() as session:
+            session.query("SELECT ALL FROM item WHERE grp = 0",
+                          fetch_size=None).materialize()
+        report = db.io_report()
+        assert report["net_messages"] == 2
+        assert report["net_bytes"] > 0
+        assert report["net_comm_time_ms"] > 0
+        assert report["serve_sessions_opened"] == 1
+        assert report["serve_cursors_opened"] == 1
+
+    def test_manager_report_merges_per_session_counters(self, db, manager):
+        with manager.open(name="ws-a") as session:
+            session.query("SELECT ALL FROM item WHERE grp = 0",
+                          fetch_size=4).materialize()
+        report = manager.io_report()
+        assert report["session:ws-a:cursors_opened"] == 1
+        assert report["session:ws-a:rows_streamed"] == N_ITEMS // GROUPS
+        assert report["serve_sessions_peak"] == 1
+        assert report["net_messages"] == manager.stats.messages
+
+    def test_parallel_query_inside_session(self, db, manager):
+        with manager.open() as session:
+            outcome = session.parallel_query(
+                "SELECT ALL FROM item WHERE grp = 6", processors=3)
+            rows = sorted(m.atom["n"] for m in outcome.result)
+        assert rows == [n for n in range(N_ITEMS) if n % GROUPS == 6]
+
+
+class TestWorkstationStreaming:
+    @pytest.fixture
+    def coupled(self):
+        database = Prima()
+        handles = brep.generate(database, n_solids=3)
+        server = PrimaServer(database)
+        return handles, server, Workstation(server)
+
+    def test_streaming_checkout_fills_buffer_incrementally(self, coupled):
+        _handles, _server, station = coupled
+        result = station.checkout("SELECT ALL FROM solid", fetch_size=1)
+        loaded_early = len(station.buffer)
+        molecules = list(result)
+        assert loaded_early < len(molecules)   # not all materialised at open
+        assert len(station.buffer) == len(molecules)
+
+    def test_streaming_checkout_close_stops_server_work(self, coupled):
+        handles, _server, station = coupled
+        handles.db.reset_accounting()
+        result = station.checkout("SELECT ALL FROM solid", fetch_size=1)
+        assert result.fetch_next() is not None
+        result.close()
+        constructed = \
+            handles.db.io_report()["operator_rows:MoleculeConstruct"]
+        assert constructed <= 4   # two batches + the truncation probe
+        assert result.truncated
+
+    def test_default_checkout_still_two_messages(self, coupled):
+        _handles, server, station = coupled
+        station.checkout("SELECT ALL FROM brep-face-edge-point "
+                         "WHERE brep_no = 1713")
+        assert server.stats.messages == 2
+
+    def test_batched_closure_drops_message_count(self, coupled):
+        handles, server, station = coupled
+        query = "SELECT ALL FROM brep-face-edge-point WHERE brep_no = 1713"
+        station.checkout(query, set_oriented=False)
+        record_messages = server.stats.messages
+
+        other_server = PrimaServer(handles.db)
+        other = Workstation(other_server)
+        other.checkout(query, set_oriented=False, batched=True)
+        batched_messages = other_server.stats.messages
+        assert batched_messages < record_messages / 3
+        assert len(other.buffer) == len(station.buffer)
+
+    def test_disconnect_frees_admission_slot(self, coupled):
+        _handles, server, station = coupled
+        station.checkout("SELECT ALL FROM solid WHERE sub = EMPTY")
+        assert server.sessions.active_sessions == 1
+        station.disconnect()
+        assert server.sessions.active_sessions == 0
+        # next interaction reconnects transparently
+        station.checkout("SELECT ALL FROM solid WHERE sub = EMPTY")
+        assert server.sessions.active_sessions == 1
