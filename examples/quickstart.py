@@ -12,8 +12,13 @@ from repro import Prima
 
 
 def main() -> None:
-    db = Prima()
+    # ``with`` scopes the instance: close() flushes (commit) and detaches
+    # serving/network accounting on the way out.
+    with Prima() as db:
+        run_demo(db)
 
+
+def run_demo(db: Prima) -> None:
     # 1. Atom types.  Every relationship is a pair of reference attributes
     #    pointing at each other (the association concept, Fig. 2.2):
     #    author.books <-> book.authors is a symmetric n:m association.
@@ -62,7 +67,18 @@ def main() -> None:
     print("plan     :", db.explain("SELECT ALL FROM book WHERE year = 1987")
           .splitlines()[1].strip())
 
-    # 6. Structural integrity is verifiable at any time.
+    # 6. Repetitive queries are the engineering workload: prepare once,
+    #    re-execute with fresh bindings — zero parse/plan work per call,
+    #    and the ? placeholder keeps the KEYS_ARE access path.
+    stmt = db.prepare("SELECT ALL FROM book-author WHERE title = ?")
+    for title in ("PRIMA", "MAD Model"):
+        molecule = stmt.execute(title)[0]
+        print("prepared :", molecule.atom["title"], "by",
+              [a.atom["name"] for a in molecule.component_list("author")])
+    print("frontend :", int(db.io_report()["statements_parsed"]),
+          "statements parsed in total (re-executions bind, never parse)")
+
+    # 7. Structural integrity is verifiable at any time.
     assert db.verify_integrity() == []
     print("integrity: OK")
 

@@ -32,6 +32,7 @@ Package map (one subpackage per layer of Fig. 3.1):
 * :mod:`repro.baselines`— hierarchical and network stores (Fig. 2.1)
 """
 
+from repro.data.prepared import PreparedStatement
 from repro.data.result import ResultSet
 from repro.db import Prima
 from repro.errors import PrimaError
@@ -42,6 +43,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "Molecule",
+    "PreparedStatement",
     "Prima",
     "PrimaError",
     "ResultSet",

@@ -50,6 +50,12 @@ from repro.util.stats import Counters
 class AtomManager:
     """Insert, read, modify and delete atoms; maintain all their records."""
 
+    #: Monotonic LDL stamp (class-level default keeps old checkpoints
+    #: loadable): bumped whenever a tuning structure is installed or
+    #: dropped — access-path choices of cached plans depend on the
+    #: structure inventory, so this feeds the plan-cache version.
+    structures_version = 0
+
     def __init__(self, storage: StorageSystem, schema: Schema,
                  counters: Counters | None = None) -> None:
         self.storage = storage
@@ -63,6 +69,7 @@ class AtomManager:
         self._key_index: dict[str, dict[tuple, Surrogate]] = {}
         self._structures: dict[str, StorageStructure] = {}
         self._structures_by_type: dict[str, list[StorageStructure]] = {}
+        self.structures_version = 0
 
     # ------------------------------------------------------------------ setup --
 
@@ -103,6 +110,7 @@ class AtomManager:
                 f"storage structure {structure.name!r} already exists"
             )
         self._structures[structure.name] = structure
+        self.structures_version = self.structures_version + 1
         for type_name in structure.watched_types:
             self._structures_by_type.setdefault(type_name, []) \
                 .append(structure)
@@ -115,6 +123,7 @@ class AtomManager:
         structure = self._structures.pop(name, None)
         if structure is None:
             raise StructureNotFoundError(f"no storage structure {name!r}")
+        self.structures_version = self.structures_version + 1
         for type_name in structure.watched_types:
             self._structures_by_type[type_name].remove(structure)
         self.deferred.cancel_all(structure.structure_id)

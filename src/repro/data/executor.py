@@ -33,6 +33,7 @@ from repro.access.multidim import KeyCondition
 from repro.access.system import AccessSystem
 from repro.data.plan import QueryPlan, RootAccess
 from repro.data.predicates import PredicateEvaluator, path_values
+from repro.data.prepared import PlanCache, PreparedStatement, iter_parameters
 from repro.data.result import ResultSet
 from repro.data.simplification import sargable_root_terms, simplify
 from repro.data.validation import MoleculeTypeCatalog, Validator
@@ -50,12 +51,14 @@ from repro.mql.ast import (
     InsertStatement,
     Literal,
     ModifyStatement,
+    Parameter,
     Path,
     Projection,
     RefLookup,
     SelectStatement,
     Statement,
 )
+from repro.mql.parser import parse
 from repro.mad.schema import AtomType
 
 
@@ -77,6 +80,54 @@ class DataSystem:
         self.scan_threshold = 0.30
         #: Set after DDL; queries verify symmetry once before running.
         self._symmetry_checked = False
+        #: Shared, catalog-versioned LRU of prepared statements — sits
+        #: under every query entry point (facade, serving sessions,
+        #: parallel_select), so repeated statement text skips parse+plan.
+        self.plan_cache = PlanCache()
+
+    @property
+    def catalog_version(self) -> int:
+        """Monotonic stamp of everything a cached plan depends on:
+        schema DDL, the molecule-type catalog, and the LDL
+        tuning-structure inventory.  Prepared statements record it and
+        transparently re-plan when it moves."""
+        return (self.schema.version + self.catalog.version
+                + self.access.atoms.structures_version)
+
+    # ---------------------------------------------------- prepared statements --
+
+    def prepare(self, mql: str,
+                use_cache: bool = True) -> PreparedStatement:
+        """Parse, validate, and plan one statement — through the cache.
+
+        Repeated (whitespace-normalized) SELECT text returns the cached
+        :class:`~repro.data.prepared.PreparedStatement` without touching
+        the parser (``plan_cache_hits``); a miss parses and plans once
+        (``statements_parsed`` / ``plan_cache_misses``) and caches the
+        result.  DML/DDL statements are prepared but never cached —
+        their execution must re-qualify against current state anyway.
+        """
+        key = PlanCache.normalize(mql)
+        caching = use_cache and self.plan_cache.capacity > 0
+        if caching:
+            hit = self.plan_cache.get(key)
+            if hit is not None:
+                self.access.counters.bump("plan_cache_hits")
+                return hit
+        statement = parse(mql)
+        self.access.counters.bump("statements_parsed")
+        prepared = PreparedStatement(self, mql, statement)
+        if caching and prepared.kind == "select":
+            self.access.counters.bump("plan_cache_misses")
+            self.plan_cache.put(key, prepared)
+        return prepared
+
+    def execute_text(self, mql: str, args: tuple = (),
+                     params: dict[str, Any] | None = None,
+                     use_cache: bool = True) -> ResultSet:
+        """Prepare (cache-aware) and execute one statement text."""
+        prepared = self.prepare(mql, use_cache=use_cache)
+        return prepared.execute(*args, **(params or {}))
 
     # ------------------------------------------------------------ dispatch --
 
@@ -161,9 +212,10 @@ class DataSystem:
                 else:
                     order_prefix = served
         cluster = self._matching_cluster(structure)
-        if statement.limit is not None and statement.limit < 0:
+        # Parameterized windows are validated at bind time instead.
+        if isinstance(statement.limit, int) and statement.limit < 0:
             raise ValidationError("LIMIT must be non-negative")
-        if statement.offset < 0:
+        if isinstance(statement.offset, int) and statement.offset < 0:
             raise ValidationError("OFFSET must be non-negative")
         return QueryPlan(
             structure=structure,
@@ -176,6 +228,7 @@ class DataSystem:
             order_prefix_served=order_prefix,
             limit=statement.limit,
             offset=statement.offset,
+            parameters=tuple(iter_parameters(statement)),
         )
 
     def _validate_order_by(self, statement: SelectStatement,
@@ -318,13 +371,21 @@ class DataSystem:
             if bounds is not None:
                 attr_terms = [(a, op, v) for a, op, v in terms
                               if a == path.attrs[0]]
-                estimate = self.statistics.selectivity(root_type.name,
-                                                       attr_terms)
+                if any(isinstance(v, Parameter) for _a, _op, v in attr_terms):
+                    # A placeholder's value is unknown at plan time: the
+                    # statistics cannot veto the path, so a prepared
+                    # range keeps the same sargable access the typical
+                    # literal form gets.
+                    estimate = None
+                else:
+                    estimate = self.statistics.selectivity(root_type.name,
+                                                           attr_terms)
                 if estimate is not None and estimate > self.scan_threshold:
                     continue   # statistics veto: scan instead
                 conditions = [bounds] + [KeyCondition()] * (len(path.attrs) - 1)
                 return RootAccess("access_path", root_type.name, {
                     "path": path.name,
+                    "attr": path.attrs[0],
                     "conditions": conditions,
                     "range": _render_bounds(path.attrs[0], bounds),
                     "selectivity": estimate,
@@ -642,9 +703,18 @@ def _range_for(terms: list[tuple[str, str, Any]],
 
     Multiple bounds on the same side combine to the *tightest* one
     (max of starts, min of stops); at equal values the exclusive bound
-    wins over the inclusive one.
+    wins over the inclusive one.  A prepared-statement placeholder may
+    stand in for a value: its magnitude is unknown at plan time, so it
+    never displaces an already-chosen bound (and is never displaced) —
+    the resulting range is a conservative superset, which is correct
+    because the full qualification is re-evaluated as the residual
+    filter.
     """
     from repro.access.btree import make_key
+
+    def comparable(a: Any, b: Any) -> bool:
+        return not (isinstance(a, Parameter) or isinstance(b, Parameter))
+
     start = stop = None
     include_start = include_stop = True
     found = False
@@ -655,14 +725,16 @@ def _range_for(terms: list[tuple[str, str, Any]],
             return KeyCondition(start=value, stop=value)
         if op in (">", ">="):
             inclusive = op == ">="
-            if start is None or make_key(value) > make_key(start) or \
-                    (make_key(value) == make_key(start) and not inclusive):
+            if start is None or (comparable(value, start) and (
+                    make_key(value) > make_key(start) or
+                    (make_key(value) == make_key(start) and not inclusive))):
                 start, include_start = value, inclusive
             found = True
         elif op in ("<", "<="):
             inclusive = op == "<="
-            if stop is None or make_key(value) < make_key(stop) or \
-                    (make_key(value) == make_key(stop) and not inclusive):
+            if stop is None or (comparable(value, stop) and (
+                    make_key(value) < make_key(stop) or
+                    (make_key(value) == make_key(stop) and not inclusive))):
                 stop, include_stop = value, inclusive
             found = True
     if not found:

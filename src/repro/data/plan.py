@@ -16,8 +16,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
 
+from repro.errors import ExecutionError
 from repro.mad.molecule import StructureNode
-from repro.mql.ast import Expr, Projection
+from repro.mql.ast import Expr, Parameter, Projection
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.data.executor import DataSystem
@@ -70,10 +71,15 @@ class QueryPlan:
     #: TopK cut the scan short and feed its tightening heap bound into
     #: the walk as a dynamic stop key.
     order_prefix_served: int = 0
-    #: LIMIT n — stop after n molecules (None: unbounded).
-    limit: int | None = None
+    #: LIMIT n — stop after n molecules (None: unbounded).  A
+    #: :class:`~repro.mql.ast.Parameter` defers the bound to bind time.
+    limit: "int | Parameter | None" = None
     #: OFFSET m — skip the first m molecules.
-    offset: int = 0
+    offset: "int | Parameter" = 0
+    #: Placeholders of the statement this plan was prepared from.  A
+    #: non-empty tuple marks a *template*: values must be substituted by
+    #: :func:`repro.data.prepared.bind_plan` before compilation.
+    parameters: tuple = ()
 
     @property
     def uses_topk(self) -> bool:
@@ -92,7 +98,17 @@ class QueryPlan:
         ``push_bound=False`` keeps TopK but disconnects its dynamic heap
         bound from the root scan (the delivery-time early exit remains) —
         the bound-pushdown baseline.
+
+        A plan *template* (prepared statement with placeholders) cannot
+        compile — bind it first (:func:`repro.data.prepared.bind_plan`).
         """
+        if self.parameters:
+            markers = ", ".join(sorted({p.render()
+                                        for p in self.parameters}))
+            raise ExecutionError(
+                f"plan has unbound parameter(s) {markers} — execute "
+                f"through a prepared statement with bindings"
+            )
         from repro.data.operators import build_pipeline
         return build_pipeline(data, self, source=source, use_topk=use_topk,
                               push_bound=push_bound)

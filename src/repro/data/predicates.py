@@ -20,7 +20,7 @@ Semantics, following the paper's examples:
 
 from __future__ import annotations
 
-from typing import Any, Iterator
+from typing import Any, Callable, Iterator
 
 from repro.access.btree import make_key
 from repro.errors import ExecutionError
@@ -34,6 +34,7 @@ from repro.mql.ast import (
     Literal,
     Not,
     Or,
+    Parameter,
     Path,
     Quantified,
     RefLookup,
@@ -117,7 +118,64 @@ class PredicateEvaluator:
             return [surrogate]
         if isinstance(operand, Path):
             return list(path_values(operand, molecule))
+        if isinstance(operand, Parameter):
+            raise ExecutionError(
+                f"placeholder {operand.render()} is unbound at evaluation "
+                f"time — execute through a prepared statement with bindings "
+                f"(see repro.data.prepared)"
+            )
         raise ExecutionError(f"cannot evaluate operand {operand!r}")
+
+
+# ---------------------------------------------------------------------------
+# Parameter binding: substituting placeholders in qualification expressions
+# ---------------------------------------------------------------------------
+
+def bind_expr(expr: Expr | None,
+              resolve: Callable[[Parameter], Any]) -> Expr | None:
+    """Substitute every :class:`~repro.mql.ast.Parameter` in ``expr``.
+
+    Returns a new expression tree with each placeholder replaced by
+    ``Literal(resolve(parameter))``; subtrees without parameters are
+    shared, not copied, so binding a mostly-literal qualification is
+    cheap and never mutates the (possibly cached, shared) template.
+    REF lookup keys are bound too.  ``None`` passes through.
+    """
+    if expr is None:
+        return None
+    if isinstance(expr, Parameter):
+        return Literal(resolve(expr))
+    if isinstance(expr, Comparison):
+        left = bind_expr(expr.left, resolve)
+        right = bind_expr(expr.right, resolve)
+        if left is expr.left and right is expr.right:
+            return expr
+        return Comparison(expr.op, left, right)
+    if isinstance(expr, And):
+        parts = [bind_expr(part, resolve) for part in expr.parts]
+        if all(new is old for new, old in zip(parts, expr.parts)):
+            return expr
+        return And(parts)
+    if isinstance(expr, Or):
+        parts = [bind_expr(part, resolve) for part in expr.parts]
+        if all(new is old for new, old in zip(parts, expr.parts)):
+            return expr
+        return Or(parts)
+    if isinstance(expr, Not):
+        inner = bind_expr(expr.inner, resolve)
+        return expr if inner is expr.inner else Not(inner)
+    if isinstance(expr, Quantified):
+        condition = bind_expr(expr.condition, resolve)
+        if condition is expr.condition:
+            return expr
+        return Quantified(expr.quantifier, expr.count, expr.label, condition)
+    if isinstance(expr, RefLookup):
+        if not any(isinstance(part, Parameter) for part in expr.key):
+            return expr
+        key = tuple(resolve(part) if isinstance(part, Parameter) else part
+                    for part in expr.key)
+        return RefLookup(expr.type_name, key)
+    return expr
 
 
 # ---------------------------------------------------------------------------

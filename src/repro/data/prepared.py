@@ -1,0 +1,545 @@
+"""Prepared statements, late parameter binding, and the shared plan cache.
+
+PRIMA's engineering workloads are dominated by *repetitive* molecule
+queries — a CAD or VLSI tool checks the same molecule shape out over and
+over with different key values.  This module makes the per-call frontend
+cost of that regime go to ~zero:
+
+* :class:`PreparedStatement` — the product of parsing, validating, and
+  planning one MQL statement **once**.  ``execute(*args, **params)``
+  binds the placeholder values at pipeline-open time and runs the
+  pre-built plan; no lexing, parsing, validation or planning happens on
+  the hot path.  Binding is pure substitution over a shared, immutable
+  template (:func:`bind_plan`), so one statement object is safely
+  re-executed from many serving sessions concurrently.
+* :class:`PlanCache` — an LRU of prepared statements keyed on the
+  normalized statement text.  It sits under *every* query entry point
+  (``Prima.query``/``execute``, serving sessions, ``parallel_select``),
+  so even plain repeated-text calls skip parse+plan.
+* **Catalog versioning** — every prepared plan records the data
+  system's ``catalog_version`` (schema DDL + molecule-type catalog +
+  LDL tuning-structure stamps).  A version mismatch at execute time
+  transparently re-validates and re-plans the stored AST (counted as
+  ``plans_invalidated``), so DDL or a new/dropped tuning structure
+  between executions can never run a stale plan — and a *newly created*
+  access path is picked up by already-prepared statements.
+
+Sargability survives preparation: the planner treats a placeholder like
+a literal when deriving the root access (``repro.data.simplification
+.sargable_root_terms``), so a prepared ``WHERE k = ?`` takes the same
+KEYS_ARE lookup / B*-tree access path the literal form does — the
+concrete key value is substituted into the derived
+:class:`~repro.access.multidim.KeyCondition` at bind time, and TopK
+bound pushdown applies to the bound pipeline unchanged.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from collections import OrderedDict
+from dataclasses import replace
+from typing import TYPE_CHECKING, Any, Callable, Iterator
+
+from repro.access.multidim import KeyCondition
+from repro.data.plan import QueryPlan, RootAccess
+from repro.data.predicates import bind_expr
+from repro.data.result import ResultSet
+from repro.errors import ExecutionError, PrimaError
+from repro.mql.ast import (
+    DeleteStatement,
+    Expr,
+    InsertStatement,
+    ModifyStatement,
+    Parameter,
+    Projection,
+    ProjectionItem,
+    SelectStatement,
+    Statement,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.data.executor import DataSystem
+
+
+# ---------------------------------------------------------------------------
+# Parameter discovery: the signature of a statement
+# ---------------------------------------------------------------------------
+
+def _expr_parameters(expr: Expr | None) -> Iterator[Parameter]:
+    """Every placeholder inside one expression, in traversal order.
+
+    Rides :func:`~repro.data.predicates.bind_expr` with a recording
+    resolver, so discovery and substitution share one tree walk — a new
+    parameter-bearing node type added to ``bind_expr`` is automatically
+    discovered here too (the throwaway bound tree only costs at prepare
+    time, never on the execute hot path).
+    """
+    if expr is None:
+        return
+    found: list[Parameter] = []
+
+    def record(parameter: Parameter) -> None:
+        found.append(parameter)
+
+    bind_expr(expr, record)
+    yield from found
+
+
+def _value_parameters(value: Expr | list[Expr]) -> Iterator[Parameter]:
+    if isinstance(value, list):
+        for item in value:
+            yield from _value_parameters(item)
+    else:
+        yield from _expr_parameters(value)
+
+
+def _select_parameters(statement: SelectStatement) -> Iterator[Parameter]:
+    for item in statement.projection.items:
+        if item.subquery is not None:
+            yield from _select_parameters(item.subquery)
+    yield from _expr_parameters(statement.where)
+    if isinstance(statement.limit, Parameter):
+        yield statement.limit
+    if isinstance(statement.offset, Parameter):
+        yield statement.offset
+
+
+def iter_parameters(statement: Statement) -> Iterator[Parameter]:
+    """Every placeholder of one parsed statement (duplicates included)."""
+    if isinstance(statement, SelectStatement):
+        yield from _select_parameters(statement)
+    elif isinstance(statement, InsertStatement):
+        for _attr, value in statement.assignments:
+            yield from _value_parameters(value)
+    elif isinstance(statement, DeleteStatement):
+        yield from _expr_parameters(statement.where)
+    elif isinstance(statement, ModifyStatement):
+        for _attr, value in statement.assignments:
+            yield from _value_parameters(value)
+        yield from _expr_parameters(statement.where)
+
+
+# ---------------------------------------------------------------------------
+# Bindings: resolving placeholders to caller-supplied values
+# ---------------------------------------------------------------------------
+
+class Bindings:
+    """One execution's parameter values: positional args + named params."""
+
+    __slots__ = ("_args", "_named")
+
+    def __init__(self, args: tuple, named: dict[str, Any]) -> None:
+        self._args = tuple(args)
+        self._named = dict(named)
+
+    def resolve(self, parameter: Parameter) -> Any:
+        if parameter.name is not None:
+            try:
+                return self._named[parameter.name]
+            except KeyError:
+                raise ExecutionError(
+                    f"no value bound for parameter :{parameter.name}"
+                ) from None
+        index = parameter.index or 0
+        if index >= len(self._args):
+            raise ExecutionError(
+                f"no value bound for positional parameter ?{index + 1}"
+            )
+        return self._args[index]
+
+
+# ---------------------------------------------------------------------------
+# Binding a plan template: pure substitution, never mutates the template
+# ---------------------------------------------------------------------------
+
+def _bind_window(value: Any, resolve: Callable[[Parameter], Any],
+                 clause: str) -> Any:
+    if not isinstance(value, Parameter):
+        return value
+    bound = resolve(value)
+    if not isinstance(bound, int) or isinstance(bound, bool) or bound < 0:
+        raise ExecutionError(
+            f"{clause} parameter {value.render()} must bind to a "
+            f"non-negative integer, got {bound!r}"
+        )
+    return bound
+
+
+def _bind_condition(condition: KeyCondition,
+                    resolve: Callable[[Parameter], Any]) -> KeyCondition:
+    start, stop = condition.start, condition.stop
+    if not isinstance(start, Parameter) and not isinstance(stop, Parameter):
+        return condition
+    if isinstance(start, Parameter):
+        start = resolve(start)
+    if isinstance(stop, Parameter):
+        stop = resolve(stop)
+    return KeyCondition(start=start, stop=stop,
+                        include_start=condition.include_start,
+                        include_stop=condition.include_stop,
+                        descending=condition.descending)
+
+
+def _bind_root_access(access: RootAccess,
+                      resolve: Callable[[Parameter], Any]) -> RootAccess:
+    detail = dict(access.detail)
+    changed = False
+    key = detail.get("key")
+    if key is not None and any(isinstance(v, Parameter) for v in key):
+        detail["key"] = tuple(resolve(v) if isinstance(v, Parameter) else v
+                              for v in key)
+        changed = True
+    conditions = detail.get("conditions")
+    if conditions is not None:
+        bound = [_bind_condition(cond, resolve) for cond in conditions]
+        if any(new is not old for new, old in zip(bound, conditions)):
+            detail["conditions"] = bound
+            attr = detail.get("attr")
+            if attr is not None:
+                from repro.data.executor import _render_bounds
+                detail["range"] = _render_bounds(attr, bound[0])
+            changed = True
+    search = detail.get("search")
+    if search and any(isinstance(v, Parameter) for _a, _o, v in search):
+        detail["search"] = [
+            (a, op, resolve(v) if isinstance(v, Parameter) else v)
+            for a, op, v in search
+        ]
+        changed = True
+    if not changed:
+        return access
+    return RootAccess(access.kind, access.atom_type, detail)
+
+
+def _bind_projection(projection: Projection,
+                     resolve: Callable[[Parameter], Any]) -> Projection:
+    if projection.select_all:
+        return projection
+    changed = False
+    items: list[ProjectionItem] = []
+    for item in projection.items:
+        if item.subquery is not None:
+            sub = item.subquery
+            where = bind_expr(sub.where, resolve)
+            limit = _bind_window(sub.limit, resolve, "LIMIT")
+            offset = _bind_window(sub.offset, resolve, "OFFSET")
+            if where is not sub.where or limit is not sub.limit \
+                    or offset is not sub.offset:
+                subquery = replace(sub, where=where, limit=limit,
+                                   offset=offset)
+                item = ProjectionItem(label=item.label, subquery=subquery)
+                changed = True
+        items.append(item)
+    if not changed:
+        return projection
+    return Projection(select_all=False, items=items)
+
+
+def bind_plan(plan: QueryPlan, bindings: Bindings) -> QueryPlan:
+    """A concrete, executable plan: the template with values substituted.
+
+    Substitution covers everything execution touches — the residual
+    qualification (down into :mod:`repro.data.predicates` evaluation),
+    the root access's derived key ranges / KEYS_ARE key / search
+    argument (so a bound value keeps the sargable access path), the
+    qualified-projection subqueries, and the LIMIT/OFFSET window (a
+    bound LIMIT still fuses into TopK with dynamic bound pushdown).
+    Parameter-free templates are returned as-is — plans are read-only
+    during compilation, so sharing is safe.
+    """
+    if not plan.parameters:
+        return plan
+    resolve = bindings.resolve
+    limit = _bind_window(plan.limit, resolve, "LIMIT")
+    offset = _bind_window(plan.offset, resolve, "OFFSET")
+    return replace(
+        plan,
+        root_access=_bind_root_access(plan.root_access, resolve),
+        residual_where=bind_expr(plan.residual_where, resolve),
+        projection=_bind_projection(plan.projection, resolve),
+        limit=limit,
+        offset=offset,
+        parameters=(),
+    )
+
+
+def bind_statement(statement: Statement,
+                   resolve: Callable[[Parameter], Any]) -> Statement:
+    """A DML statement with its placeholder values substituted (DDL and
+    parameter-free statements pass through unchanged)."""
+    def bind_value(value: Expr | list[Expr]) -> Expr | list[Expr]:
+        if isinstance(value, list):
+            return [bind_value(item) for item in value]
+        return bind_expr(value, resolve)
+
+    if isinstance(statement, InsertStatement):
+        assignments = [(attr, bind_value(value))
+                       for attr, value in statement.assignments]
+        return InsertStatement(statement.type_name, assignments)
+    if isinstance(statement, DeleteStatement):
+        return DeleteStatement(statement.labels, statement.from_clause,
+                               bind_expr(statement.where, resolve))
+    if isinstance(statement, ModifyStatement):
+        assignments = [(attr, bind_value(value))
+                       for attr, value in statement.assignments]
+        return ModifyStatement(statement.label, assignments,
+                               statement.from_clause,
+                               bind_expr(statement.where, resolve))
+    return statement
+
+
+# ---------------------------------------------------------------------------
+# Prepared statements
+# ---------------------------------------------------------------------------
+
+class PreparedStatement:
+    """One MQL statement, parsed / validated / planned exactly once.
+
+    SELECTs carry a catalog-versioned plan template; ``execute()`` binds
+    parameters into a fresh plan copy and compiles the operator
+    pipeline — re-executions perform **zero** parse/plan work until DDL
+    or an LDL tuning-structure change bumps the catalog version, which
+    transparently re-plans (``plans_invalidated``).  DML/DDL statements
+    skip the plan template (their execution re-qualifies against current
+    state by design) but still skip re-parsing.
+
+    Thread-safety: the template ``(plan, version)`` pair is swapped
+    atomically under a lock and read as one tuple, and binding never
+    mutates shared state — one statement object may be executed from
+    many serving sessions concurrently.
+    """
+
+    def __init__(self, data: "DataSystem", text: str,
+                 statement: Statement) -> None:
+        self._data = data
+        self.text = text
+        self.statement = statement
+        positional: set[int] = set()
+        names: list[str] = []
+        for parameter in iter_parameters(statement):
+            if parameter.name is not None:
+                if parameter.name not in names:
+                    names.append(parameter.name)
+            else:
+                positional.add(parameter.index or 0)
+        #: Number of positional ``?`` slots (the highest index + 1).
+        self.param_count = max(positional) + 1 if positional else 0
+        #: Named ``:name`` slots, in first-appearance order.
+        self.param_names = tuple(names)
+        self.kind = "select" if isinstance(statement, SelectStatement) \
+            else "statement"
+        self._lock = threading.Lock()
+        #: (plan template, catalog version) — swapped as one tuple.
+        self._state: tuple[QueryPlan | None, int] = (None, -1)
+        if self.kind == "select":
+            with self._lock:
+                self._replan()
+
+    # -- the plan template ----------------------------------------------------
+
+    def _replan(self) -> None:
+        """(Re)build the plan template; caller holds ``self._lock``."""
+        data = self._data
+        version = data.catalog_version
+        data._ensure_symmetry()  # noqa: SLF001
+        plan = data.plan_select(self.statement)
+        data.access.counters.bump("statements_planned")
+        self._state = (plan, version)
+
+    def plan(self) -> QueryPlan:
+        """The current (unbound) plan template.
+
+        Re-validates and re-plans when the catalog version moved since
+        the template was built — a dropped atom type raises here instead
+        of executing stale, and a newly created tuning structure is
+        picked up.
+        """
+        if self.kind != "select":
+            raise ExecutionError(
+                f"{type(self.statement).__name__} has no query plan"
+            )
+        plan, version = self._state
+        if version != self._data.catalog_version:
+            with self._lock:
+                plan, version = self._state
+                if version != self._data.catalog_version:
+                    self._data.access.counters.bump("plans_invalidated")
+                    self._replan()
+                    plan, _version = self._state
+        assert plan is not None
+        return plan
+
+    @property
+    def root_atom_type(self) -> str:
+        """Root atom type of the plan (the serving layer's lock scope)."""
+        return self.plan().root_access.atom_type
+
+    # -- binding and execution ------------------------------------------------
+
+    def _bindings(self, args: tuple, named: dict[str, Any]) -> Bindings:
+        if len(args) != self.param_count:
+            raise ExecutionError(
+                f"statement takes {self.param_count} positional "
+                f"parameter(s), got {len(args)}"
+            )
+        unknown = set(named) - set(self.param_names)
+        if unknown:
+            raise ExecutionError(
+                f"unknown named parameter(s) {sorted(unknown)}; statement "
+                f"declares {sorted(self.param_names)}"
+            )
+        missing = set(self.param_names) - set(named)
+        if missing:
+            raise ExecutionError(
+                f"no value bound for parameter(s) "
+                f"{', '.join(':' + name for name in sorted(missing))}"
+            )
+        return Bindings(args, named)
+
+    def bind(self, args: tuple = (),
+             params: dict[str, Any] | None = None) -> QueryPlan:
+        """The concrete plan of one execution (SELECT only)."""
+        return bind_plan(self.plan(), self._bindings(args, params or {}))
+
+    def bound_statement(self, args: tuple = (),
+                        params: dict[str, Any] | None = None) -> Statement:
+        """The statement AST with placeholder values substituted."""
+        bindings = self._bindings(args, params or {})
+        return bind_statement(self.statement, bindings.resolve)
+
+    def execute(self, *args: Any, **params: Any) -> ResultSet:
+        """Bind the parameters and run the statement.
+
+        SELECTs return the usual lazy cursor over a freshly compiled
+        pipeline; DML binds the AST and executes it.  Counted as
+        ``prepared_executions``.
+        """
+        data = self._data
+        data.access.counters.bump("prepared_executions")
+        if self.kind == "select":
+            plan = self.bind(args, params)
+            pipeline = plan.compile(data)
+            return ResultSet(source=pipeline, plan_text=plan.explain())
+        return data.execute(self.bound_statement(args, params))
+
+    def explain(self, analyze: bool = False, args: tuple = (),
+                params: dict[str, Any] | None = None) -> str:
+        """The processing plan (SELECT only).
+
+        Without bindings the *template* is rendered — placeholders show
+        as ``?n`` / ``:name`` markers.  With bindings (or under
+        ``analyze=True``, which must execute the pipeline) the bound
+        plan is rendered; ``analyze=True`` additionally carries measured
+        rows + self-time per operator.
+        """
+        if self.kind != "select":
+            raise PrimaError("EXPLAIN supports SELECT statements only")
+        params = params or {}
+        if args or params or (analyze and
+                              (self.param_count or self.param_names)):
+            plan = self.bind(args, params)
+        else:
+            plan = self.plan()
+        if not analyze:
+            return plan.explain()
+        pipeline = plan.compile(self._data)
+        try:
+            while pipeline.next() is not None:
+                pass
+        finally:
+            pipeline.close()
+        lines = [plan.explain(), "  analyzed:"]
+        lines.extend("    " + line
+                     for line in pipeline.render_tree(analyze=True))
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        slots = []
+        if self.param_count:
+            slots.append(f"{self.param_count} positional")
+        if self.param_names:
+            slots.append(", ".join(":" + n for n in self.param_names))
+        inner = f" [{'; '.join(slots)}]" if slots else ""
+        return f"PreparedStatement({self.kind}{inner}, {self.text!r})"
+
+
+# ---------------------------------------------------------------------------
+# The shared plan cache
+# ---------------------------------------------------------------------------
+
+class PlanCache:
+    """LRU cache of prepared statements, keyed on normalized text.
+
+    The cache holds :class:`PreparedStatement` objects, which carry
+    their own catalog version — staleness is handled by the statement
+    (transparent replan), not by eviction, so a cached entry stays
+    valid across DDL.  Thread-safe; ``capacity=0`` disables caching.
+    """
+
+    def __init__(self, capacity: int = 128) -> None:
+        self.capacity = capacity
+        self._entries: "OrderedDict[str, PreparedStatement]" = OrderedDict()
+        self._lock = threading.Lock()
+        #: Entries displaced by the LRU bound so far.
+        self.evictions = 0
+
+    def __getstate__(self) -> dict[str, Any]:
+        # Locks are not picklable and cached plans hold the whole data
+        # system — a persistence checkpoint stores an *empty* cache (it
+        # re-fills on first use after load).
+        return {"capacity": self.capacity, "evictions": self.evictions}
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        self.capacity = state.get("capacity", 128)
+        self.evictions = state.get("evictions", 0)
+        self._entries = OrderedDict()
+        self._lock = threading.Lock()
+
+    #: MQL string literals ('...' or "..."), matched so normalization
+    #: never touches whitespace *inside* them.
+    _STRING_LITERAL = re.compile(r"('[^']*'|\"[^\"]*\")")
+
+    @classmethod
+    def normalize(cls, text: str) -> str:
+        """The cache key of one statement text.
+
+        Whitespace outside string literals is collapsed (so formatting
+        variants of one statement share a key); literals are kept
+        verbatim — ``name = 'a  b'`` and ``name = 'a b'`` are different
+        statements and must never share a cached plan.
+        """
+        parts = cls._STRING_LITERAL.split(text)
+        return "".join(
+            part if index % 2 else " ".join(part.split())
+            for index, part in enumerate(parts)
+        )
+
+    def get(self, key: str) -> PreparedStatement | None:
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+            return entry
+
+    def put(self, key: str, prepared: PreparedStatement) -> None:
+        if self.capacity <= 0:
+            return
+        with self._lock:
+            self._entries[key] = prepared
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"PlanCache({len(self)}/{self.capacity} entries, "
+                f"{self.evictions} evictions)")

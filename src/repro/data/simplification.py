@@ -19,6 +19,7 @@ from repro.mql.ast import (
     Literal,
     Not,
     Or,
+    Parameter,
     Path,
     Quantified,
 )
@@ -116,23 +117,31 @@ def conjuncts(expr: Expr | None) -> list[Expr]:
 
 def sargable_root_terms(expr: Expr | None, root_label: str,
                         root_attrs: set[str]) -> list[tuple[str, str, Any]]:
-    """(attr, op, literal) conjuncts over root attributes.
+    """(attr, op, value) conjuncts over root attributes.
 
     These are the predicates the planner can push into the root access
     (key lookup, access-path scan, or search argument of an atom-type
-    scan); level-0 seed qualifications count as root predicates.
+    scan); level-0 seed qualifications count as root predicates.  The
+    value of a term is a literal **or** a prepared-statement
+    :class:`~repro.mql.ast.Parameter` — a placeholder compares like a
+    literal for sargability, so ``WHERE k = ?`` keeps the same access
+    path the literal form gets, and binding substitutes the concrete
+    value into the derived key range at execute time.
     """
     out: list[tuple[str, str, Any]] = []
     for part in conjuncts(expr):
         if not isinstance(part, Comparison):
             continue
         left, right, op = part.left, part.right, part.op
-        if isinstance(right, Path) and isinstance(left, Literal):
+        if isinstance(right, Path) and isinstance(left, (Literal, Parameter)):
             left, right = right, left
             op = {"<": ">", "<=": ">=", ">": "<", ">=": "<=",
                   "=": "=", "!=": "!="}[op]
-        if not isinstance(left, Path) or not isinstance(right, Literal):
+        if not isinstance(left, Path) or \
+                not isinstance(right, (Literal, Parameter)):
             continue
+        if isinstance(right, Parameter):
+            right = Literal(right)   # the parameter itself is the value
         if isinstance(right.value, bool) or right.value is None:
             continue
         parts = left.parts

@@ -47,8 +47,13 @@ from repro.mql.ast import (
 class MoleculeTypeCatalog:
     """Named (pre-defined) molecule types: DEFINE MOLECULE TYPE results."""
 
+    #: Monotonic stamp bumped on DEFINE/DROP (class-level default keeps
+    #: old checkpoints loadable); part of the plan-cache version.
+    version = 0
+
     def __init__(self) -> None:
         self._types: dict[str, MoleculeType] = {}
+        self.version = 0
 
     def define(self, molecule_type: MoleculeType) -> None:
         if molecule_type.name in self._types:
@@ -56,11 +61,13 @@ class MoleculeTypeCatalog:
                 f"molecule type {molecule_type.name!r} already defined"
             )
         self._types[molecule_type.name] = molecule_type
+        self.version = self.version + 1
 
     def drop(self, name: str) -> None:
         if name not in self._types:
             raise ValidationError(f"molecule type {name!r} is not defined")
         del self._types[name]
+        self.version = self.version + 1
 
     def get(self, name: str) -> MoleculeType | None:
         return self._types.get(name)

@@ -6,32 +6,58 @@ directly made available to its users (paper, section 4).  :class:`Prima`
 is that configuration — storage system, access system, and data system
 stacked per Fig. 3.1, plus the LDL entry point for the administrator.
 
-    >>> db = Prima()
-    >>> db.execute("CREATE ATOM_TYPE city (city_id: IDENTIFIER, "
-    ...            "name: CHAR_VAR) KEYS_ARE (name)")
-    ResultSet(affected=0)
-    >>> db.execute("INSERT city (name = 'Kaiserslautern')").inserted
-    city#1
-    >>> len(db.query("SELECT ALL FROM city"))
+Quickstart — the prepared query surface::
+
+    >>> with Prima() as db:
+    ...     _ = db.execute("CREATE ATOM_TYPE city (city_id: IDENTIFIER, "
+    ...                    "name: CHAR_VAR, pop: INTEGER) KEYS_ARE (name)")
+    ...     _ = db.execute("INSERT city (name = ?, pop = ?)",
+    ...                    "Kaiserslautern", 99000)
+    ...     stmt = db.prepare("SELECT ALL FROM city WHERE name = ?")
+    ...     len(stmt.execute("Kaiserslautern"))
     1
+
+``prepare(mql)`` parses, validates, and plans **once**; every
+``stmt.execute(*args, **params)`` binds the ``?`` positional / ``:name``
+named placeholder values at pipeline-open time and runs the pre-built
+plan — zero per-call frontend cost, while a prepared ``WHERE key = ?``
+keeps the exact KEYS_ARE/B*-tree access path (and a prepared ``ORDER BY
+... LIMIT ?`` still fuses into TopK with dynamic bound pushdown) the
+literal form gets.  Even *unprepared* repeated text is cheap: a shared,
+catalog-versioned plan cache sits under ``query()``/``execute()``, the
+serving sessions, and ``parallel_select``, so re-sent statement text
+skips parse+plan (``plan_cache_hits`` in :meth:`Prima.io_report`).  DDL
+and LDL tuning-structure changes bump the catalog version, and every
+cached/prepared plan transparently re-validates instead of running
+stale.
+
+``query()`` is the read-path alias of :meth:`Prima.execute` (and
+``stream`` is the same cursor-flavoured entry point): SELECTs always
+return a **lazy** :class:`~repro.data.result.ResultSet` cursor over the
+compiled operator pipeline — molecules are constructed as they are
+pulled, and ``close()`` cancels remaining work.
 """
 
 from __future__ import annotations
 
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from repro.access.integrity import Violation, verify_database
 from repro.access.system import AccessSystem
 from repro.data.executor import DataSystem
+from repro.data.prepared import PreparedStatement
 from repro.data.result import ResultSet
 from repro.data.validation import MoleculeTypeCatalog
 from repro.errors import PrimaError
 from repro.ldl.executor import LdlExecutor
 from repro.mad.schema import Schema
 from repro.mad.types import Surrogate
-from repro.mql.parser import parse, parse_script
+from repro.mql.parser import parse_script
 from repro.storage.disk import DiskGeometry
 from repro.storage.system import StorageSystem
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.serve import SessionManager
 
 
 class Prima:
@@ -53,12 +79,57 @@ class Prima:
         #: Network accounting of attached serving endpoints (see
         #: :meth:`attach_network`); summed into :meth:`io_report`.
         self._network_stats: list[Any] = []
+        #: Serving managers opened over this instance (see :meth:`serve`);
+        #: their per-session counters reset with :meth:`reset_accounting`.
+        self._session_managers: list["SessionManager"] = []
 
     # -- MQL ----------------------------------------------------------------------
 
-    def execute(self, mql: str) -> ResultSet:
-        """Parse and execute one MQL statement."""
-        return self.data.execute(parse(mql))
+    def prepare(self, mql: str) -> PreparedStatement:
+        """Parse, validate, and plan one statement **once**.
+
+        The returned :class:`~repro.data.prepared.PreparedStatement`
+        re-executes with fresh placeholder bindings and zero per-call
+        frontend work::
+
+            stmt = db.prepare("SELECT ALL FROM city WHERE name = ?")
+            stmt.execute("Kaiserslautern")
+            stmt.execute("Brighton")          # no parse, no plan
+
+        ``?`` placeholders bind positionally (``execute(v1, v2)``),
+        ``:name`` placeholders by keyword (``execute(name=v)``).  DDL or
+        LDL changes between executions transparently re-plan (the
+        catalog-version stamp), never run stale.
+        """
+        return self.data.prepare(mql)
+
+    def execute(self, mql: str, *args: Any, use_cache: bool = True,
+                **params: Any) -> ResultSet:
+        """Execute one MQL statement, optionally binding parameters.
+
+        Statement text is prepared through the shared plan cache —
+        repeated (whitespace-normalized) SELECT text skips parse+plan
+        entirely (``plan_cache_hits``); ``use_cache=False`` forces a
+        fresh parse+plan (the re-parse baseline of the benchmarks).
+        Positional ``?`` placeholders bind from ``*args``, named
+        ``:name`` placeholders from ``**params``.
+
+        SELECTs return a **lazy** :class:`ResultSet`: a cursor over the
+        compiled operator pipeline that constructs molecules as they
+        are pulled (``for m in result``); ``len()``/indexing/
+        ``fetch_next()`` materialise on demand and ``close()`` cancels
+        the remaining work deterministically (the paper's
+        one-molecule-at-a-time MAD interface contract).
+        """
+        return self.data.execute_text(mql, args, params,
+                                      use_cache=use_cache)
+
+    #: Read-path aliases of :meth:`execute` (one implementation — the
+    #: historic ``query``/``stream`` split was duplication): ``query``
+    #: reads best in application code, ``stream`` where the cursor
+    #: nature matters.
+    query = execute
+    stream = execute
 
     def execute_script(self, mql: str) -> list[ResultSet]:
         """Parse and execute a ';'-separated MQL script.
@@ -67,57 +138,32 @@ class Prima:
         DML statement cannot mutate atoms under an open cursor.
         """
         results = []
-        for statement in parse_script(mql):
+        statements = parse_script(mql)
+        self.access.counters.bump("statements_parsed", len(statements))
+        for statement in statements:
             result = self.data.execute(statement)
             result.materialize()
             results.append(result)
         return results
 
-    def query(self, mql: str) -> ResultSet:
-        """Alias of :meth:`execute` for read-only statements.
-
-        SELECTs return a **lazy** :class:`ResultSet`: a cursor over the
-        compiled operator pipeline that constructs molecules as they are
-        pulled (``for m in result``); ``len()``/indexing materialise on
-        demand.
-        """
-        return self.execute(mql)
-
-    def stream(self, mql: str) -> ResultSet:
-        """One-molecule-at-a-time cursor over a SELECT (the paper's MAD
-        interface contract): molecules are constructed on demand via
-        ``fetch_next()``/iteration, and ``close()`` cancels the remaining
-        work deterministically."""
-        return self.execute(mql)
-
-    def explain(self, mql: str, analyze: bool = False) -> str:
-        """The processing plan of a SELECT.
+    def explain(self, mql: str, *args: Any, analyze: bool = False,
+                **params: Any) -> str:
+        """The processing plan of a SELECT (through the plan cache).
 
         With ``analyze=False`` (the default) the plan is rendered without
-        executing anything.  With ``analyze=True`` the compiled pipeline
-        is executed to exhaustion and the rendered operator tree carries
-        each operator's measured row count and self wall-time (the same
+        executing anything — a parameterized statement renders its
+        *template* with ``?n`` / ``:name`` markers unless bindings are
+        given.  With ``analyze=True`` the compiled pipeline is executed
+        to exhaustion and the rendered operator tree carries each
+        operator's measured row count and self wall-time (the same
         quantities the ``operator_rows:*`` / ``operator_time:*`` counters
-        accumulate in :meth:`io_report`).
+        accumulate in :meth:`io_report`); a parameterized statement then
+        requires its bindings.
         """
-        statement = parse(mql)
-        from repro.mql.ast import SelectStatement
-        if not isinstance(statement, SelectStatement):
+        prepared = self.data.prepare(mql)
+        if prepared.kind != "select":
             raise PrimaError("EXPLAIN supports SELECT statements only")
-        self.data._ensure_symmetry()  # noqa: SLF001
-        plan = self.data.plan_select(statement)
-        if not analyze:
-            return plan.explain()
-        pipeline = plan.compile(self.data)
-        try:
-            while pipeline.next() is not None:
-                pass
-        finally:
-            pipeline.close()
-        lines = [plan.explain(), "  analyzed:"]
-        lines.extend("    " + line
-                     for line in pipeline.render_tree(analyze=True))
-        return "\n".join(lines)
+        return prepared.explain(analyze=analyze, args=args, params=params)
 
     # -- LDL ------------------------------------------------------------------------
 
@@ -183,6 +229,13 @@ class Prima:
         if stats not in self._network_stats:
             self._network_stats.append(stats)
 
+    def attach_sessions(self, manager: "SessionManager") -> None:
+        """Register a :class:`~repro.serve.SessionManager` opened over
+        this instance, so :meth:`reset_accounting` also zeroes its
+        per-session counters and :meth:`close` tears its sessions down."""
+        if manager not in self._session_managers:
+            self._session_managers.append(manager)
+
     # -- optimizer meta-data -----------------------------------------------------------
 
     def analyze(self, type_name: str | None = None) -> int:
@@ -219,6 +272,23 @@ class Prima:
         self.access.propagate_deferred()
         self.storage.flush()
 
+    def close(self) -> None:
+        """Shut the instance down: close attached serving sessions,
+        flush via :meth:`commit`, and detach network/serving stats.
+
+        Idempotent.  ``with Prima() as db:`` calls this on exit."""
+        for manager in self._session_managers:
+            manager.close_all()
+        self.commit()
+        self._session_managers.clear()
+        self._network_stats.clear()
+
+    def __enter__(self) -> "Prima":
+        return self
+
+    def __exit__(self, _exc_type, _exc, _tb) -> None:
+        self.close()
+
     def verify_integrity(self) -> list[Violation]:
         """Run the database-wide structural-integrity verification."""
         return verify_database(self.access.atoms)
@@ -247,8 +317,15 @@ class Prima:
         return report
 
     def reset_accounting(self) -> None:
-        """Zero all counters (data is untouched)."""
+        """Zero all counters (data is untouched).
+
+        Besides the storage/access/network counters this also resets the
+        per-session counters of every attached
+        :class:`~repro.serve.SessionManager`, so benchmark phases over a
+        serving setup start from zero."""
         self.storage.reset_accounting()
         self.access.counters.reset()
         for stats in self._network_stats:
             stats.reset()
+        for manager in self._session_managers:
+            manager.reset_accounting()

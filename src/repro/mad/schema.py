@@ -167,8 +167,14 @@ class AtomType:
 class Schema:
     """The schema catalog: all atom types plus derived association info."""
 
+    #: Monotonic DDL stamp (class-level default keeps old checkpoints
+    #: loadable): bumped on every CREATE/DROP ATOM_TYPE, it feeds the
+    #: catalog version that invalidates cached query plans.
+    version = 0
+
     def __init__(self) -> None:
         self._atom_types: dict[str, AtomType] = {}
+        self.version = 0
 
     # -- atom type management -------------------------------------------------------
 
@@ -176,6 +182,7 @@ class Schema:
         if atom_type.name in self._atom_types:
             raise SchemaError(f"atom type {atom_type.name!r} already exists")
         self._atom_types[atom_type.name] = atom_type
+        self.version = self.version + 1
         return atom_type
 
     def drop_atom_type(self, name: str) -> None:
@@ -194,6 +201,7 @@ class Schema:
                         f"{other.name}.{attr_name}"
                     )
         del self._atom_types[name]
+        self.version = self.version + 1
 
     def atom_type(self, name: str) -> AtomType:
         try:

@@ -66,6 +66,32 @@ class EmptyLiteral(Expr):
     """The EMPTY keyword: an empty reference/repeating-group value."""
 
 
+@dataclass(frozen=True)
+class Parameter(Expr):
+    """A placeholder of a prepared statement: ``?`` or ``:name``.
+
+    Positional placeholders carry their 0-based ``index`` (assigned in
+    textual order across the whole statement, subqueries included);
+    named placeholders carry ``name``.  Parameters are legal wherever a
+    literal value is — comparison operands, DML assignment values, REF
+    lookup keys, and the LIMIT/OFFSET window — and are substituted at
+    *bind time* (:mod:`repro.data.prepared`), after planning.
+    """
+
+    index: int | None = None
+    name: str | None = None
+
+    def render(self) -> str:
+        """The placeholder as it appears in source (``?n`` numbered for
+        positional, ``:name`` for named)."""
+        if self.name is not None:
+            return f":{self.name}"
+        return f"?{(self.index or 0) + 1}"
+
+    def __repr__(self) -> str:
+        return self.render()
+
+
 @dataclass
 class Path(Expr):
     """An attribute path: ``label.attr.field...`` or bare ``attr``.
@@ -177,10 +203,11 @@ class SelectStatement(Statement):
     #: Result ordering over root attributes (the 'sorting' functional
     #: descriptor of query preparation, paper 3.1).
     order_by: list[OrderItem] = field(default_factory=list)
-    #: LIMIT n — deliver at most n molecules (None: unbounded).
-    limit: int | None = None
+    #: LIMIT n — deliver at most n molecules (None: unbounded).  A
+    #: :class:`Parameter` defers the bound to execute time.
+    limit: "int | Parameter | None" = None
     #: OFFSET m — skip the first m molecules of the (ordered) stream.
-    offset: int = 0
+    offset: "int | Parameter" = 0
 
 
 @dataclass

@@ -5,6 +5,11 @@ The token set covers the constructs exemplified in the paper: Fig. 2.3's
 DDL, Table 2.1's queries (including ``EXISTS_AT_LEAST (2) edge:``,
 ``piece_list (0).solid_no``, ``:=`` qualified projection, scientific float
 literals such as ``1.9E4``), and the DML statements of section 2.2.
+
+Beyond the paper, the lexer carries the ``?`` operator for positional
+parameter placeholders of prepared statements; named placeholders
+(``:name``) reuse the ``:`` operator followed by an identifier and are
+resolved by the parser in value positions.
 """
 
 from __future__ import annotations
@@ -15,7 +20,7 @@ from repro.errors import LexerError
 
 #: Multi-character operators, longest first.
 _OPERATORS = [":=", "<=", ">=", "!=", "<>", "=", "<", ">", "(", ")", ",",
-              ":", ".", "-", "{", "}", "[", "]", ";", "*"]
+              ":", ".", "-", "{", "}", "[", "]", ";", "*", "?"]
 
 #: Reserved words (case-insensitive); everything else is an identifier.
 KEYWORDS = {

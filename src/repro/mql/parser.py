@@ -23,9 +23,15 @@ Grammar summary (see the module docstrings of :mod:`repro.mql.lexer` and
     quantified  := (EXISTS | FOR_ALL | EXISTS_AT_LEAST '(' INT ')'
                     | EXISTS_EXACTLY '(' INT ')') IDENT ':' or_expr
     comparison  := operand ('=' | '!=' | '<' | '<=' | '>' | '>=') operand
-    operand     := literal | EMPTY | path | ref_lookup
+    operand     := literal | EMPTY | path | ref_lookup | parameter
     path        := IDENT ['(' INT ')'] ('.' IDENT)*
     ref_lookup  := REF IDENT '(' literal (',' literal)* ')'
+    parameter   := '?' | ':' IDENT      -- prepared-statement placeholder
+
+Parameters (``?`` positional, ``:name`` named) are legal wherever a
+literal is — comparison operands, DML assignment values, REF keys, and
+the LIMIT/OFFSET window; positional markers are numbered in textual
+order across the whole statement (see :mod:`repro.data.prepared`).
 
 The chain ``a-b-c`` nests c under b under a; ``a.x-b`` names the reference
 attribute ``x`` of ``a`` used for the edge to ``b``; ``a-b (c, d)`` makes c
@@ -69,6 +75,7 @@ from repro.mql.ast import (
     Not,
     Or,
     OrderItem,
+    Parameter,
     Path,
     Projection,
     ProjectionItem,
@@ -86,6 +93,9 @@ class Parser:
     def __init__(self, text: str) -> None:
         self._tokens = tokenize(text)
         self._pos = 0
+        #: Positional placeholders seen so far — ``?`` markers are
+        #: numbered in textual order across the whole statement.
+        self._positionals = 0
 
     # -- token plumbing -----------------------------------------------------------
 
@@ -129,6 +139,32 @@ class Parser:
         if token.kind != "INT":
             raise self._error("expected an integer")
         return int(self._advance().value)
+
+    def _maybe_parameter(self) -> Parameter | None:
+        """Consume a ``?`` / ``:name`` placeholder, if one is next.
+
+        Placeholders are recognised in *value* positions only (operands,
+        DML assignment values, REF keys, LIMIT/OFFSET), where a bare
+        ``:`` can never start a legal construct — the ``label :
+        condition`` colon of quantifiers is consumed before its
+        condition's operands are parsed.
+        """
+        token = self._peek()
+        if token.is_op("?"):
+            self._advance()
+            parameter = Parameter(index=self._positionals)
+            self._positionals += 1
+            return parameter
+        if token.is_op(":") and self._peek(1).kind == "IDENT":
+            self._advance()
+            return Parameter(name=self._expect_ident())
+        return None
+
+    def _int_or_parameter(self) -> int | Parameter:
+        parameter = self._maybe_parameter()
+        if parameter is not None:
+            return parameter
+        return self._expect_int()
 
     # -- entry points ---------------------------------------------------------------
 
@@ -198,14 +234,14 @@ class Parser:
                     self._advance()
                     continue
                 break
-        limit: int | None = None
-        offset = 0
+        limit: int | Parameter | None = None
+        offset: int | Parameter = 0
         if self._peek().is_keyword("LIMIT"):
             self._advance()
-            limit = self._expect_int()
+            limit = self._int_or_parameter()
             if self._peek().is_keyword("OFFSET"):
                 self._advance()
-                offset = self._expect_int()
+                offset = self._int_or_parameter()
         return SelectStatement(projection, structure, where, order_by,
                                limit=limit, offset=offset)
 
@@ -378,6 +414,9 @@ class Parser:
         return Comparison(op, left, right)
 
     def _operand(self) -> Expr:
+        parameter = self._maybe_parameter()
+        if parameter is not None:
+            return parameter
         token = self._peek()
         if token.is_keyword("EMPTY"):
             self._advance()
@@ -428,6 +467,11 @@ class Parser:
         return RefLookup(type_name, tuple(key))
 
     def _literal_value(self) -> Any:
+        parameter = self._maybe_parameter()
+        if parameter is not None:
+            # REF keys (and other literal positions) may be placeholders;
+            # binding substitutes the concrete value before execution.
+            return parameter
         token = self._peek()
         if token.kind == "INT":
             return int(self._advance().value)
@@ -671,6 +715,9 @@ class Parser:
             return EmptyLiteral()
         if token.is_keyword("REF"):
             return self._ref_lookup()
+        parameter = self._maybe_parameter()
+        if parameter is not None:
+            return parameter
         return Literal(self._literal_value())
 
     def _insert(self) -> InsertStatement:

@@ -1,18 +1,26 @@
 """Convenience entry point: run one MQL SELECT with semantic parallelism.
 
-``parallel_select(db, mql, processors)`` decomposes the query into DUs,
+``parallel_select(db, query, processors)`` decomposes the query into DUs,
 partitions the root-scan stream round-robin (one molecule-construction
 worker per partition, riding the physical operator layer), executes the
 units (measuring per-DU cost), and reports the simulated multi-processor
 schedule.
+
+``query`` is either MQL text — prepared through the shared plan cache,
+so repeated text skips parse+plan — or an already-prepared
+:class:`~repro.data.prepared.PreparedStatement`; ``args``/``params``
+bind ``?`` / ``:name`` placeholders for the execution either way.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
+from repro.data.prepared import PreparedStatement
 from repro.data.result import ResultSet
 from repro.db import Prima
+from repro.errors import DecompositionError
 from repro.parallel.decompose import SemanticDecomposer
 from repro.parallel.scheduler import ScheduleReport, simulate
 
@@ -29,24 +37,40 @@ class ParallelQueryResult:
                f"{self.report.explain()})"
 
 
-def parallel_select(db: Prima, mql: str, processors: int = 4,
+def parallel_select(db: Prima, query: "str | PreparedStatement",
+                    processors: int = 4,
                     partitions: int | None = None,
                     max_workers: int | None = None,
-                    engine_lock=None) -> ParallelQueryResult:
+                    engine_lock=None, args: tuple = (),
+                    params: dict[str, Any] | None = None
+                    ) -> ParallelQueryResult:
     """Execute a molecule query with semantic parallelism on a simulated
     ``processors``-way PRIMA.
 
-    ``partitions`` controls how the root stream is carved across the
-    construction workers; it defaults to one partition per processor.
-    Each worker runs on its own thread, feeding the merge stage through a
-    bounded queue; ``max_workers`` caps the number of threads
-    (``max_workers=1`` forces the serial loop).  The molecule order is
-    deterministic either way.  ``engine_lock`` lets an embedding
-    subsystem (the serving layer) substitute its own engine-serialisation
-    lock for the per-run one.
+    ``query`` is MQL text (prepared through the shared plan cache) or a
+    :class:`~repro.data.prepared.PreparedStatement` — a prepared query
+    re-executed here performs zero parse/plan work, exactly like the
+    serial ``stmt.execute()`` path; ``args``/``params`` bind its
+    placeholders.  ``partitions`` controls how the root stream is carved
+    across the construction workers; it defaults to one partition per
+    processor.  Each worker runs on its own thread, feeding the merge
+    stage through a bounded queue; ``max_workers`` caps the number of
+    threads (``max_workers=1`` forces the serial loop).  The molecule
+    order is deterministic either way.  ``engine_lock`` lets an
+    embedding subsystem (the serving layer) substitute its own
+    engine-serialisation lock for the per-run one.
     """
     decomposer = SemanticDecomposer(db.data)
-    plan, units = decomposer.decompose_select(mql)
+    if isinstance(query, PreparedStatement):
+        if query.kind != "select":
+            raise DecompositionError(
+                "semantic decomposition operates on SELECT statements"
+            )
+        plan, units = decomposer.decompose_plan(
+            query.bind(args, params or {}))
+    else:
+        plan, units = decomposer.decompose_select(query, args=args,
+                                                  params=params)
     result = decomposer.run_all(
         plan, units,
         partitions=max(1, partitions if partitions is not None

@@ -57,7 +57,6 @@ from repro.errors import DecompositionError
 from repro.mad.molecule import Molecule
 from repro.mad.types import Surrogate
 from repro.mql.ast import SelectStatement
-from repro.mql.parser import parse
 
 
 @dataclass
@@ -164,8 +163,25 @@ class SemanticDecomposer:
     def __init__(self, data: DataSystem) -> None:
         self._data = data
 
-    def decompose_select(self, mql: str) -> tuple[QueryPlan, list[UnitOfWork]]:
-        """Parse + plan a SELECT and create one (unexecuted) DU per root.
+    def decompose_select(self, mql: str, args: tuple = (),
+                         params: dict | None = None
+                         ) -> tuple[QueryPlan, list[UnitOfWork]]:
+        """Prepare (through the shared plan cache) + bind a SELECT and
+        create one (unexecuted) DU per root.
+
+        Repeated statement text skips parse+plan like every other entry
+        point; ``args``/``params`` bind ``?`` / ``:name`` placeholders.
+        """
+        prepared = self._data.prepare(mql)
+        if prepared.kind != "select":
+            raise DecompositionError(
+                "semantic decomposition operates on SELECT statements"
+            )
+        return self.decompose_plan(prepared.bind(args, params or {}))
+
+    def decompose_plan(self, plan: QueryPlan
+                       ) -> tuple[QueryPlan, list[UnitOfWork]]:
+        """One (unexecuted) DU per root of an already-bound plan.
 
         The roots are drawn from the same ``RootScan`` operator the
         serial pipeline uses — the sequential prologue of the paper's
@@ -177,13 +193,6 @@ class SemanticDecomposer:
         dynamic stop bound — no worker is ever spawned for a root that
         cannot reach the result window.
         """
-        statement = parse(mql)
-        if not isinstance(statement, SelectStatement):
-            raise DecompositionError(
-                "semantic decomposition operates on SELECT statements"
-            )
-        self._data._ensure_symmetry()  # noqa: SLF001
-        plan = self._data.plan_select(statement)
         roots = self._derive_roots(plan)
         units = [UnitOfWork(index=i, root=root)
                  for i, root in enumerate(roots)]
@@ -343,7 +352,9 @@ class SemanticDecomposer:
 
     # -- DML decomposition ----------------------------------------------------------
 
-    def decompose_modify(self, mql: str) -> tuple[Any, list[UnitOfWork]]:
+    def decompose_modify(self, mql: str, args: tuple = (),
+                         params: dict | None = None
+                         ) -> tuple[Any, list[UnitOfWork]]:
         """Decompose a MODIFY statement into one DU per qualifying
         molecule.
 
@@ -352,9 +363,12 @@ class SemanticDecomposer:
         shared components), write sets of different DUs can intersect —
         those units conflict at decomposition level and the scheduler
         serialises them, preserving single-user semantics.
+        ``args``/``params`` bind placeholders in the assignments and the
+        qualification.
         """
         from repro.mql.ast import ModifyStatement, Projection
-        statement = parse(mql)
+        prepared = self._data.prepare(mql)
+        statement = prepared.bound_statement(args, params or {})
         if not isinstance(statement, ModifyStatement):
             raise DecompositionError(
                 "decompose_modify operates on MODIFY statements"

@@ -16,11 +16,17 @@ for checkout/checkin.
 
 from repro.serve.cursor import RemoteCursor, ServerCursor
 from repro.serve.loop import ServeLoop
-from repro.serve.session import DEFAULT_FETCH_SIZE, Session, SessionManager
+from repro.serve.session import (
+    DEFAULT_FETCH_SIZE,
+    RemotePreparedStatement,
+    Session,
+    SessionManager,
+)
 
 __all__ = [
     "DEFAULT_FETCH_SIZE",
     "RemoteCursor",
+    "RemotePreparedStatement",
     "ServeLoop",
     "ServerCursor",
     "Session",

@@ -17,6 +17,13 @@ Each :class:`Session` owns
   checkout protocol;
 * a set of **server cursors** (:mod:`repro.serve.cursor`) streaming lazy
   ResultSet pipelines to the client in fetch-size batches;
+* a set of **server-side prepared statements**: PREPARE ships the MQL
+  text once and returns a handle (:class:`RemotePreparedStatement`
+  client-side); EXECUTE_PREPARED re-executes it with fresh placeholder
+  bindings — the request carries only the handle id + values, and the
+  server binds its cached, catalog-versioned plan (the shared
+  :class:`~repro.data.prepared.PlanCache` also sits under plain OPEN
+  messages, so even unprepared repeated text skips parse+plan);
 * **per-session counters**, merged into :meth:`SessionManager.io_report`
   (and mirrored as ``serve_*`` aggregates into the shared access-system
   counters, so ``Prima.io_report()`` shows serving activity alongside
@@ -44,6 +51,7 @@ import threading
 from typing import TYPE_CHECKING, Any, Callable
 
 from repro.access.encoding import encoded_size
+from repro.data.prepared import PreparedStatement
 from repro.data.result import ResultSet
 from repro.errors import (
     CouplingError,
@@ -56,9 +64,7 @@ from repro.mql.ast import (
     DeleteStatement,
     InsertStatement,
     ModifyStatement,
-    SelectStatement,
 )
-from repro.mql.parser import parse
 from repro.serve.cursor import (
     ACK_BYTES,
     CONTROL_REQUEST_BYTES,
@@ -79,11 +85,24 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 #: this instead of an explicit size/None.
 DEFAULT_FETCH_SIZE = object()
 
+#: Wire size of one server-side statement handle (id + parameter
+#: signature) in a PREPARE response.
+STATEMENT_HANDLE_BYTES = 16
+
 
 def _lock_resource(atom_type: str) -> tuple[str, str]:
     """The lock-table resource of one atom type (kept distinct from
     surrogate resources)."""
     return ("atom_type", atom_type)
+
+
+def _bindings_bytes(args: tuple, params: dict[str, Any] | None) -> int:
+    """Wire size of one execution's parameter values (EXECUTE_PREPARED
+    requests ship bindings, never statement text)."""
+    payload = {f"p{i}": value for i, value in enumerate(args)}
+    if params:
+        payload.update(params)
+    return encoded_size(payload) if payload else 0
 
 
 class Session:
@@ -97,6 +116,9 @@ class Session:
         self.closed = False
         self._cursors: dict[int, ServerCursor] = {}
         self._next_cursor = 0
+        #: Server-side prepared-statement handles of this session.
+        self._statements: dict[int, PreparedStatement] = {}
+        self._next_statement = 0
         #: Serialises this session's messages (the per-session half of
         #: the serving thread model).
         self._lock = threading.RLock()
@@ -127,42 +149,66 @@ class Session:
                 f"session {self.name!r} has no cursor #{cursor_id}"
             ) from None
 
+    def _statement_of(self, statement_id: int) -> PreparedStatement:
+        try:
+            return self._statements[statement_id]
+        except KeyError:
+            raise SessionStateError(
+                f"session {self.name!r} has no prepared statement "
+                f"#{statement_id}"
+            ) from None
+
     # -- the cursor protocol, server side ------------------------------------
 
-    def _open_message(self, mql: str, fetch_size: int | None
+    def _open_pipeline(self, prepared: PreparedStatement, args: tuple,
+                       params: dict[str, Any] | None, fetch_size: int | None
+                       ) -> tuple[ServerCursor, list[Molecule], bool, str]:
+        """Bind a prepared SELECT, open its server cursor, fetch the
+        first batch.  The caller holds the engine lock."""
+        if prepared.kind != "select":
+            raise SessionStateError(
+                "remote cursors serve SELECT statements only "
+                "(use Session.execute for DML)"
+            )
+        plan = prepared.bind(args, params or {})
+        # Lock scope: reading molecules of this type under this
+        # session's transaction.
+        self.manager.txns.locks.acquire(
+            self.txn, _lock_resource(plan.root_access.atom_type), "S")
+        result = ResultSet(source=plan.compile(self._db.data),
+                           plan_text=plan.explain())
+        self._next_cursor += 1
+        cursor = ServerCursor(self, self._next_cursor, result,
+                              plan.root_access.atom_type)
+        self._cursors[cursor.cursor_id] = cursor
+        if fetch_size is None:
+            batch = cursor.fetch_all()
+            exhausted = True
+        else:
+            batch, exhausted = cursor.fetch(fetch_size)
+        return cursor, batch, exhausted, result.plan_text
+
+    def _open_message(self, mql: str, fetch_size: int | None,
+                      args: tuple = (),
+                      params: dict[str, Any] | None = None
                       ) -> tuple[ServerCursor, list[Molecule], bool, str]:
-        """OPEN: compile the pipeline, deliver the first batch."""
-        self._bill(len(mql.encode("utf-8")))                 # request
+        """OPEN: compile the pipeline, deliver the first batch.
+
+        The statement text rides in the request; preparation runs
+        through the shared plan cache, so repeated text skips parse+plan
+        even over this one-shot message.
+        """
+        self._bill(len(mql.encode("utf-8"))
+                   + _bindings_bytes(args, params))          # request
         with self.manager.engine_lock:
-            statement = parse(mql)
-            if not isinstance(statement, SelectStatement):
-                raise SessionStateError(
-                    "remote cursors serve SELECT statements only "
-                    "(use Session.execute for DML)"
-                )
-            data = self._db.data
-            data._ensure_symmetry()  # noqa: SLF001
-            plan = data.plan_select(statement)
-            # Lock scope: reading molecules of this type under this
-            # session's transaction.
-            self.manager.txns.locks.acquire(
-                self.txn, _lock_resource(plan.root_access.atom_type), "S")
-            result = ResultSet(source=plan.compile(data),
-                               plan_text=plan.explain())
-            self._next_cursor += 1
-            cursor = ServerCursor(self, self._next_cursor, result,
-                                  plan.root_access.atom_type)
-            self._cursors[cursor.cursor_id] = cursor
-            if fetch_size is None:
-                batch = cursor.fetch_all()
-                exhausted = True
-            else:
-                batch, exhausted = cursor.fetch(fetch_size)
+            prepared = self._db.data.prepare(mql)
+            cursor, batch, exhausted, plan_text = self._open_pipeline(
+                prepared, args, params, fetch_size)
         self._bill(batch_bytes(batch))                       # response
         self._count("cursors_opened")
         self._count("fetch_messages")
         self._count("rows_streamed", len(batch))
-        return cursor, batch, exhausted, result.plan_text
+        return cursor, batch, exhausted, plan_text
 
     def _fetch_message(self, cursor_id: int,
                        count: int) -> tuple[list[Molecule], bool]:
@@ -210,40 +256,130 @@ class Session:
             self._bill(ACK_BYTES)                            # ack
             self._count("cursors_closed")
 
+    # -- the prepared-statement protocol, server side ------------------------
+
+    def _prepare_message(self, mql: str) -> tuple[int, PreparedStatement]:
+        """PREPARE: ship the text once; the response is a statement
+        handle.  Every later EXECUTE_PREPARED carries only the handle
+        and the bindings — the text is never reshipped, and the server
+        never re-plans it (until a catalog-version bump forces a
+        transparent re-plan)."""
+        with self._lock:
+            self._require_open()
+            self._bill(len(mql.encode("utf-8")))             # request
+            with self.manager.engine_lock:
+                prepared = self._db.data.prepare(mql)
+            self._next_statement += 1
+            statement_id = self._next_statement
+            self._statements[statement_id] = prepared
+            self._bill(STATEMENT_HANDLE_BYTES)               # response
+            self._count("statements_prepared")
+            return statement_id, prepared
+
+    def _execute_prepared_message(self, statement_id: int, args: tuple,
+                                  params: dict[str, Any] | None,
+                                  fetch_size: int | None
+                                  ) -> tuple[ServerCursor, list[Molecule],
+                                             bool, str]:
+        """EXECUTE_PREPARED (SELECT): open a cursor over a server-side
+        statement handle — the request ships handle + bindings only."""
+        with self._lock:
+            self._require_open()
+            prepared = self._statement_of(statement_id)
+            self._bill(CONTROL_REQUEST_BYTES
+                       + _bindings_bytes(args, params))      # request
+            with self.manager.engine_lock:
+                cursor, batch, exhausted, plan_text = self._open_pipeline(
+                    prepared, args, params, fetch_size)
+            self._bill(batch_bytes(batch))                   # response
+            self._count("cursors_opened")
+            self._count("fetch_messages")
+            self._count("rows_streamed", len(batch))
+            self._count("prepared_executions")
+            return cursor, batch, exhausted, plan_text
+
+    def _execute_prepared_dml(self, statement_id: int, args: tuple,
+                              params: dict[str, Any] | None) -> ResultSet:
+        """EXECUTE_PREPARED (DML): bind and run under the same
+        subtransaction/lock discipline as :meth:`execute`."""
+        with self._lock:
+            self._require_open()
+            prepared = self._statement_of(statement_id)
+            self._bill(CONTROL_REQUEST_BYTES
+                       + _bindings_bytes(args, params))      # request
+            result = self._execute_locked(prepared, args, params)
+            self._bill(ACK_BYTES)                            # ack
+            self._count("statements")
+            self._count("prepared_executions")
+            return result
+
+    def _deallocate_message(self, statement_id: int) -> None:
+        """DEALLOCATE: drop a server-side statement handle."""
+        with self._lock:
+            if self.closed:
+                return   # session teardown already released everything
+            self._bill(CONTROL_REQUEST_BYTES)                # request
+            self._statements.pop(statement_id, None)
+            self._bill(ACK_BYTES)                            # ack
+
     # -- client entry points -------------------------------------------------
 
+    def _resolve_fetch_size(self, fetch_size: Any) -> int | None:
+        if fetch_size is DEFAULT_FETCH_SIZE:
+            fetch_size = self.manager.default_fetch_size
+        if fetch_size is not None and fetch_size < 1:
+            raise SessionStateError("fetch_size must be >= 1 (or None)")
+        return fetch_size
+
     def open_cursor(self, mql: str, fetch_size: Any = DEFAULT_FETCH_SIZE,
-                    on_arrival: Callable[[Molecule], None] | None = None
-                    ) -> RemoteCursor:
+                    on_arrival: Callable[[Molecule], None] | None = None,
+                    args: tuple = (),
+                    params: dict[str, Any] | None = None) -> RemoteCursor:
         """OPEN a remote streaming cursor over ``mql``.
 
         ``fetch_size=None`` ships the whole set in the open response (the
         set-oriented one-message-pair mode); an integer streams batches
         of that size with one-batch prefetch.  ``on_arrival`` runs per
-        molecule as its batch reaches the client.
+        molecule as its batch reaches the client.  ``args``/``params``
+        bind ``?`` / ``:name`` placeholders for this one execution; a
+        statement executed repeatedly is better served by
+        :meth:`prepare` (the text ships once).
         """
         with self._lock:
             self._require_open()
-            if fetch_size is DEFAULT_FETCH_SIZE:
-                fetch_size = self.manager.default_fetch_size
-            if fetch_size is not None and fetch_size < 1:
-                raise SessionStateError("fetch_size must be >= 1 (or None)")
+            fetch_size = self._resolve_fetch_size(fetch_size)
             cursor, batch, exhausted, plan_text = \
-                self._open_message(mql, fetch_size)
+                self._open_message(mql, fetch_size, args=args, params=params)
             return RemoteCursor(self, cursor.cursor_id, fetch_size,
                                 batch, exhausted, plan_text=plan_text,
                                 on_arrival=on_arrival)
 
     def query(self, mql: str, fetch_size: Any = DEFAULT_FETCH_SIZE,
-              on_arrival: Callable[[Molecule], None] | None = None
-              ) -> ResultSet:
+              on_arrival: Callable[[Molecule], None] | None = None,
+              args: tuple = (),
+              params: dict[str, Any] | None = None) -> ResultSet:
         """A lazy :class:`ResultSet` streaming over a remote cursor."""
         cursor = self.open_cursor(mql, fetch_size=fetch_size,
-                                  on_arrival=on_arrival)
+                                  on_arrival=on_arrival,
+                                  args=args, params=params)
         return ResultSet(source=cursor, plan_text=cursor.plan_text)
 
-    def execute(self, mql: str) -> ResultSet:
-        """Execute one statement; DML runs in a *subtransaction*.
+    def prepare(self, mql: str) -> "RemotePreparedStatement":
+        """PREPARE ``mql`` server-side; the client keeps a handle.
+
+        The statement text crosses the wire exactly once.  Every
+        ``handle.execute(...)`` afterwards is an EXECUTE_PREPARED
+        message shipping only the handle id and the placeholder
+        bindings — the server binds its cached, catalog-versioned plan
+        and streams the cursor as usual (no re-parse, no re-plan, no
+        text).
+        """
+        statement_id, prepared = self._prepare_message(mql)
+        return RemotePreparedStatement(self, statement_id, prepared)
+
+    def _execute_locked(self, prepared: PreparedStatement, args: tuple,
+                        params: dict[str, Any] | None) -> ResultSet:
+        """Run a non-SELECT prepared statement in a *subtransaction*.
 
         The subtransaction is the lock scope: an X lock on the target
         atom type is taken for the statement — a peer session's open
@@ -253,28 +389,37 @@ class Session:
         inherited upward, so the session *retains* X on every type it
         wrote until it closes; a failing statement aborts the
         subtransaction and releases it.  Write effects themselves become
-        visible immediately, like a checkin.  SELECTs route to
-        :meth:`query`.
+        visible immediately, like a checkin.
+        """
+        with self.manager.engine_lock:
+            writer = self.txn.begin_nested()
+            try:
+                target = self._statement_target(prepared.statement)
+                if target is not None:
+                    self.manager.txns.locks.acquire(
+                        writer, _lock_resource(target), "X")
+                result = prepared.execute(*args, **(params or {}))
+                result.materialize()
+            except BaseException:
+                writer.abort()   # drops the writer's locks
+                raise
+            writer.commit()      # the session inherits the X lock
+        return result
+
+    def execute(self, mql: str, *args: Any, **params: Any) -> ResultSet:
+        """Execute one statement; DML runs in a *subtransaction* (see
+        :meth:`_execute_locked` for the lock discipline).  SELECTs route
+        to :meth:`query`.  ``*args``/``**params`` bind placeholders.
         """
         with self._lock:
             self._require_open()
-            statement = parse(mql)
-            if isinstance(statement, SelectStatement):
-                return self.query(mql)
-            self._bill(len(mql.encode("utf-8")))             # request
             with self.manager.engine_lock:
-                writer = self.txn.begin_nested()
-                try:
-                    target = self._statement_target(statement)
-                    if target is not None:
-                        self.manager.txns.locks.acquire(
-                            writer, _lock_resource(target), "X")
-                    result = self._db.data.execute(statement)
-                    result.materialize()
-                except BaseException:
-                    writer.abort()   # drops the writer's locks
-                    raise
-                writer.commit()      # the session inherits the X lock
+                prepared = self._db.data.prepare(mql)
+            if prepared.kind == "select":
+                return self.query(mql, args=args, params=params or None)
+            self._bill(len(mql.encode("utf-8"))
+                       + _bindings_bytes(args, params))      # request
+            result = self._execute_locked(prepared, args, params)
             self._bill(ACK_BYTES)                            # ack
             self._count("statements")
             return result
@@ -385,6 +530,7 @@ class Session:
                 for cursor in self._cursors.values():
                     cursor.close()
                 self._cursors.clear()
+            self._statements.clear()
             self.closed = True
             self.txn.commit()
         self.manager._release(self)  # noqa: SLF001
@@ -399,6 +545,7 @@ class Session:
                 for cursor in self._cursors.values():
                     cursor.close()
                 self._cursors.clear()
+            self._statements.clear()
             self.closed = True
             self.txn.abort()
         self.manager._release(self)  # noqa: SLF001
@@ -416,10 +563,95 @@ class Session:
     def open_cursors(self) -> int:
         return len(self._cursors)
 
+    @property
+    def open_statements(self) -> int:
+        """Server-side prepared-statement handles currently held."""
+        return len(self._statements)
+
     def __repr__(self) -> str:
         state = "closed" if self.closed else "open"
         return (f"Session({self.name!r}, {state}, "
                 f"{len(self._cursors)} cursor(s))")
+
+
+class RemotePreparedStatement:
+    """The client half of a server-side prepared statement.
+
+    Created by :meth:`Session.prepare` — the PREPARE request shipped the
+    statement text once; this handle re-executes it with fresh bindings
+    over EXECUTE_PREPARED messages that carry only the statement id and
+    the parameter values.  SELECT handles stream their result through
+    the ordinary remote-cursor machinery (first batch in the response,
+    double-buffered prefetch, the full client cursor contract); DML
+    handles execute under the session's subtransaction lock discipline.
+    """
+
+    def __init__(self, session: Session, statement_id: int,
+                 prepared: PreparedStatement) -> None:
+        self._session = session
+        self.statement_id = statement_id
+        self.text = prepared.text
+        self.kind = prepared.kind
+        self.param_count = prepared.param_count
+        self.param_names = prepared.param_names
+        self._closed = False
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise SessionStateError(
+                f"prepared statement #{self.statement_id} is deallocated"
+            )
+
+    def open_cursor(self, *args: Any,
+                    fetch_size: Any = DEFAULT_FETCH_SIZE,
+                    on_arrival: Callable[[Molecule], None] | None = None,
+                    **params: Any) -> RemoteCursor:
+        """EXECUTE_PREPARED: a streaming cursor over one execution."""
+        self._require_open()
+        session = self._session
+        with session._lock:  # noqa: SLF001
+            session._require_open()  # noqa: SLF001
+            fetch_size = session._resolve_fetch_size(fetch_size)  # noqa: SLF001
+        cursor, batch, exhausted, plan_text = \
+            session._execute_prepared_message(  # noqa: SLF001
+                self.statement_id, args, params, fetch_size)
+        return RemoteCursor(session, cursor.cursor_id, fetch_size,
+                            batch, exhausted, plan_text=plan_text,
+                            on_arrival=on_arrival)
+
+    def execute(self, *args: Any, fetch_size: Any = DEFAULT_FETCH_SIZE,
+                on_arrival: Callable[[Molecule], None] | None = None,
+                **params: Any) -> ResultSet:
+        """Re-execute with fresh bindings (no text, no re-plan).
+
+        SELECTs return the usual lazy :class:`ResultSet` over a remote
+        cursor; DML returns its outcome set.
+        """
+        self._require_open()
+        if self.kind != "select":
+            return self._session._execute_prepared_dml(  # noqa: SLF001
+                self.statement_id, args, params)
+        cursor = self.open_cursor(*args, fetch_size=fetch_size,
+                                  on_arrival=on_arrival, **params)
+        return ResultSet(source=cursor, plan_text=cursor.plan_text)
+
+    def close(self) -> None:
+        """DEALLOCATE the server-side handle (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._session._deallocate_message(self.statement_id)  # noqa: SLF001
+
+    def __enter__(self) -> "RemotePreparedStatement":
+        return self
+
+    def __exit__(self, _exc_type, _exc, _tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "deallocated" if self._closed else "prepared"
+        return (f"RemotePreparedStatement(#{self.statement_id}, {state}, "
+                f"{self.text!r})")
 
 
 class SessionManager:
@@ -462,6 +694,9 @@ class SessionManager:
         attach = getattr(db, "attach_network", None)
         if attach is not None:
             attach(self.stats)
+        attach_sessions = getattr(db, "attach_sessions", None)
+        if attach_sessions is not None:
+            attach_sessions(self)
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -516,6 +751,18 @@ class SessionManager:
         for session in list(self._sessions):
             if not session.closed:
                 session.close()
+
+    def reset_accounting(self) -> None:
+        """Zero this manager's accounting: network stats, the
+        per-session counters of every session ever opened, and the
+        concurrency peak — so benchmark phases start from zero.
+        (``Prima.reset_accounting`` calls this for attached managers.)"""
+        self.stats.reset()
+        with self._slots:
+            sessions = list(self._sessions)
+            self._peak = self._active
+        for session in sessions:
+            session.counters.reset()
 
     # -- inspection ----------------------------------------------------------
 

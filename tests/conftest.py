@@ -20,6 +20,16 @@ from repro.storage.system import StorageSystem
 from repro.workloads import brep, gis, vlsi
 
 
+def pytest_configure(config) -> None:
+    # CI installs pytest-timeout (which owns this marker); registering it
+    # here keeps local runs without the plugin warning-free.
+    config.addinivalue_line(
+        "markers",
+        "timeout(seconds): per-test deadline, enforced by pytest-timeout "
+        "when installed (the CI tier-1 job)",
+    )
+
+
 @pytest.fixture
 def storage() -> StorageSystem:
     """A small storage system (8 frames of the largest size)."""
