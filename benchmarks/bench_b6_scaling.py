@@ -1,0 +1,272 @@
+"""B6 — snapshot reads + process-parallel construction: lock-free scaling.
+
+PR 6 retired the session-wide ``engine_lock``: read pipelines pin a
+copy-on-write snapshot epoch (:mod:`repro.access.snapshots`) instead of
+taking type-level S locks, and the serving layer serialises only writers
+behind the narrow :class:`~repro.util.rwlock.ReadWriteLock`.  The
+construction fabric gained a ``fork``-based process pool
+(:mod:`repro.parallel`) whose children build molecules against their
+copy-on-write engine images.
+
+On a single-core CI box wall-clock scaling is noise, so the gates are
+**structural** (hard assertions + regression markers) and the timings
+ride along as data:
+
+* snapshot reads acquire **zero** type-level S locks (the lock table
+  counts grants per mode);
+* readers make progress while a peer session *retains* a type-level X
+  (Moss inheritance keeps the lock until session close — under PR 5
+  semantics every such read deadlocked or raised);
+* the engine lock's reader side genuinely overlaps
+  (``max_concurrent_readers`` across a session fan-out);
+* a cursor pinned before a write never sees it (isolation under churn);
+* the process pool produces results identical to threads and serial,
+  on **distinct worker PIDs**.
+
+Comparative misses land in the JSON ``regressions`` list, which CI's
+bench-smoke job fails on (``benchmarks/check_regressions.py``).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+
+from common import emit_json, print_header, print_table
+
+from repro import Prima
+from repro.serve import ServeLoop
+
+N_ITEMS = 6_000
+GROUPS = 8
+SESSION_SWEEP = (1, 2, 4, 8)
+FETCH_SIZE = 32
+
+
+def build_database() -> Prima:
+    db = Prima()
+    db.execute("CREATE ATOM_TYPE item (item_id: IDENTIFIER, "
+               "n: INTEGER, grp: INTEGER) KEYS_ARE (n)")
+    for i in range(N_ITEMS):
+        db.insert_atom("item", {"n": i, "grp": i % GROUPS})
+    db.execute_ldl("CREATE SORT ORDER item_so ON item (n)")
+    return db
+
+
+def read_scaling(db: Prima, regressions: list[str]) -> dict[str, object]:
+    """Sessions sweep: throughput as data, zero S grants as the gate."""
+    rows_expected = N_ITEMS // GROUPS
+    sweep = []
+    for sessions in SESSION_SWEEP:
+        manager = db.serve(max_sessions=sessions, admission="queue")
+        locks = manager.txns.locks
+        s_before, x_before = locks.grants["S"], locks.grants["X"]
+
+        def job(group: int):
+            def run(session):
+                result = session.query(
+                    f"SELECT ALL FROM item WHERE grp = {group % GROUPS}",
+                    fetch_size=FETCH_SIZE)
+                return len([m for m in result])
+            return run
+
+        started = time.perf_counter()
+        counts = ServeLoop(manager).run(
+            [job(g) for g in range(sessions)])
+        elapsed = time.perf_counter() - started
+        if counts != [rows_expected] * sessions:
+            regressions.append(
+                f"{sessions} sessions delivered {counts} rows "
+                f"(want {rows_expected} each)"
+            )
+        s_grants = locks.grants["S"] - s_before
+        if s_grants:
+            regressions.append(
+                f"{sessions}-session read sweep took {s_grants} "
+                f"type-level S locks (snapshot reads must take none)"
+            )
+        assert s_grants == 0, "snapshot reads acquired S locks"
+        assert locks.grants["X"] == x_before, "a read acquired an X lock"
+        sweep.append({
+            "sessions": sessions,
+            "rows_per_session": rows_expected,
+            "elapsed_s": round(elapsed, 4),
+            "rows_per_s": round(sessions * rows_expected / elapsed, 1),
+            "s_lock_grants": s_grants,
+            "peak_concurrent_readers":
+                manager.engine.max_concurrent_readers,
+        })
+    return {"sweep": sweep}
+
+
+def reader_overlap(db: Prima, regressions: list[str]) -> dict[str, object]:
+    """Structural proof that the reader side is shared: a fan-out of
+    threads meets inside the engine lock (impossible under PR 5's
+    engine RLock, where ``max_concurrent_readers`` could never pass 1).
+    """
+    manager = db.serve(max_sessions=4, admission="queue")
+    fanout = 4
+    barrier = threading.Barrier(fanout, timeout=30)
+
+    def read() -> None:
+        with manager.engine.reader():
+            barrier.wait()
+
+    threads = [threading.Thread(target=read, daemon=True)
+               for _ in range(fanout)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=30)
+    peak = manager.engine.max_concurrent_readers
+    if peak < 2:
+        regressions.append(
+            f"engine lock reader side never overlapped (peak {peak})"
+        )
+    assert peak >= 2, "readers serialised inside the engine lock"
+    return {"fanout": fanout, "peak_concurrent_readers": peak}
+
+
+def reads_under_retained_x(db: Prima,
+                           regressions: list[str]) -> dict[str, object]:
+    """Readers progress while a peer session retains type-level X."""
+    manager = db.serve(max_sessions=4, admission="queue")
+    writer = manager.open(name="writer")
+    writer.execute(f"INSERT item (n = {N_ITEMS + 1})")
+    delivered = []
+    try:
+        for g in range(3):
+            reader = manager.open()
+            rows = reader.query(f"SELECT ALL FROM item WHERE grp = {g}",
+                                fetch_size=FETCH_SIZE)
+            delivered.append(len([m for m in rows]))
+            reader.close()
+    finally:
+        writer.close()
+    want = [N_ITEMS // GROUPS] * 3
+    if delivered != want:
+        regressions.append(
+            f"reads under retained X delivered {delivered} (want {want})"
+        )
+    return {"rows_per_reader": delivered}
+
+
+def isolation_under_churn(db: Prima,
+                          regressions: list[str]) -> dict[str, object]:
+    """A cursor pinned before a write never sees it, batch after batch."""
+    manager = db.serve(max_sessions=2, admission="queue")
+    reader = manager.open(name="pinned")
+    writer = manager.open(name="churn")
+    cursor = reader.query("SELECT ALL FROM item WHERE grp = 0",
+                          fetch_size=FETCH_SIZE)
+    seen = [m.atom["n"] for m in cursor.fetch_many(FETCH_SIZE)]
+    churn = 0
+    while True:
+        writer.execute(f"INSERT item (n = {N_ITEMS + 100 + churn}, "
+                       f"grp = 0)")
+        churn += 1
+        batch = cursor.fetch_many(FETCH_SIZE)
+        if not batch:
+            break
+        seen.extend(m.atom["n"] for m in batch)
+    expected = [n for n in range(N_ITEMS) if n % GROUPS == 0]
+    if seen != expected:
+        regressions.append(
+            f"pinned cursor saw {len(seen)} rows across {churn} "
+            f"concurrent commits (want {len(expected)} epoch rows)"
+        )
+    assert seen == expected, "snapshot cursor leaked concurrent commits"
+    fresh = len(reader.query("SELECT ALL FROM item WHERE grp = 0"))
+    reader.close()
+    writer.close()
+    return {"commits_during_stream": churn,
+            "epoch_rows": len(seen),
+            "fresh_cursor_rows": fresh}
+
+
+def process_pool(db: Prima, regressions: list[str]) -> dict[str, object]:
+    """Thread/process parity on identical molecule sets, distinct PIDs."""
+    query = "SELECT ALL FROM item WHERE grp = 3 ORDER BY n"
+    serial = [m.atom["n"] for m in db.query(query)]
+
+    started = time.perf_counter()
+    threaded = db.parallel_select(query, processors=4, mode="threads")
+    thread_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    forked = db.parallel_select(query, processors=4, mode="processes")
+    fork_s = time.perf_counter() - started
+
+    rows_t = [m.atom["n"] for m in threaded.result]
+    rows_p = [m.atom["n"] for m in forked.result]
+    if rows_t != serial or rows_p != serial:
+        regressions.append("parallel modes disagree with the serial set")
+    assert rows_t == rows_p == serial, "mode parity broken"
+    child_pids = sorted(forked.worker_pids - {os.getpid()})
+    import multiprocessing
+    fork_available = "fork" in multiprocessing.get_all_start_methods()
+    if fork_available and not child_pids:
+        regressions.append(
+            "process mode never left the parent PID (pool did not fork)"
+        )
+    return {
+        "rows": len(serial),
+        "threads_s": round(thread_s, 4),
+        "processes_s": round(fork_s, 4),
+        "fork_available": fork_available,
+        "worker_pids": len(child_pids),
+        "thread_pids": sorted(threaded.worker_pids),
+    }
+
+
+def main() -> None:
+    print_header(
+        "B6 — snapshot reads + process-parallel construction",
+        f"{N_ITEMS} molecules; sessions sweep {SESSION_SWEEP}; "
+        f"fetch_size={FETCH_SIZE}",
+    )
+    regressions: list[str] = []
+    db = build_database()
+
+    scaling = read_scaling(db, regressions)
+    overlap = reader_overlap(db, regressions)
+    retained = reads_under_retained_x(db, regressions)
+    isolation = isolation_under_churn(db, regressions)
+    pool = process_pool(db, regressions)
+
+    print_table(
+        ["sessions", "rows/s", "elapsed s", "S grants", "peak readers"],
+        [[row["sessions"], row["rows_per_s"], row["elapsed_s"],
+          row["s_lock_grants"], row["peak_concurrent_readers"]]
+         for row in scaling["sweep"]],
+    )
+    print(f"\nreader overlap: peak {overlap['peak_concurrent_readers']} "
+          f"concurrent readers (fanout {overlap['fanout']})")
+    print(f"reads under retained X: {retained['rows_per_reader']}")
+    print(f"isolation: {isolation['epoch_rows']} epoch rows across "
+          f"{isolation['commits_during_stream']} concurrent commits "
+          f"(fresh cursor: {isolation['fresh_cursor_rows']})")
+    print(f"pool parity: {pool['rows']} rows; threads {pool['threads_s']}s "
+          f"vs processes {pool['processes_s']}s on "
+          f"{pool['worker_pids']} forked worker(s)")
+    if regressions:
+        print("\nREGRESSIONS:")
+        for marker in regressions:
+            print(f"  - {marker}")
+
+    emit_json("bench_b6_scaling", {
+        "n_items": N_ITEMS,
+        "session_sweep": list(SESSION_SWEEP),
+        "fetch_size": FETCH_SIZE,
+        "read_scaling": scaling,
+        "reader_overlap": overlap,
+        "reads_under_retained_x": retained,
+        "isolation_under_churn": isolation,
+        "process_pool": pool,
+        "regressions": regressions,
+    })
+
+
+if __name__ == "__main__":
+    main()

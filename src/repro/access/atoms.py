@@ -35,6 +35,7 @@ from repro.errors import (
     StructureExistsError,
     StructureNotFoundError,
 )
+from repro.access.snapshots import AtomVersionStore, SnapshotView
 from repro.mad.schema import AtomType, Schema
 from repro.mad.types import (
     ReferenceType,
@@ -56,6 +57,10 @@ class AtomManager:
     #: structure inventory, so this feeds the plan-cache version.
     structures_version = 0
 
+    #: Copy-on-write version store (class-level default keeps old
+    #: checkpoints loadable; see :meth:`version_store`).
+    versions: AtomVersionStore | None = None
+
     def __init__(self, storage: StorageSystem, schema: Schema,
                  counters: Counters | None = None) -> None:
         self.storage = storage
@@ -70,6 +75,35 @@ class AtomManager:
         self._structures: dict[str, StorageStructure] = {}
         self._structures_by_type: dict[str, list[StorageStructure]] = {}
         self.structures_version = 0
+        self.versions = AtomVersionStore()
+
+    # ----------------------------------------------------------- snapshots --
+
+    def version_store(self) -> AtomVersionStore:
+        """The copy-on-write version store (created on demand, so
+        checkpoints from before the snapshot era load fine)."""
+        store = self.versions
+        if store is None:
+            store = self.versions = AtomVersionStore()
+        return store
+
+    @property
+    def data_version(self) -> int:
+        """The published atom-version epoch (the snapshot clock)."""
+        return self.version_store().epoch
+
+    def publish_epoch(self) -> int:
+        """Publish a new epoch — called at commit boundaries (checkin,
+        DML statement end, DDL), never per low-level operation."""
+        return self.version_store().publish()
+
+    def open_snapshot(self) -> SnapshotView:
+        """Pin a snapshot at the current epoch; the caller must
+        :meth:`SnapshotView.release` it when the reader is done."""
+        store = self.version_store()
+        epoch = store.pin()
+        self.counters.bump("snapshots_pinned")
+        return SnapshotView(self, epoch)
 
     # ------------------------------------------------------------------ setup --
 
@@ -165,6 +199,7 @@ class AtomManager:
         checked[atom_type.identifier_attr] = surrogate
         self._check_key_free(atom_type, checked)
 
+        self.version_store().preserve(surrogate, None)
         self.addresses.register(surrogate)
         record_id = self._container(type_name).insert(encode_atom(checked))
         self.addresses.place(surrogate, BASE_STRUCTURE, record_id)
@@ -196,6 +231,7 @@ class AtomManager:
         stored = dict(values)
         stored[atom_type.identifier_attr] = surrogate
         self._check_key_free(atom_type, stored)
+        self.version_store().preserve(surrogate, None)
         self.surrogates.note_existing(surrogate)
         self.addresses.register(surrogate)
         record_id = self._container(surrogate.atom_type) \
@@ -312,6 +348,7 @@ class AtomManager:
                 else:
                     self._backref_add(atom_type, attr_name, surrogate, added)
 
+        self.version_store().preserve(surrogate, old)
         self._write_base(surrogate, new)
         self._notify_modify(surrogate, old, new)
         self.counters.bump("atoms_modified")
@@ -328,6 +365,7 @@ class AtomManager:
         """
         atom_type = self.schema.atom_type(surrogate.atom_type)
         values = self._read_base_values(surrogate)
+        self.version_store().preserve(surrogate, values)
         for attr_name in atom_type.reference_attrs():
             for target in reference_values(atom_type.attr(attr_name),
                                            values.get(attr_name)):
@@ -378,6 +416,7 @@ class AtomManager:
             new_value = members
         new = dict(current)
         new[assoc.target_attr] = new_value
+        self.version_store().preserve(target, current)
         self._write_base(target, new)
         self._notify_modify(target, current, new)
         self.counters.bump("backrefs_maintained")
@@ -400,6 +439,7 @@ class AtomManager:
             new_value = members
         new = dict(current)
         new[assoc.target_attr] = new_value
+        self.version_store().preserve(target, current)
         self._write_base(target, new)
         self._notify_modify(target, current, new)
         self.counters.bump("backrefs_maintained")

@@ -65,6 +65,37 @@ _OPS: dict[str, Callable[[Any, Any], bool]] = {
 }
 
 
+def _merge_entries(live: Iterator[tuple[tuple, Surrogate]],
+                   extra: list[tuple[Any, tuple, Surrogate]],
+                   reverse: bool) -> Iterator[tuple[tuple, Surrogate]]:
+    """Merge a live index walk with displaced snapshot entries.
+
+    Both inputs are sorted by (key, surrogate) — key descending when
+    ``reverse``, the surrogate tie-break ascending either way (the tie
+    semantics every ordered backing agrees on).  ``extra`` items are
+    ``(encoded key, raw key values, surrogate)``.
+    """
+    extra_iter = iter(extra)
+    pending = next(extra_iter, None)
+
+    def before(a_key: Any, a_sur: Surrogate,
+               b_key: Any, b_sur: Surrogate) -> bool:
+        if a_key != b_key:
+            return a_key > b_key if reverse else a_key < b_key
+        return a_sur < b_sur
+
+    for key_values, surrogate in live:
+        key = make_key(key_values)
+        while pending is not None and \
+                before(pending[0], pending[2], key, surrogate):
+            yield pending[1], pending[2]
+            pending = next(extra_iter, None)
+        yield key_values, surrogate
+    while pending is not None:
+        yield pending[1], pending[2]
+        pending = next(extra_iter, None)
+
+
 class SearchArgument:
     """A conjunction of (attribute, operator, value) terms."""
 
@@ -321,6 +352,7 @@ class SortScan(Scan):
         return probe < limit if self._reverse else limit < probe
 
     def _snapshot_iter(self) -> Iterator[Surrogate]:
+        index_backed = True
         if self._support is not None:
             entries: Iterator[tuple[tuple, Surrogate]] = \
                 self._support.iterate_entries(
@@ -339,13 +371,50 @@ class SortScan(Scan):
                 [KeyCondition()] * (len(self._sort_attrs) - 1)
             entries = self._path_support.scan(conditions)
         else:
+            # The explicit sort reads through the manager itself, so a
+            # snapshot manager already delivers epoch-correct entries.
             entries = self._explicit_entries()
+            index_backed = False
+        if index_backed and getattr(self._manager, "is_snapshot", False):
+            entries = self._overlay_entries(entries)
         for key_values, surrogate in entries:
             if self._counters is not None:
                 self._counters.bump("sort_scan_entries_walked")
             if self._beyond_stop_bound(key_values):
                 return
             yield surrogate
+
+    def _overlay_entries(self, entries: Iterator[tuple[tuple, Surrogate]]
+                         ) -> Iterator[tuple[tuple, Surrogate]]:
+        """Snapshot mode over a *live* index walk: atoms displaced since
+        the epoch (modified, deleted, or created) are skipped where the
+        live structure has them and merged back in — with their epoch
+        key values, at the position those values sort to."""
+        overlay = self._manager.overlay(self._type_name)
+        if not overlay:
+            yield from entries
+            return
+        displaced = set(overlay)
+        extra: list[tuple[Any, tuple, Surrogate]] = []
+        for surrogate, values in overlay.items():
+            if values is None:
+                continue   # invisible at the epoch
+            raw = tuple(values.get(a) for a in self._sort_attrs)
+            key = make_key(raw)
+            if self._start is not None:
+                lo = make_key(self._start)
+                if key < lo or (key == lo and not self._include_start):
+                    continue
+            if self._stop is not None:
+                hi = make_key(self._stop)
+                if hi < key or (key == hi and not self._include_stop):
+                    continue
+            extra.append((key, raw, surrogate))
+        extra.sort(key=lambda e: (e[0], e[2]))
+        if self._reverse:
+            extra.sort(key=lambda e: e[0], reverse=True)
+        live = ((k, s) for k, s in entries if s not in displaced)
+        yield from _merge_entries(live, extra, self._reverse)
 
     def _explicit_entries(self) -> Iterator[tuple[tuple, Surrogate]]:
         """Explicit sort into a temporary order (no supporting structure).
@@ -378,7 +447,10 @@ class SortScan(Scan):
         if not self._manager.exists(position):
             return None
         values: dict[str, Any] | None = None
-        if self._support is not None:
+        # The sort order's record copies track the *live* state; under a
+        # snapshot only the manager (the epoch view) may serve values.
+        if self._support is not None and \
+                not getattr(self._manager, "is_snapshot", False):
             values = self._support.read(position)
             if values is not None:
                 self._manager.counters.bump("reads_from_sort_order")
@@ -395,6 +467,14 @@ class AccessPathScan(Scan):
     Key-sequential access comes for free from the path's value order; with
     n keys the caller chooses start/stop conditions and direction for every
     key individually.
+
+    Like the sort scan, the access-path scan accepts a **dynamic** stop
+    key (:meth:`set_stop_bound`) on top of its static
+    :class:`KeyCondition` bounds: a B*-tree walk already bounded by the
+    predicate's range terminates even earlier once a consumer (TopK's
+    tightening heap threshold) learns how far the order can possibly
+    matter — the static condition and the dynamic bound combine, and
+    whichever cuts first stops the walk.
     """
 
     def __init__(self, manager: "AtomManager", path: AccessPath,
@@ -406,9 +486,65 @@ class AccessPathScan(Scan):
         self._path = path
         self._conditions = conditions
         self._search = search
+        self._reverse = bool(conditions and conditions[0].descending)
+        #: Dynamic stop key over a prefix of the path attributes.
+        self._stop_bound: tuple | None = None
+
+    def set_stop_bound(self, values: tuple) -> None:
+        """Install (or tighten) the dynamic stop key (raw values for a
+        leading prefix of the path attributes; ties still flow)."""
+        bound = tuple(values)
+        if len(bound) > len(self._path.attrs):
+            raise AccessError(
+                f"stop bound {bound!r} is longer than the path attributes "
+                f"{self._path.attrs!r}"
+            )
+        self._stop_bound = bound
+
+    def _beyond_stop_bound(self, key_values: tuple) -> bool:
+        bound = self._stop_bound
+        if bound is None:
+            return False
+        probe = make_key(tuple(key_values[:len(bound)]))
+        limit = make_key(bound)
+        return probe < limit if self._reverse else limit < probe
 
     def _snapshot_iter(self) -> Iterator[Surrogate]:
-        return (s for _key, s in self._path.scan(self._conditions))
+        entries: Iterator[tuple[tuple, Surrogate]] = \
+            self._path.scan(self._conditions)
+        if getattr(self._manager, "is_snapshot", False):
+            entries = self._overlay_entries(entries)
+        for key_values, surrogate in entries:
+            if self._counters is not None:
+                self._counters.bump("access_path_entries_walked")
+            if self._beyond_stop_bound(key_values):
+                return
+            yield surrogate
+
+    def _overlay_entries(self, entries: Iterator[tuple[tuple, Surrogate]]
+                         ) -> Iterator[tuple[tuple, Surrogate]]:
+        """Snapshot mode: skip displaced atoms in the live walk, merge
+        their epoch keys back in (see :meth:`SortScan._overlay_entries`)."""
+        overlay = self._manager.overlay(self._path.atom_type)
+        if not overlay:
+            yield from entries
+            return
+        displaced = set(overlay)
+        conditions = list(self._conditions) if self._conditions else \
+            [KeyCondition() for _ in self._path.attrs]
+        extra: list[tuple[Any, tuple, Surrogate]] = []
+        for surrogate, values in overlay.items():
+            if values is None:
+                continue   # invisible at the epoch
+            raw = self._path.key_of(values)
+            if not AccessPath._qualifies_rest(raw, conditions):
+                continue
+            extra.append((make_key(raw), raw, surrogate))
+        extra.sort(key=lambda e: (e[0], e[2]))
+        if self._reverse:
+            extra.sort(key=lambda e: e[0], reverse=True)
+        live = ((k, s) for k, s in entries if s not in displaced)
+        yield from _merge_entries(live, extra, self._reverse)
 
     def _deliver(self, position: Surrogate):
         if not self._manager.exists(position):

@@ -25,15 +25,23 @@ scan is exhausted (the paper's one-molecule-at-a-time MAD interface).
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Any
 
 from repro.access.access_path import AccessPath
 from repro.access.cluster import AtomCluster
 from repro.access.multidim import KeyCondition
+from repro.access.snapshots import SnapshotView
 from repro.access.system import AccessSystem
 from repro.data.plan import QueryPlan, RootAccess
 from repro.data.predicates import PredicateEvaluator, path_values
-from repro.data.prepared import PlanCache, PreparedStatement, iter_parameters
+from repro.data.prepared import (
+    BoundTemplateStatement,
+    PlanCache,
+    PreparedStatement,
+    extract_template,
+    iter_parameters,
+)
 from repro.data.result import ResultSet
 from repro.data.simplification import sargable_root_terms, simplify
 from repro.data.validation import MoleculeTypeCatalog, Validator
@@ -84,6 +92,10 @@ class DataSystem:
         #: under every query entry point (facade, serving sessions,
         #: parallel_select), so repeated statement text skips parse+plan.
         self.plan_cache = PlanCache()
+        #: Literal variants of one statement shape share a single cached
+        #: plan template (promoted on the second distinct variant); turn
+        #: off to cache every literal text separately.
+        self.auto_parameterize = True
 
     @property
     def catalog_version(self) -> int:
@@ -106,6 +118,13 @@ class DataSystem:
         (``statements_parsed`` / ``plan_cache_misses``) and caches the
         result.  DML/DDL statements are prepared but never cached —
         their execution must re-qualify against current state anyway.
+
+        With :attr:`auto_parameterize` on, *literal variants* of one
+        SELECT shape (``... WHERE n = 1`` / ``... WHERE n = 2``) are
+        recognised on the second distinct variant and promoted to a
+        single shared plan template with the literals as bound
+        parameters (``plan_cache_template_hits``) — the repetitive
+        checkout workload stops filling the cache with per-value plans.
         """
         key = PlanCache.normalize(mql)
         caching = use_cache and self.plan_cache.capacity > 0
@@ -114,6 +133,10 @@ class DataSystem:
             if hit is not None:
                 self.access.counters.bump("plan_cache_hits")
                 return hit
+            if self.auto_parameterize:
+                bound = self._prepare_via_template(mql)
+                if bound is not None:
+                    return bound
         statement = parse(mql)
         self.access.counters.bump("statements_parsed")
         prepared = PreparedStatement(self, mql, statement)
@@ -122,6 +145,45 @@ class DataSystem:
             self.plan_cache.put(key, prepared)
         return prepared
 
+    def _prepare_via_template(self, mql: str) -> BoundTemplateStatement | None:
+        """Share one cached plan across literal variants of a statement.
+
+        The statement's literals are lifted into positional parameters
+        (:func:`~repro.data.prepared.extract_template`); the resulting
+        *template key* identifies the statement shape.  The first
+        sighting of a shape only notes the key (a one-off literal query
+        plans normally — nothing changes for it); the second distinct
+        variant parses and caches the shared template; every later
+        variant binds its literals into that template without parsing
+        (``plan_cache_template_hits``).  Returns ``None`` whenever the
+        literal path should proceed as usual.
+        """
+        extracted = extract_template(mql)
+        if extracted is None:
+            return None
+        template_text, values = extracted
+        tkey = PlanCache.normalize(template_text)
+        template = self.plan_cache.get(tkey)
+        if template is None:
+            if not self.plan_cache.note_template(tkey):
+                return None   # first sighting of this shape
+            statement = parse(template_text)
+            self.access.counters.bump("statements_parsed")
+            template = PreparedStatement(self, template_text, statement)
+            if template.kind != "select" \
+                    or template.param_count != len(values) \
+                    or template.param_names:
+                return None
+            self.access.counters.bump("plan_cache_misses")
+            self.plan_cache.put(tkey, template)
+        else:
+            if not isinstance(template, PreparedStatement) \
+                    or template.param_count != len(values) \
+                    or template.param_names:
+                return None
+            self.access.counters.bump("plan_cache_template_hits")
+        return BoundTemplateStatement(mql, template, values)
+
     def execute_text(self, mql: str, args: tuple = (),
                      params: dict[str, Any] | None = None,
                      use_cache: bool = True) -> ResultSet:
@@ -129,10 +191,47 @@ class DataSystem:
         prepared = self.prepare(mql, use_cache=use_cache)
         return prepared.execute(*args, **(params or {}))
 
+    # ------------------------------------------------------------ snapshots --
+
+    def open_snapshot(self) -> SnapshotView:
+        """Pin a read snapshot at the current atom-version epoch.
+
+        The returned view substitutes for the atom manager throughout
+        one pipeline (``plan.compile(..., snapshot=view)``): the reader
+        needs **no** type-level S lock — it sees the committed state as
+        of its open, no matter what writers do concurrently.  Release it
+        (or use it as a context manager) when the cursor closes.
+        """
+        return self.access.atoms.open_snapshot()
+
+    def publish_data_version(self) -> int:
+        """Advance the atom-version epoch (a commit boundary).
+
+        Mirrors :attr:`catalog_version` for *data*: every committed
+        batch of writes — a checkin, a DML statement, DDL — publishes,
+        so snapshots opened afterwards see the new state while pinned
+        readers keep theirs.
+        """
+        return self.access.atoms.publish_epoch()
+
     # ------------------------------------------------------------ dispatch --
 
     def execute(self, statement: Statement) -> ResultSet:
-        """Execute one parsed MQL statement."""
+        """Execute one parsed MQL statement.
+
+        Every completed non-SELECT statement publishes a new
+        atom-version epoch — the commit boundary of the snapshot clock
+        (readers pinned before it keep their state; snapshots opened
+        after it see the writes).
+        """
+        if isinstance(statement, SelectStatement):
+            self._ensure_symmetry()
+            return self.select(statement)
+        result = self._execute_mutation(statement)
+        self.publish_data_version()
+        return result
+
+    def _execute_mutation(self, statement: Statement) -> ResultSet:
         if isinstance(statement, CreateAtomType):
             return self._create_atom_type(statement)
         if isinstance(statement, DropAtomType):
@@ -143,8 +242,6 @@ class DataSystem:
             self.catalog.drop(statement.name)
             return ResultSet(affected=0)
         self._ensure_symmetry()
-        if isinstance(statement, SelectStatement):
-            return self.select(statement)
         if isinstance(statement, InsertStatement):
             return self._insert(statement)
         if isinstance(statement, DeleteStatement):
@@ -211,6 +308,18 @@ class DataSystem:
                     order_served = True
                 else:
                     order_prefix = served
+        elif order_by and root_access.kind == "access_path":
+            # A sargable B*-tree access path already walks its attribute
+            # list in value order — when those attributes prefix-match
+            # the leading uniform-direction ORDER BY run, the (possibly
+            # reverse) bounded walk serves that prefix for free, and
+            # TopK's tightening heap bound combines with the static
+            # range as a dynamic stop key inside the walk.
+            served = self._arm_access_path_order(root_access, order_by)
+            if served == len(order_by):
+                order_served = True
+            else:
+                order_prefix = served
         cluster = self._matching_cluster(structure)
         # Parameterized windows are validated at bind time instead.
         if isinstance(statement.limit, int) and statement.limit < 0:
@@ -338,6 +447,42 @@ class DataSystem:
             "reverse": direction,
         }), best_len
 
+    def _arm_access_path_order(self, root_access: RootAccess,
+                               order_by: list[tuple[str, bool]]) -> int:
+        """Leading ORDER BY attributes a chosen access path serves.
+
+        Only B*-tree paths have a linear order.  A descending run
+        re-stamps every key condition with ``descending=True`` so the
+        bounded walk runs in reverse; ties within equal keys stay in
+        ascending-surrogate order in either direction (see
+        :meth:`~repro.access.access_path.AccessPath.scan`), matching the
+        stable-sort contract of the explicit Sort operator.
+        """
+        path = self.access.atoms.structure(root_access.detail["path"])
+        assert isinstance(path, AccessPath)
+        if path.method != "btree":
+            return 0
+        direction = order_by[0][1]
+        wanted: list[str] = []
+        for attr, descending in order_by:
+            if descending != direction:
+                break
+            wanted.append(attr)
+        served = 0
+        for have, want in zip(path.attrs, wanted):
+            if have != want:
+                break
+            served += 1
+        if not served:
+            return 0
+        if direction:
+            root_access.detail["conditions"] = [
+                replace(cond, descending=True)
+                for cond in root_access.detail["conditions"]
+            ]
+        root_access.detail["reverse"] = direction
+        return served
+
     def select(self, statement: SelectStatement) -> ResultSet:
         """Compile the plan into the operator pipeline; return a cursor.
 
@@ -409,32 +554,44 @@ class DataSystem:
         return None
 
     def construct_molecule(self, structure: StructureNode, root: Surrogate,
-                           cluster: AtomCluster | None = None) -> Molecule:
-        """Assemble one molecule, preferring the materialised cluster."""
+                           cluster: AtomCluster | None = None,
+                           atoms: Any = None) -> Molecule:
+        """Assemble one molecule, preferring the materialised cluster.
+
+        ``atoms`` substitutes a pinned :class:`~repro.access.snapshots
+        .SnapshotView` (or any AtomManager-shaped reader) for the live
+        atom manager — the whole traversal then reads one epoch.
+        """
+        if atoms is None:
+            atoms = self.access.atoms
         if cluster is not None and root in cluster.roots():
             fetched: dict[Surrogate, dict[str, Any]] = {}
             label_types = {node.label: node.atom_type
                            for node in cluster.structure.walk()}
-            for label, atoms in cluster.read_cluster(root).items():
+            for label, cluster_atoms in cluster.read_cluster(root).items():
                 id_attr = self.schema.atom_type(label_types[label]) \
                     .identifier_attr
-                for atom in atoms:
+                for atom in cluster_atoms:
                     fetched[atom[id_attr]] = atom
             self.access.counters.bump("molecules_from_cluster")
-            return self._build(structure, root, fetched)
+            return self._build(structure, root, fetched, atoms=atoms)
         self.access.counters.bump("molecules_from_traversal")
-        return self._build(structure, root, None)
+        return self._build(structure, root, None, atoms=atoms)
 
     def _fetch(self, surrogate: Surrogate,
-               fetched: dict[Surrogate, dict[str, Any]] | None) -> dict[str, Any]:
+               fetched: dict[Surrogate, dict[str, Any]] | None,
+               atoms: Any) -> dict[str, Any]:
         if fetched is not None and surrogate in fetched:
             return fetched[surrogate]
-        return self.access.atoms.get(surrogate)
+        return atoms.get(surrogate)
 
     def _build(self, node: StructureNode, surrogate: Surrogate,
                fetched: dict[Surrogate, dict[str, Any]] | None,
-               ancestors: frozenset[Surrogate] = frozenset()) -> Molecule:
-        atom = self._fetch(surrogate, fetched)
+               ancestors: frozenset[Surrogate] = frozenset(),
+               atoms: Any = None) -> Molecule:
+        if atoms is None:
+            atoms = self.access.atoms
+        atom = self._fetch(surrogate, fetched, atoms)
         molecule = Molecule(node, atom)
         for child in node.children:
             assert child.via is not None
@@ -443,22 +600,25 @@ class DataSystem:
             targets = reference_values(attr_type,
                                        atom.get(child.via.source_attr))
             for target in targets:
-                if not self.access.atoms.exists(target):
+                if not atoms.exists(target):
                     continue
                 if child.recursive:
                     component = self._build_recursive(child, target, fetched,
-                                                      ancestors | {surrogate})
+                                                      ancestors | {surrogate},
+                                                      atoms)
                 else:
-                    component = self._build(child, target, fetched, ancestors)
+                    component = self._build(child, target, fetched, ancestors,
+                                            atoms)
                 molecule.add_component(child.label, component)
         return molecule
 
     def _build_recursive(self, node: StructureNode, surrogate: Surrogate,
                          fetched: dict[Surrogate, dict[str, Any]] | None,
-                         ancestors: frozenset[Surrogate]) -> Molecule:
+                         ancestors: frozenset[Surrogate],
+                         atoms: Any) -> Molecule:
         """Level-wise recursion: expand the incoming association until the
         frontier is exhausted; ancestor atoms stop cycles."""
-        atom = self._fetch(surrogate, fetched)
+        atom = self._fetch(surrogate, fetched, atoms)
         molecule = Molecule(node, atom)
         assert node.via is not None
         attr_type = self.schema.atom_type(node.atom_type) \
@@ -467,10 +627,10 @@ class DataSystem:
         for target in targets:
             if target in ancestors or target == surrogate:
                 continue   # cycle protection
-            if not self.access.atoms.exists(target):
+            if not atoms.exists(target):
                 continue
             component = self._build_recursive(node, target, fetched,
-                                              ancestors | {surrogate})
+                                              ancestors | {surrogate}, atoms)
             molecule.add_component(node.label, component)
         # Non-recursive children below the recursion node apply per level.
         for child in node.children:
@@ -479,10 +639,10 @@ class DataSystem:
                 .attr(child.via.source_attr)
             for target in reference_values(child_type,
                                            atom.get(child.via.source_attr)):
-                if self.access.atoms.exists(target):
+                if atoms.exists(target):
                     molecule.add_component(
                         child.label,
-                        self._build(child, target, fetched, ancestors),
+                        self._build(child, target, fetched, ancestors, atoms),
                     )
         return molecule
 

@@ -236,10 +236,13 @@ class RootScan(Operator):
 
     name = "RootScan"
 
-    def __init__(self, data: "DataSystem", root_access: "RootAccess") -> None:
+    def __init__(self, data: "DataSystem", root_access: "RootAccess",
+                 snapshot: Any = None) -> None:
         super().__init__()
         self._data = data
         self.root_access = root_access
+        #: Snapshot view serving this pipeline's reads (None: live).
+        self._snapshot = snapshot
         self._scan: Any = None
         self._stop_bound: tuple | None = None
         #: How many times a consumer pushed a (tighter) bound down.
@@ -254,7 +257,13 @@ class RootScan(Operator):
             self._scan.set_stop_bound(self._stop_bound)
 
     def _produce(self) -> Iterator[Surrogate]:
-        atoms = self._data.access.atoms
+        atoms = self._snapshot if self._snapshot is not None \
+            else self._data.access.atoms
+        # Under a snapshot the walk is materialised at open: a lazy
+        # B*-tree walk suspended between fetch batches would race with
+        # writers committing structure rebalances mid-cursor (readers
+        # hold the engine's shared side only per batch).
+        lazy = self._snapshot is None
         access = self.root_access
         if access.kind == "key_lookup":
             surrogate = atoms.find_by_key(access.atom_type,
@@ -267,12 +276,14 @@ class RootScan(Operator):
             assert isinstance(path, AccessPath)
             scan: Any = AccessPathScan(atoms, path,
                                        access.detail["conditions"],
-                                       lazy=True)
+                                       lazy=lazy)
+            if self._stop_bound is not None:
+                scan.set_stop_bound(self._stop_bound)
         elif access.kind == "sort_scan":
             scan = SortScan(atoms, access.atom_type,
                             list(access.detail["attrs"]),
                             reverse=bool(access.detail.get("reverse")),
-                            lazy=True)
+                            lazy=lazy)
             if self._stop_bound is not None:
                 scan.set_stop_bound(self._stop_bound)
         else:
@@ -333,14 +344,19 @@ class MoleculeConstruct(Operator):
 
     def __init__(self, child: Operator, data: "DataSystem",
                  structure: StructureNode,
-                 cluster_name: str | None = None) -> None:
+                 cluster_name: str | None = None,
+                 snapshot: Any = None) -> None:
         super().__init__(child)
         self._data = data
         self._structure = structure
         self._cluster_name = cluster_name
+        self._snapshot = snapshot
 
     def _cluster(self) -> AtomCluster | None:
-        if self._cluster_name is None:
+        # An atom cluster's record copies track the live state; under a
+        # snapshot, construction falls back to association traversal
+        # through the epoch view.
+        if self._cluster_name is None or self._snapshot is not None:
             return None
         cluster = self._data.access.atoms.structure(self._cluster_name)
         assert isinstance(cluster, AtomCluster)
@@ -350,7 +366,8 @@ class MoleculeConstruct(Operator):
         cluster = self._cluster()
         for root in self.children[0]:
             yield self._data.construct_molecule(self._structure, root,
-                                                cluster)
+                                                cluster,
+                                                atoms=self._snapshot)
 
     def detail(self) -> str:
         if self._cluster_name is not None:
@@ -733,7 +750,8 @@ def top_k_stable(items: Iterator[Any], order_by: list[tuple[str, bool]],
 def build_pipeline(data: "DataSystem", plan: "QueryPlan",
                    source: Operator | None = None,
                    use_topk: bool = True,
-                   push_bound: bool = True) -> Operator:
+                   push_bound: bool = True,
+                   snapshot: Any = None) -> Operator:
     """Compile a processing plan into its physical operator tree.
 
     ``source`` replaces the RootScan when the caller already partitioned
@@ -750,12 +768,17 @@ def build_pipeline(data: "DataSystem", plan: "QueryPlan",
     additionally wired back to the root scan so its tightening heap bound
     stops the ordered walk itself (``push_bound=False`` disconnects that
     feedback — the pushdown baseline).
+
+    ``snapshot`` (a :class:`~repro.access.snapshots.SnapshotView`) pins
+    every read of the pipeline — root derivation and molecule
+    construction — to one atom-version epoch; the pipeline then needs
+    no read locks at all.
     """
     root: Operator = source if source is not None \
-        else RootScan(data, plan.root_access)
+        else RootScan(data, plan.root_access, snapshot=snapshot)
     operator: Operator = root
     operator = MoleculeConstruct(operator, data, plan.structure,
-                                 plan.cluster_name)
+                                 plan.cluster_name, snapshot=snapshot)
     if plan.residual_where is not None:
         operator = ResidualFilter(operator, data, plan.residual_where)
     windowed = False

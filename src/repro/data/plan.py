@@ -90,14 +90,17 @@ class QueryPlan:
     def compile(self, data: "DataSystem",
                 source: "Operator | None" = None,
                 use_topk: bool = True,
-                push_bound: bool = True) -> "Operator":
+                push_bound: bool = True,
+                snapshot: "Any | None" = None) -> "Operator":
         """Lower this plan into its physical operator tree.
 
         ``use_topk=False`` compiles the Sort/Offset/Limit stack even when
         TopK applies — the full-sort baseline for benchmarks.
         ``push_bound=False`` keeps TopK but disconnects its dynamic heap
         bound from the root scan (the delivery-time early exit remains) —
-        the bound-pushdown baseline.
+        the bound-pushdown baseline.  ``snapshot`` pins every read of the
+        pipeline to one atom-version epoch (the lock-free serving read
+        path).
 
         A plan *template* (prepared statement with placeholders) cannot
         compile — bind it first (:func:`repro.data.prepared.bind_plan`).
@@ -111,7 +114,7 @@ class QueryPlan:
             )
         from repro.data.operators import build_pipeline
         return build_pipeline(data, self, source=source, use_topk=use_topk,
-                              push_bound=push_bound)
+                              push_bound=push_bound, snapshot=snapshot)
 
     def operator_descriptions(self) -> list[tuple[str, str]]:
         """(name, detail) pairs of the pipeline, top operator first.

@@ -31,6 +31,12 @@ KEYS_ARE lookup / B*-tree access path the literal form does — the
 concrete key value is substituted into the derived
 :class:`~repro.access.multidim.KeyCondition` at bind time, and TopK
 bound pushdown applies to the bound pipeline unchanged.
+
+Callers that do not prepare still benefit: :func:`extract_template`
+lifts the literals of a plain-text SELECT into positional parameters,
+so the data system can key its cache on the statement *shape* — every
+literal variant of one checkout query shares a single cached template,
+executed through the thin :class:`BoundTemplateStatement` wrapper.
 """
 
 from __future__ import annotations
@@ -465,6 +471,156 @@ class PreparedStatement:
 
 
 # ---------------------------------------------------------------------------
+# Auto-parameterization: literal variants of one statement shape
+# ---------------------------------------------------------------------------
+
+#: Operators whose right-hand literal is a *value* (liftable).
+_COMPARISONS = ("=", "!=", "<", "<=", ">", ">=")
+
+
+def _literal_at(tokens: list, i: int) -> tuple[Any, int] | None:
+    """The literal value starting at token ``i`` and its token width."""
+    token = tokens[i]
+    if token.kind == "STRING":
+        return token.value, 1
+    if token.kind == "INT":
+        return int(token.value), 1
+    if token.kind == "FLOAT":
+        return float(token.value), 1
+    if token.is_op("-") and tokens[i + 1].kind in ("INT", "FLOAT"):
+        nxt = tokens[i + 1]
+        value = int(nxt.value) if nxt.kind == "INT" else float(nxt.value)
+        return -value, 2
+    return None
+
+
+def _render_token(token: Any) -> str | None:
+    """One token back as source text (``None``: not renderable)."""
+    if token.kind == "STRING":
+        if "'" not in token.value:
+            return f"'{token.value}'"
+        if '"' not in token.value:
+            return f'"{token.value}"'
+        return None   # needs both quote kinds — leave this text alone
+    return token.value
+
+
+def extract_template(text: str) -> tuple[str, tuple] | None:
+    """Lift a SELECT's value literals into positional parameters.
+
+    Every literal in a *value position* — right of a comparison
+    operator, or an integer after LIMIT/OFFSET — becomes a ``?``
+    placeholder; the result is ``(template_text, lifted_values)``.
+    Returns ``None`` when the text is not a SELECT, already carries
+    placeholders (explicit ``?`` / named ``:name`` — or the label ``:``
+    of a quantifier, conservatively), or has no liftable literal; the
+    caller then proceeds on the ordinary literal path.  The rebuilt
+    template is token-equivalent MQL (whitespace-joined), so it parses
+    to the same statement shape regardless of the original formatting.
+    """
+    from repro.mql.lexer import tokenize
+
+    try:
+        tokens = tokenize(text)
+    except PrimaError:
+        return None   # the regular path reports the lexer error
+    if not tokens or not tokens[0].is_keyword("SELECT"):
+        return None
+    rendered: list[str] = []
+    values: list[Any] = []
+    i = 0
+    while tokens[i].kind != "EOF":
+        token = tokens[i]
+        if token.is_op("?", ":"):
+            return None
+        lifted = None
+        if token.is_op(*_COMPARISONS):
+            lifted = _literal_at(tokens, i + 1)
+        elif token.is_keyword("LIMIT", "OFFSET") \
+                and tokens[i + 1].kind == "INT":
+            lifted = int(tokens[i + 1].value), 1
+        if lifted is not None:
+            value, width = lifted
+            rendered.append(token.value)
+            rendered.append("?")
+            values.append(value)
+            i += 1 + width
+            continue
+        piece = _render_token(token)
+        if piece is None:
+            return None
+        rendered.append(piece)
+        i += 1
+    if not values:
+        return None
+    return " ".join(rendered), tuple(values)
+
+
+class BoundTemplateStatement:
+    """A literal statement riding a shared plan template.
+
+    Presents the :class:`PreparedStatement` execution surface for the
+    original *literal* text — no open parameter slots; the lifted
+    literals are bound internally on every call — while parse,
+    validation, planning, and catalog-version tracking live once in the
+    shared template.
+    """
+
+    __slots__ = ("text", "template", "_values")
+
+    kind = "select"
+    param_count = 0
+    param_names: tuple = ()
+
+    def __init__(self, text: str, template: PreparedStatement,
+                 values: tuple) -> None:
+        self.text = text
+        self.template = template
+        self._values = tuple(values)
+
+    def _reject_args(self, args: tuple, params: dict | None) -> None:
+        if args or params:
+            raise ExecutionError(
+                "statement takes 0 positional parameter(s); its literals "
+                "are bound internally"
+            )
+
+    @property
+    def statement(self) -> Statement:
+        return self.template.statement
+
+    def plan(self) -> QueryPlan:
+        return self.template.plan()
+
+    @property
+    def root_atom_type(self) -> str:
+        return self.template.root_atom_type
+
+    def bind(self, args: tuple = (),
+             params: dict[str, Any] | None = None) -> QueryPlan:
+        self._reject_args(args, params)
+        return self.template.bind(self._values)
+
+    def bound_statement(self, args: tuple = (),
+                        params: dict[str, Any] | None = None) -> Statement:
+        self._reject_args(args, params)
+        return self.template.bound_statement(self._values)
+
+    def execute(self, *args: Any, **params: Any) -> ResultSet:
+        self._reject_args(args, params)
+        return self.template.execute(*self._values)
+
+    def explain(self, analyze: bool = False, args: tuple = (),
+                params: dict[str, Any] | None = None) -> str:
+        self._reject_args(args, params)
+        return self.template.explain(analyze, args=self._values)
+
+    def __repr__(self) -> str:
+        return (f"BoundTemplateStatement({self.text!r}, "
+                f"{len(self._values)} literal(s) bound)")
+
+
+# ---------------------------------------------------------------------------
 # The shared plan cache
 # ---------------------------------------------------------------------------
 
@@ -483,6 +639,9 @@ class PlanCache:
         self._lock = threading.Lock()
         #: Entries displaced by the LRU bound so far.
         self.evictions = 0
+        #: Template keys seen exactly once — a second sighting promotes
+        #: the shared template (see DataSystem auto-parameterization).
+        self._template_candidates: set[str] = set()
 
     def __getstate__(self) -> dict[str, Any]:
         # Locks are not picklable and cached plans hold the whole data
@@ -495,6 +654,7 @@ class PlanCache:
         self.evictions = state.get("evictions", 0)
         self._entries = OrderedDict()
         self._lock = threading.Lock()
+        self._template_candidates = set()
 
     #: MQL string literals ('...' or "..."), matched so normalization
     #: never touches whitespace *inside* them.
@@ -532,9 +692,27 @@ class PlanCache:
                 self._entries.popitem(last=False)
                 self.evictions += 1
 
+    def note_template(self, key: str) -> bool:
+        """Record a template-key sighting; ``True`` when seen before.
+
+        One-off literal statements never pay the template-parse cost:
+        only the *second* distinct literal variant of a shape (its
+        template key noted here before) promotes the shared template.
+        The candidate set is bounded — overflowing resets it, which only
+        delays a promotion by one sighting.
+        """
+        with self._lock:
+            if key in self._template_candidates:
+                return True
+            if len(self._template_candidates) >= 4 * max(self.capacity, 32):
+                self._template_candidates.clear()
+            self._template_candidates.add(key)
+            return False
+
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
+            self._template_candidates.clear()
 
     def __len__(self) -> int:
         with self._lock:

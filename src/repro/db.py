@@ -176,8 +176,13 @@ class Prima:
 
     def insert_atom(self, type_name: str,
                     values: dict[str, Any] | None = None) -> Surrogate:
-        """Insert one atom directly (bypassing MQL)."""
-        return self.access.insert(type_name, values)
+        """Insert one atom directly (bypassing MQL).
+
+        Direct mutations publish a new atom-version epoch, like DML —
+        snapshots pinned before the call keep their state."""
+        surrogate = self.access.insert(type_name, values)
+        self.data.publish_data_version()
+        return surrogate
 
     def get_atom(self, surrogate: Surrogate,
                  attrs: list[str] | None = None) -> dict[str, Any]:
@@ -186,19 +191,23 @@ class Prima:
 
     def modify_atom(self, surrogate: Surrogate,
                     values: dict[str, Any]) -> None:
-        """Modify one atom directly."""
+        """Modify one atom directly (publishes an atom-version epoch)."""
         self.access.modify(surrogate, values)
+        self.data.publish_data_version()
 
     def delete_atom(self, surrogate: Surrogate) -> None:
-        """Delete one atom directly."""
+        """Delete one atom directly (publishes an atom-version epoch)."""
         self.access.delete(surrogate)
+        self.data.publish_data_version()
 
     # -- serving ------------------------------------------------------------------------
 
     def serve(self, model=None, max_sessions: int = 8,
               admission: str = "reject",
               queue_timeout: float | None = None,
-              fetch_size: int | None = None):
+              fetch_size: int | None = None,
+              parallel_mode: str = "threads",
+              parallel_workers: int | None = None):
         """A :class:`~repro.serve.SessionManager` over this instance.
 
         The serving layer multiplexes many concurrent client sessions
@@ -212,6 +221,9 @@ class Prima:
           ``'queue'`` (wait for a slot, optionally ``queue_timeout``);
         * ``fetch_size`` — default cursor batch size (None: whole set in
           the open response, the set-oriented one-message-pair mode);
+        * ``parallel_mode`` / ``parallel_workers`` — worker fabric and
+          cap of :meth:`~repro.serve.Session.parallel_query`
+          (``'threads'`` or ``'processes'``);
         * ``model`` — the :class:`~repro.coupling.NetworkModel` billed.
 
         The manager's network counters surface in :meth:`io_report` as
@@ -221,7 +233,29 @@ class Prima:
         return SessionManager(self, model=model, max_sessions=max_sessions,
                               admission=admission,
                               queue_timeout=queue_timeout,
-                              default_fetch_size=fetch_size)
+                              default_fetch_size=fetch_size,
+                              parallel_mode=parallel_mode,
+                              parallel_workers=parallel_workers)
+
+    def parallel_select(self, mql: str, processors: int = 4,
+                        partitions: int | None = None,
+                        max_workers: int | None = None,
+                        mode: str = "threads", args: tuple = (),
+                        params: dict[str, Any] | None = None):
+        """Run one SELECT with semantic parallelism (see
+        :func:`repro.parallel.parallel_select`).
+
+        ``mode='threads'`` overlaps construction latency under the GIL;
+        ``mode='processes'`` runs a ``fork``-based worker pool — each
+        child constructs molecules against its inherited copy-on-write
+        image of the engine (a natural snapshot), for real CPU
+        parallelism on multi-core hosts.
+        """
+        from repro.parallel import parallel_select
+        return parallel_select(self, mql, processors=processors,
+                               partitions=partitions,
+                               max_workers=max_workers, mode=mode,
+                               args=args, params=params)
 
     def attach_network(self, stats) -> None:
         """Register a serving endpoint's :class:`NetworkStats` so its

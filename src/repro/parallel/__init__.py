@@ -1,5 +1,13 @@
 """Semantic parallelism: decomposition, conflicts, simulated scheduling
-(paper, section 4; [HHM86])."""
+(paper, section 4; [HHM86]).
+
+One user operation decomposes into per-molecule units of work that run
+on real workers: threads overlapping latency under a narrow construction
+lock, or — with ``mode="processes"`` — forked worker processes, each
+constructing against a copy-on-write image of the engine taken at fork
+time (true CPU parallelism, no shared mutable engine state).  The
+simulated multiprocessor schedule replays the measured per-unit costs
+either way."""
 
 from repro.parallel.decompose import (
     ConstructionWorker,

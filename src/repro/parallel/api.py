@@ -31,6 +31,9 @@ class ParallelQueryResult:
 
     result: ResultSet
     report: ScheduleReport
+    #: OS process ids that constructed molecules — a singleton set for
+    #: threaded runs, one pid per forked child for ``mode="processes"``.
+    worker_pids: frozenset[int] = frozenset()
 
     def __repr__(self) -> str:
         return f"ParallelQueryResult({len(self.result)} molecules, " \
@@ -41,7 +44,8 @@ def parallel_select(db: Prima, query: "str | PreparedStatement",
                     processors: int = 4,
                     partitions: int | None = None,
                     max_workers: int | None = None,
-                    engine_lock=None, args: tuple = (),
+                    engine_lock=None, mode: str = "threads",
+                    args: tuple = (),
                     params: dict[str, Any] | None = None
                     ) -> ParallelQueryResult:
     """Execute a molecule query with semantic parallelism on a simulated
@@ -55,10 +59,14 @@ def parallel_select(db: Prima, query: "str | PreparedStatement",
     across the construction workers; it defaults to one partition per
     processor.  Each worker runs on its own thread, feeding the merge
     stage through a bounded queue; ``max_workers`` caps the number of
-    threads (``max_workers=1`` forces the serial loop).  The molecule
-    order is deterministic either way.  ``engine_lock`` lets an
-    embedding subsystem (the serving layer) substitute its own
-    engine-serialisation lock for the per-run one.
+    threads (``max_workers=1`` forces the serial loop).
+    ``mode="processes"`` forks the workers into child processes instead —
+    each child constructs against a copy-on-write image of the engine
+    taken at fork time (true CPU parallelism, no GIL); it falls back to
+    threads where the ``fork`` start method is unavailable.  The
+    molecule order is deterministic in every mode.  ``engine_lock`` lets
+    an embedding subsystem (the serving layer) substitute the reader
+    side of its engine read/write lock for the per-run one.
     """
     decomposer = SemanticDecomposer(db.data)
     if isinstance(query, PreparedStatement):
@@ -77,6 +85,8 @@ def parallel_select(db: Prima, query: "str | PreparedStatement",
                        else processors),
         max_workers=max_workers,
         engine_lock=engine_lock,
+        mode=mode,
     )
     report = simulate(units, processors)
-    return ParallelQueryResult(result=result, report=report)
+    return ParallelQueryResult(result=result, report=report,
+                               worker_pids=frozenset(decomposer.worker_pids))

@@ -23,20 +23,33 @@ operator layer: the root atoms come from a :class:`~repro.data.operators
 :class:`ConstructionWorker` per partition drives a ``MoleculeConstruct``
 operator over its :class:`~repro.data.operators.RootPartition` slice.
 
-**Threading model.**  ``run_all`` runs one real :class:`threading.Thread`
-per construction worker (capped by ``max_workers``); each completed DU is
-pushed into a bounded queue that the merge/shaping stage drains while the
-workers are still producing.  A per-run construction lock serialises the
-single-user storage engine at molecule granularity — under CPython's GIL
-the threads provide latency overlap, not CPU parallelism, which is
-exactly the carving a real multi-processor PRIMA would use; the
-scheduler replays the measured DU costs on the simulated multiprocessor.
-Result shaping sorts the completed units by DU index, so the molecule
-order is deterministic regardless of thread interleaving.
+**Execution model.**  ``run_all`` offers two carvings:
+
+* ``mode="threads"`` (default) runs one real :class:`threading.Thread`
+  per construction worker (capped by ``max_workers``); each completed DU
+  is pushed into a bounded queue that the merge/shaping stage drains
+  while the workers are still producing.  A per-run construction lock
+  serialises the storage engine at molecule granularity — under
+  CPython's GIL the threads provide latency overlap, not CPU
+  parallelism.
+* ``mode="processes"`` forks one worker *process* per partition slice.
+  Each child inherits a copy-on-write image of the engine taken at fork
+  time — a process-level snapshot, the multiprocessor analogue of the
+  epoch snapshots the serving layer pins for its read cursors — and
+  constructs its molecules without any lock at all, streaming completed
+  units back to the parent over a queue.  This is true CPU parallelism:
+  no GIL, no shared mutable engine state.
+
+Either way the merge stage sorts the completed units by DU index, so
+the molecule order is deterministic for any partitioning, interleaving,
+or execution mode — thread and process runs of the same query produce
+byte-identical results.
 """
 
 from __future__ import annotations
 
+import multiprocessing
+import os
 import queue
 import threading
 from contextlib import nullcontext
@@ -162,6 +175,10 @@ class SemanticDecomposer:
 
     def __init__(self, data: DataSystem) -> None:
         self._data = data
+        #: OS process ids that executed units in the most recent
+        #: ``run_all`` — a singleton set for serial/threaded runs, one
+        #: pid per forked child for ``mode="processes"``.
+        self.worker_pids: set[int] = set()
 
     def decompose_select(self, mql: str, args: tuple = (),
                          params: dict | None = None
@@ -243,29 +260,41 @@ class SemanticDecomposer:
     def run_all(self, plan: QueryPlan, units: list[UnitOfWork],
                 partitions: int = 1,
                 max_workers: int | None = None,
-                engine_lock=None) -> ResultSet:
+                engine_lock=None, mode: str = "threads") -> ResultSet:
         """Execute every DU and assemble the molecule set in DU order.
 
         The DU stream is partitioned round-robin; one construction worker
-        per partition drives its slice through the operator layer, and
-        each worker runs on its own :class:`threading.Thread` (capped by
-        ``max_workers``; ``max_workers=1`` forces the serial loop).  The
-        completed units flow through a bounded queue into the
-        merge/shaping stage, which sorts them by DU index — the result
-        order is deterministic for any partition count and interleaving.
+        per partition drives its slice through the operator layer.  With
+        ``mode="threads"`` each worker runs on its own
+        :class:`threading.Thread` (capped by ``max_workers``;
+        ``max_workers=1`` forces the serial loop) and the completed units
+        flow through a bounded queue into the merge/shaping stage.  With
+        ``mode="processes"`` the workers fork into child processes, each
+        constructing against its copy-on-write engine image and streaming
+        completed units back to the parent (falls back to threads where
+        the ``fork`` start method is unavailable).  Either way the merge
+        sorts by DU index — the result order is deterministic for any
+        partition count, interleaving, or mode.
 
         ``engine_lock`` substitutes the per-run storage-engine lock with
-        a caller-owned one: the serving layer passes its session-shared
-        engine lock here, so a parallel query's construction workers and
-        the other sessions' cursors serialise on the *same* single-user
-        engine (see :meth:`repro.serve.Session.parallel_query`).
+        a caller-owned one: the serving layer passes the *reader side* of
+        its engine read/write lock here, so a parallel query's
+        construction (and the fork points of a process run) never overlap
+        a peer session's writer (see
+        :meth:`repro.serve.Session.parallel_query`).
         """
         if max_workers is not None and max_workers < 1:
             raise DecompositionError("need at least one worker thread")
+        if mode not in ("threads", "processes"):
+            raise DecompositionError(
+                f"unknown parallel mode {mode!r}; "
+                "expected 'threads' or 'processes'"
+            )
         parts = partition_units(units, partitions)
-        threaded = len(parts) > 1 and (max_workers is None
-                                       or max_workers > 1)
-        if not threaded:
+        fanout = len(parts) > 1 and (max_workers is None
+                                     or max_workers > 1)
+        self.worker_pids = {os.getpid()}
+        if not fanout:
             workers = [
                 ConstructionWorker(self._data, plan, part, index=i,
                                    of=len(parts), lock=engine_lock)
@@ -273,6 +302,9 @@ class SemanticDecomposer:
             ]
             for worker in workers:
                 worker.run()
+        elif mode == "processes":
+            self._run_processes(plan, parts, max_workers,
+                                engine_lock=engine_lock)
         else:
             self._run_threaded(plan, parts, max_workers,
                                engine_lock=engine_lock)
@@ -349,6 +381,88 @@ class SemanticDecomposer:
         if failures:
             raise failures[0]
         assert drained == sum(len(w.units) for w in workers)
+
+    def _run_processes(self, plan: QueryPlan,
+                       parts: list[list[UnitOfWork]],
+                       max_workers: int | None,
+                       engine_lock=None) -> None:
+        """One forked process per worker pool slot, results over a queue.
+
+        The ``fork`` start method is required: a forked child inherits
+        the parent's engine image copy-on-write, so the workers (already
+        holding live ``DataSystem`` references) run unchanged and
+        unpickled in the child.  The fork itself happens under
+        ``engine_lock`` — with the serving layer's reader side held, no
+        peer writer can be mid-mutation at fork time, so every child's
+        image is a consistent snapshot.  Children send each completed
+        unit's payload (index, molecule, order values, read set, cost)
+        back over the queue; the parent fills its own units by index,
+        keeping the merge stage identical to the threaded path.
+        """
+        if "fork" not in multiprocessing.get_all_start_methods():
+            self._run_threaded(plan, parts, max_workers,
+                               engine_lock=engine_lock)
+            return
+        ctx = multiprocessing.get_context("fork")
+        sink = ctx.Queue()
+        workers = [
+            ConstructionWorker(self._data, plan, part, index=i,
+                               of=len(parts))
+            for i, part in enumerate(parts)
+        ]
+        proc_count = len(workers) if max_workers is None \
+            else min(max_workers, len(workers))
+
+        def drive(assigned: list[ConstructionWorker]) -> None:
+            pid = os.getpid()
+            try:
+                for worker in assigned:
+                    for unit in worker.units:
+                        worker._run_unit(unit)  # noqa: SLF001
+                        sink.put(("unit", pid, unit.index, unit.result,
+                                  unit.order_values, unit.read_set,
+                                  unit.cost))
+            except BaseException as exc:  # noqa: BLE001 - reported below
+                sink.put(("error", pid, repr(exc)))
+            else:
+                sink.put(("done", pid))
+
+        processes = [
+            ctx.Process(target=drive, args=(workers[p::proc_count],),
+                        name=f"construction-proc-{p}")
+            for p in range(proc_count)
+        ]
+        guard = engine_lock if engine_lock is not None else nullcontext()
+        with guard:   # no writer mid-flight while the children fork
+            for process in processes:
+                process.start()
+        by_index = {unit.index: unit
+                    for part in parts for unit in part}
+        errors: list[str] = []
+        finished = 0
+        while finished < len(processes):
+            message = sink.get()
+            if message[0] == "unit":
+                _tag, pid, index, result, order_values, read_set, cost \
+                    = message
+                unit = by_index[index]
+                unit.result = result
+                unit.order_values = order_values
+                unit.read_set = read_set
+                unit.cost = cost
+                self.worker_pids.add(pid)
+            elif message[0] == "error":
+                errors.append(f"worker pid {message[1]}: {message[2]}")
+                finished += 1
+            else:
+                finished += 1
+        for process in processes:
+            process.join()
+        sink.close()
+        if errors:
+            raise DecompositionError(
+                "process-parallel construction failed: " + "; ".join(errors)
+            )
 
     # -- DML decomposition ----------------------------------------------------------
 

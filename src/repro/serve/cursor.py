@@ -79,7 +79,8 @@ class ServerCursor:
         self.session = session
         self.cursor_id = cursor_id
         self.result = result
-        #: Root atom type of the plan (the session's read-lock scope).
+        #: Root atom type of the plan (diagnostic; snapshot reads pin an
+        #: epoch instead of locking the type).
         self.root_type = root_type
         #: Molecules shipped to the client so far.
         self.delivered = 0
@@ -249,6 +250,16 @@ class RemoteCursor:
         self._prefetched = None
         self._pos = 0
         self._note_in_flight()
+
+    def explain(self) -> str:
+        """The server pipeline's plan text, shipped with the OPEN response.
+
+        EXPLAIN is a first-class protocol citizen: the plan text rides
+        the wire once at open time, so inspecting it here costs no extra
+        round trip (ad-hoc explanation without a cursor goes through
+        :meth:`repro.serve.Session.explain` instead).
+        """
+        return self.plan_text
 
     def has_pending(self) -> bool | None:
         """Whether undelivered molecules remain — answered *without* a

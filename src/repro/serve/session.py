@@ -7,14 +7,17 @@ concurrent client sessions onto one :class:`~repro.db.Prima` instance.
 
 Each :class:`Session` owns
 
-* a **top-level transaction** (:mod:`repro.txn`) as its lock scope —
-  opening a cursor takes an S lock on the root atom type, so a peer
-  session's DML (which takes X on the type in a *subtransaction*, the
-  lock inherited upward and retained until the session closes) conflicts
-  loudly instead of silently interleaving; checkins run in short-lived
-  top-level transactions that commit — and release their atom-level X
-  locks — immediately, preserving the optimistic last-writer-wins
-  checkout protocol;
+* a **top-level transaction** (:mod:`repro.txn`) as its *write* lock
+  scope — DML takes X on the target atom type in a *subtransaction*,
+  the lock inherited upward and retained until the session closes, so
+  two sessions writing the same type conflict loudly; checkins run in
+  short-lived top-level transactions that commit — and release their
+  atom-level X locks — immediately, preserving the optimistic
+  last-writer-wins checkout protocol.  Reads take **no locks at all**:
+  opening a cursor pins a *snapshot* of the atom-version epoch
+  (:mod:`repro.access.snapshots`) and the pipeline reads that
+  consistent state for its whole life, no matter what writers commit
+  concurrently;
 * a set of **server cursors** (:mod:`repro.serve.cursor`) streaming lazy
   ResultSet pipelines to the client in fetch-size batches;
 * a set of **server-side prepared statements**: PREPARE ships the MQL
@@ -36,13 +39,17 @@ blocks the opener until a slot frees (optionally bounded by
 ``queue_timeout`` seconds).
 
 **Threading model.**  Messages of one session are serialised by a
-per-session lock; the engine-touching part of every message (pipeline
-construction, batch fetching, checkin application) additionally runs
-under the manager's ``engine_lock`` — the single-user storage engine is
-shared, so concurrent sessions interleave at message granularity, which
-keeps per-session results deterministic regardless of thread timing.
-The network model and stats are thread-safe (see
-:mod:`repro.coupling.network`).
+per-session lock; the engine-touching part of every message runs under
+the manager's :class:`~repro.util.rwlock.ReadWriteLock`.  Read-only
+messages (OPEN / FETCH / REOPEN / CLOSE / PREPARE / EXPLAIN) take the
+**shared reader side** — any number of sessions fetch batches truly
+concurrently, each against its pinned snapshot epoch — while writes
+(DML subtransactions, checkin application) take the **exclusive writer
+side**, which also covers the copy-on-write preservation of pre-images
+for the pinned snapshots.  The old session-wide ``engine_lock`` (one
+RLock over *everything*, reads included) is gone; what remains of it
+is exactly this narrow writer/epoch-publish mutex.  The network model
+and stats are thread-safe (see :mod:`repro.coupling.network`).
 """
 
 from __future__ import annotations
@@ -74,6 +81,7 @@ from repro.serve.cursor import (
     batch_bytes,
 )
 from repro.txn import Transaction, TransactionManager
+from repro.util.rwlock import ReadWriteLock
 from repro.util.stats import Counters
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -164,19 +172,30 @@ class Session:
                        params: dict[str, Any] | None, fetch_size: int | None
                        ) -> tuple[ServerCursor, list[Molecule], bool, str]:
         """Bind a prepared SELECT, open its server cursor, fetch the
-        first batch.  The caller holds the engine lock."""
+        first batch.  The caller holds the engine's reader side.
+
+        No lock is taken on the root atom type: the pipeline is compiled
+        against a pinned snapshot of the atom-version epoch, so it keeps
+        reading the state as of this open — concurrent commits neither
+        block it nor leak into it.  The pin is released when the
+        pipeline closes (client CLOSE, exhaustion teardown, or session
+        close)."""
         if prepared.kind != "select":
             raise SessionStateError(
                 "remote cursors serve SELECT statements only "
                 "(use Session.execute for DML)"
             )
         plan = prepared.bind(args, params or {})
-        # Lock scope: reading molecules of this type under this
-        # session's transaction.
-        self.manager.txns.locks.acquire(
-            self.txn, _lock_resource(plan.root_access.atom_type), "S")
-        result = ResultSet(source=plan.compile(self._db.data),
-                           plan_text=plan.explain())
+        snapshot = self._db.data.open_snapshot()
+        try:
+            result = ResultSet(
+                source=plan.compile(self._db.data, snapshot=snapshot),
+                plan_text=plan.explain())
+        except BaseException:
+            snapshot.release()
+            raise
+        result.on_close(lambda _op: snapshot.release())
+        self._count("snapshot_reads")
         self._next_cursor += 1
         cursor = ServerCursor(self, self._next_cursor, result,
                               plan.root_access.atom_type)
@@ -200,7 +219,7 @@ class Session:
         """
         self._bill(len(mql.encode("utf-8"))
                    + _bindings_bytes(args, params))          # request
-        with self.manager.engine_lock:
+        with self.manager.engine.reader():
             prepared = self._db.data.prepare(mql)
             cursor, batch, exhausted, plan_text = self._open_pipeline(
                 prepared, args, params, fetch_size)
@@ -217,7 +236,7 @@ class Session:
             self._require_open()
             self._bill(FETCH_REQUEST_BYTES)                  # request
             cursor = self._cursor_of(cursor_id)
-            with self.manager.engine_lock:
+            with self.manager.engine.reader():
                 batch, exhausted = cursor.fetch(count)
             self._bill(batch_bytes(batch))                   # response
             self._count("fetch_messages")
@@ -231,7 +250,7 @@ class Session:
             self._require_open()
             self._bill(CONTROL_REQUEST_BYTES)                # request
             cursor = self._cursor_of(cursor_id)
-            with self.manager.engine_lock:
+            with self.manager.engine.reader():
                 cursor.reopen()
                 if fetch_size is None:
                     batch = cursor.fetch_all()
@@ -251,7 +270,7 @@ class Session:
             self._bill(CONTROL_REQUEST_BYTES)                # request
             cursor = self._cursors.pop(cursor_id, None)
             if cursor is not None:
-                with self.manager.engine_lock:
+                with self.manager.engine.reader():
                     cursor.close()
             self._bill(ACK_BYTES)                            # ack
             self._count("cursors_closed")
@@ -267,7 +286,7 @@ class Session:
         with self._lock:
             self._require_open()
             self._bill(len(mql.encode("utf-8")))             # request
-            with self.manager.engine_lock:
+            with self.manager.engine.reader():
                 prepared = self._db.data.prepare(mql)
             self._next_statement += 1
             statement_id = self._next_statement
@@ -288,7 +307,7 @@ class Session:
             prepared = self._statement_of(statement_id)
             self._bill(CONTROL_REQUEST_BYTES
                        + _bindings_bytes(args, params))      # request
-            with self.manager.engine_lock:
+            with self.manager.engine.reader():
                 cursor, batch, exhausted, plan_text = self._open_pipeline(
                     prepared, args, params, fetch_size)
             self._bill(batch_bytes(batch))                   # response
@@ -389,9 +408,12 @@ class Session:
         inherited upward, so the session *retains* X on every type it
         wrote until it closes; a failing statement aborts the
         subtransaction and releases it.  Write effects themselves become
-        visible immediately, like a checkin.
+        visible immediately, like a checkin — to *new* snapshots; open
+        cursors keep their pinned epoch.  The exclusive writer side of
+        the engine lock covers the statement, its copy-on-write
+        pre-image preservation, and the epoch publish.
         """
-        with self.manager.engine_lock:
+        with self.manager.engine.writer():
             writer = self.txn.begin_nested()
             try:
                 target = self._statement_target(prepared.statement)
@@ -413,7 +435,7 @@ class Session:
         """
         with self._lock:
             self._require_open()
-            with self.manager.engine_lock:
+            with self.manager.engine.reader():
                 prepared = self._db.data.prepare(mql)
             if prepared.kind == "select":
                 return self.query(mql, args=args, params=params or None)
@@ -423,6 +445,34 @@ class Session:
             self._bill(ACK_BYTES)                            # ack
             self._count("statements")
             return result
+
+    def _explain_message(self, mql: str, args: tuple,
+                         params: dict[str, Any] | None) -> str:
+        """EXPLAIN: the server renders the processing plan as a
+        first-class message pair — request carries the text (+ optional
+        bindings), response carries the plan text.  No pipeline opens,
+        no cursor, no locks beyond the shared reader side."""
+        with self._lock:
+            self._require_open()
+            self._bill(len(mql.encode("utf-8"))
+                       + _bindings_bytes(args, params))      # request
+            with self.manager.engine.reader():
+                prepared = self._db.data.prepare(mql)
+                if prepared.kind != "select":
+                    raise SessionStateError(
+                        "EXPLAIN supports SELECT statements only"
+                    )
+                text = prepared.explain(args=args, params=params or {})
+            self._bill(len(text.encode("utf-8")))            # response
+            self._count("explains")
+            return text
+
+    def explain(self, mql: str, *args: Any, **params: Any) -> str:
+        """The server-side processing plan of ``mql``, over the wire.
+
+        ``args``/``params`` optionally bind placeholders so the rendered
+        plan shows concrete ranges instead of ``?n`` markers."""
+        return self._explain_message(mql, args, params or None)
 
     def _statement_target(self, statement) -> str | None:
         if isinstance(statement, InsertStatement):
@@ -435,19 +485,30 @@ class Session:
 
     def parallel_query(self, mql: str, processors: int = 4,
                        partitions: int | None = None,
-                       max_workers: int | None = None):
+                       max_workers: int | None = None,
+                       mode: str | None = None):
         """Run one SELECT with semantic parallelism *inside* this session.
 
-        The construction workers serialise on the manager's engine lock,
-        so a parallel query coexists with the other sessions' cursors on
-        the same single-user engine.
+        The construction workers take the **shared reader side** of the
+        manager's engine lock per DU — they run concurrently with every
+        other session's cursors and with each other, excluding only
+        writers.  ``mode`` selects the worker fabric: ``'threads'``
+        (latency overlap under the GIL) or ``'processes'`` (a
+        ``fork``-based pool, real CPU parallelism — each child reads its
+        inherited copy-on-write image of the engine, a natural
+        snapshot).  ``mode``/``max_workers`` default to the manager's
+        ``parallel_mode``/``parallel_workers`` knobs.
         """
         self._require_open()
         from repro.parallel import parallel_select
         return parallel_select(self._db, mql, processors=processors,
                                partitions=partitions,
-                               max_workers=max_workers,
-                               engine_lock=self.manager.engine_lock)
+                               max_workers=(max_workers
+                                            if max_workers is not None
+                                            else self.manager.parallel_workers),
+                               mode=mode if mode is not None
+                               else self.manager.parallel_mode,
+                               engine_lock=self.manager.engine.reader())
 
     # -- checkin (the write half of the coupling protocol) -------------------
 
@@ -477,7 +538,7 @@ class Session:
                            for _t, values in creations or [])
             payload += 16 * len(deletions or [])
             self._bill(payload)                              # request
-            with self.manager.engine_lock:
+            with self.manager.engine.writer():
                 mapping = self._apply_checkin(modifications,
                                               deletions or [],
                                               creations or [])
@@ -516,6 +577,9 @@ class Session:
             raise
         writer.commit()
         db.commit()
+        # The commit boundary of the snapshot clock: cursors opened
+        # from here on see the checkin; pinned ones keep their epoch.
+        db.data.publish_data_version()
         return mapping
 
     # -- lifecycle -----------------------------------------------------------
@@ -526,7 +590,7 @@ class Session:
         with self._lock:
             if self.closed:
                 return
-            with self.manager.engine_lock:
+            with self.manager.engine.reader():
                 for cursor in self._cursors.values():
                     cursor.close()
                 self._cursors.clear()
@@ -541,13 +605,15 @@ class Session:
         with self._lock:
             if self.closed:
                 return
-            with self.manager.engine_lock:
+            with self.manager.engine.reader():
                 for cursor in self._cursors.values():
                     cursor.close()
                 self._cursors.clear()
             self._statements.clear()
             self.closed = True
-            self.txn.abort()
+            # Undoing logged effects writes to the engine — exclusive.
+            with self.manager.engine.writer():
+                self.txn.abort()
         self.manager._release(self)  # noqa: SLF001
 
     def __enter__(self) -> "Session":
@@ -660,7 +726,9 @@ class SessionManager:
     def __init__(self, db: "Prima", model: "NetworkModel | None" = None,
                  max_sessions: int = 8, admission: str = "reject",
                  queue_timeout: float | None = None,
-                 default_fetch_size: int | None = None) -> None:
+                 default_fetch_size: int | None = None,
+                 parallel_mode: str = "threads",
+                 parallel_workers: int | None = None) -> None:
         # Imported here, not at module level: the coupling package's
         # server rides on this module, so a top-level import would cycle.
         from repro.coupling.network import NetworkModel, NetworkStats
@@ -670,6 +738,11 @@ class SessionManager:
             raise ValueError(
                 f"admission must be 'reject' or 'queue', got {admission!r}"
             )
+        if parallel_mode not in ("threads", "processes"):
+            raise ValueError(
+                f"parallel_mode must be 'threads' or 'processes', got "
+                f"{parallel_mode!r}"
+            )
         self.db = db
         self.model = model if model is not None else NetworkModel()
         self.stats = NetworkStats()
@@ -678,11 +751,19 @@ class SessionManager:
         self.queue_timeout = queue_timeout
         #: None: whole set in the open response; int: streaming batches.
         self.default_fetch_size = default_fetch_size
+        #: Worker fabric of :meth:`Session.parallel_query`: 'threads'
+        #: or 'processes' (fork-based pool); per-call ``mode`` overrides.
+        self.parallel_mode = parallel_mode
+        #: Default worker cap of :meth:`Session.parallel_query`.
+        self.parallel_workers = parallel_workers
         self.txns = TransactionManager(db.access)
-        #: Serialises the single-user engine across session threads.  An
-        #: RLock, shared with the parallel subsystem's construction
-        #: workers (see :meth:`Session.parallel_query`).
-        self.engine_lock = threading.RLock()
+        #: The narrow writer/epoch-publish mutex that replaced the old
+        #: session-wide engine RLock: read-only messages share the
+        #: reader side (snapshot-pinned pipelines fetch concurrently),
+        #: writes and their epoch publish take the exclusive writer
+        #: side.  ``engine.max_concurrent_readers`` records the proof
+        #: that reads actually overlap.
+        self.engine = ReadWriteLock()
         self._slots = threading.Condition()
         self._active = 0
         self._peak = 0

@@ -41,6 +41,10 @@ class LockManager:
         self._table: dict[Hashable, dict["Transaction", str]] = {}
         #: Serialises table mutations across concurrent session threads.
         self._mutex = threading.Lock()
+        #: Cumulative count of *new* grants per mode (re-grants of a lock
+        #: already held do not count).  Snapshot reads are expected to keep
+        #: the ``"S"`` counter flat — the b6 benchmark gates on it.
+        self.grants: dict[str, int] = {"S": 0, "X": 0}
 
     # -- acquisition -------------------------------------------------------------
 
@@ -65,6 +69,7 @@ class LockManager:
                         f"held in {held_mode} by {holder.name}"
                     )
             holders[txn] = mode
+            self.grants[mode] += 1
 
     # -- release / inheritance ----------------------------------------------------------
 

@@ -108,3 +108,55 @@ class TestSortOrderExploitation:
         plan = tuned.db.explain(
             "SELECT ALL FROM brep WHERE brep_no = 1713 ORDER BY brep_no")
         assert "KEY LOOKUP" in plan
+
+
+class TestAccessPathOrderExploitation:
+    """A B*-tree access path whose key prefix matches the wanted order
+    serves ORDER BY for free — in either direction — and combines the
+    static range predicate with TopK's tightening dynamic bound."""
+
+    @pytest.fixture
+    def tuned(self):
+        db = Prima()
+        db.execute("CREATE ATOM_TYPE item (item_id: IDENTIFIER, "
+                   "n: INTEGER, grp: INTEGER) KEYS_ARE (n, grp)")
+        for i in range(200):
+            db.insert_atom("item", {"n": i // 4, "grp": i % 4})
+        db.execute_ldl("CREATE ACCESS PATH item_ng ON item (n, grp)")
+        return db
+
+    def test_range_plus_order_served_by_the_path(self, tuned):
+        query = ("SELECT ALL FROM item WHERE n >= 20 "
+                 "ORDER BY n LIMIT 8")
+        assert "free" in tuned.explain(query)
+        tuned.reset_accounting()
+        rows = [m.atom["n"] for m in tuned.query(query)]
+        assert rows == [20, 20, 20, 20, 21, 21, 21, 21]
+        # Early termination: LIMIT stops the walk, no full-type scan.
+        assert tuned.io_report()["scan_rows:AccessPathScan"] == 8
+
+    def test_reverse_walk_serves_descending(self, tuned):
+        query = ("SELECT ALL FROM item WHERE n >= 20 "
+                 "ORDER BY n DESC LIMIT 4")
+        assert "reverse scan" in tuned.explain(query)
+        tuned.reset_accounting()
+        rows = [m.atom["n"] for m in tuned.query(query)]
+        assert rows == [49, 49, 49, 49]
+        assert tuned.io_report()["scan_rows:AccessPathScan"] == 4
+
+    def test_prefix_order_arms_the_dynamic_bound(self, tuned):
+        query = ("SELECT ALL FROM item WHERE n >= 10 "
+                 "ORDER BY n, grp DESC LIMIT 4")
+        assert "dynamic bound" in tuned.explain(query)
+        tuned.reset_accounting()
+        rows = [(m.atom["n"], m.atom["grp"]) for m in tuned.query(query)]
+        assert rows == [(10, 3), (10, 2), (10, 1), (10, 0)]
+        report = tuned.io_report()
+        assert report["topk_bounds_pushed"] >= 1
+        # The tightening stop key cut the range walk down to the window.
+        assert report["scan_rows:AccessPathScan"] == 4
+
+    def test_unindexed_order_still_sorts(self, tuned):
+        query = "SELECT ALL FROM item WHERE n >= 45 ORDER BY grp, n"
+        rows = [(m.atom["grp"], m.atom["n"]) for m in tuned.query(query)]
+        assert rows == sorted(rows)

@@ -306,6 +306,9 @@ class TestPlanCache:
         assert report.get("plan_cache_hits", 0) == 0
 
     def test_lru_eviction(self, db):
+        # Auto-parameterization would collapse these literal variants
+        # into one shared template — turn it off to exercise the LRU.
+        db.data.auto_parameterize = False
         make_items(db, 10)
         db.data.plan_cache.capacity = 4
         for i in range(8):
@@ -540,7 +543,7 @@ class TestConcurrentInvalidation:
                 for i in range(25):
                     if stop.is_set():
                         break
-                    with manager.engine_lock:
+                    with manager.engine.writer():
                         db.execute_ldl(
                             f"CREATE SORT ORDER churn_{i} ON item (grp)")
                         db.execute_ldl(f"DROP SORT ORDER churn_{i}")
@@ -658,3 +661,79 @@ class TestAcceptanceCrossSurface:
         assert direct == served == via_parallel == expected
         assert db.io_report().get("statements_parsed", 0) == 0
         assert db.io_report().get("statements_planned", 0) == 0
+
+
+# ---------------------------------------------------------------------------
+# Auto-parameterization: literal variants share one cached template
+# ---------------------------------------------------------------------------
+
+class TestAutoParameterize:
+    def test_literal_variants_share_one_template(self, db):
+        """Distinct literals of one statement shape plan once (as a
+        shared template) after the shape is seen twice."""
+        make_items(db, 70)
+        expected = {g: [m.atom["n"] for m in
+                        db.query("SELECT ALL FROM item WHERE grp = ? "
+                                 "ORDER BY n", g)]
+                    for g in range(5)}
+        db.data.plan_cache.clear()
+        db.reset_accounting()
+        rows = {g: [m.atom["n"] for m in
+                    db.query(f"SELECT ALL FROM item WHERE grp = {g} "
+                             f"ORDER BY n")]
+                for g in range(5)}
+        assert rows == expected          # every literal gets its own set
+        report = db.io_report()
+        # Literal #0 plans literally (first sighting of the shape),
+        # literal #1 promotes the shape into a template; #2..#4 ride it.
+        assert report["statements_parsed"] == 2
+        assert report["plan_cache_template_hits"] == 3
+
+    def test_knob_off_plans_every_literal(self, db):
+        make_items(db, 30)
+        db.data.auto_parameterize = False
+        db.data.plan_cache.clear()
+        db.reset_accounting()
+        for g in range(4):
+            db.query(f"SELECT ALL FROM item WHERE grp = {g}").materialize()
+        assert db.io_report()["statements_parsed"] == 4
+        assert db.io_report().get("plan_cache_template_hits", 0) == 0
+
+    def test_explicit_placeholders_never_templated(self, db):
+        make_items(db, 30)
+        db.data.plan_cache.clear()
+        db.reset_accounting()
+        rows = [m.atom["n"] for m in
+                db.query("SELECT ALL FROM item WHERE grp = ?", 3)]
+        assert rows == [n for n in range(30) if n % 7 == 3]
+        assert db.io_report().get("plan_cache_template_hits", 0) == 0
+
+    def test_limit_literals_lifted(self, db):
+        make_items(db, 40)
+        db.data.plan_cache.clear()
+        db.reset_accounting()
+        sizes = [len(db.query(f"SELECT ALL FROM item ORDER BY n LIMIT {k}"))
+                 for k in (3, 5, 9)]
+        assert sizes == [3, 5, 9]        # each variant honours its window
+        assert db.io_report()["plan_cache_template_hits"] == 1
+
+    def test_bound_template_rejects_external_bindings(self, db):
+        make_items(db, 20)
+        db.data.plan_cache.clear()
+        db.prepare("SELECT ALL FROM item WHERE grp = 1")
+        db.prepare("SELECT ALL FROM item WHERE grp = 2")
+        bound = db.prepare("SELECT ALL FROM item WHERE grp = 3")
+        assert bound.param_count == 0
+        assert [m.atom["n"] for m in bound.execute()] == \
+            [n for n in range(20) if n % 7 == 3]
+        with pytest.raises(ExecutionError):
+            bound.execute(4)
+
+    def test_string_literals_survive_the_round_trip(self, db):
+        make_items(db, 25)
+        db.data.plan_cache.clear()
+        db.reset_accounting()
+        for i in (3, 8, 14):
+            rows = db.query(f"SELECT ALL FROM item WHERE name = 'i{i}'")
+            assert [m.atom["n"] for m in rows] == [i]
+        assert db.io_report()["plan_cache_template_hits"] == 1

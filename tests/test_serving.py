@@ -243,14 +243,19 @@ class TestRemoteCursor:
 
 
 class TestLockScope:
-    def test_peer_write_conflicts_with_open_cursor(self, manager):
+    def test_peer_write_proceeds_under_open_cursor(self, manager):
+        # Snapshot reads take no type-level locks: a peer's INSERT no
+        # longer conflicts with an open cursor — and the cursor, pinned
+        # to its open-time epoch, never sees the concurrent commit.
         reader = manager.open()
         writer = manager.open()
-        reader.query("SELECT ALL FROM item WHERE grp = 0")
-        with pytest.raises(LockConflictError):
-            writer.execute("INSERT item (n = 910)")
-        reader.close()   # releases the session's S locks
+        cursor = reader.query("SELECT ALL FROM item", fetch_size=4)
         assert writer.execute("INSERT item (n = 910)").affected == 1
+        rows = [m.atom["n"] for m in cursor]
+        assert len(rows) == N_ITEMS and 910 not in rows
+        # A cursor opened after the commit sees the new atom.
+        assert len(reader.query("SELECT ALL FROM item WHERE n = 910")) == 1
+        reader.close()
         writer.close()
 
     def test_session_can_write_what_it_read(self, manager):
@@ -261,13 +266,20 @@ class TestLockScope:
             assert session.execute("INSERT item (n = 920)").affected == 1
 
     def test_write_lock_retained_until_session_close(self, manager):
+        # The writer retains type-level X until session close (Moss
+        # inheritance) — but snapshot readers take no locks, so peer
+        # reads proceed and see the committed write immediately.
         writer = manager.open()
         writer.execute("INSERT item (n = 930)")
         reader = manager.open()
-        with pytest.raises(LockConflictError):
-            reader.query("SELECT ALL FROM item WHERE grp = 0")
-        writer.close()   # inherited X released with the session
         assert len(reader.query("SELECT ALL FROM item WHERE n = 930")) == 1
+        # The retained X is real: a peer *writer* still conflicts.
+        peer = manager.open()
+        with pytest.raises(LockConflictError):
+            peer.execute("INSERT item (n = 931)")
+        writer.close()   # inherited X released with the session
+        assert peer.execute("INSERT item (n = 931)").affected == 1
+        peer.close()
         reader.close()
 
     def test_failed_write_releases_its_lock(self, manager):
@@ -280,18 +292,18 @@ class TestLockScope:
         peer.close()
         writer.close()
 
-    def test_server_disconnect_releases_service_locks(self, db):
-        # One serving endpoint: the lock table lives with the manager, so
-        # the conflicting session must come from the same server.
+    def test_service_reads_never_block_writes(self, db):
+        # The server's service session reads via snapshots, so a client
+        # INSERT on the same type proceeds with the service session
+        # still open; disconnect only frees the admission slot.
         server = PrimaServer(db)
         server.query("SELECT ALL FROM item WHERE grp = 0").materialize()
         assert server.sessions.active_sessions == 1
         with server.sessions.open() as session:
-            with pytest.raises(LockConflictError):
-                session.execute("INSERT item (n = 940)")
-            server.disconnect()   # frees the service slot + its S locks
-            assert server.sessions.active_sessions == 1   # only `session`
             assert session.execute("INSERT item (n = 940)").affected == 1
+            server.disconnect()   # frees the service slot
+            assert server.sessions.active_sessions == 1   # only `session`
+        assert server.sessions.active_sessions == 0
 
     def test_checkins_do_not_conflict_with_cursors(self):
         database = Prima()
