@@ -5,30 +5,38 @@ Creates a tiny schema with a symmetric n:m association, inserts atoms,
 builds molecules dynamically in queries, and shows that the system
 maintains back-references automatically.
 
+Everything client-facing goes through :func:`repro.connect` — the one
+entry point whose :class:`~repro.serve.Connection` API is identical
+whether it speaks to an in-process instance (as here) or to an asyncio
+daemon over a socket (see ``examples/daemon_serving.py``).
+
 Run:  python examples/quickstart.py
 """
 
-from repro import Prima
+import repro
 
 
 def main() -> None:
-    # ``with`` scopes the instance: close() flushes (commit) and detaches
-    # serving/network accounting on the way out.
-    with Prima() as db:
-        run_demo(db)
+    # An embedded engine, and a session-scoped connection onto it.  The
+    # ``with`` blocks scope both: the connection commits its session on
+    # the way out, the instance flushes on close().
+    with repro.Prima() as db:
+        with repro.connect(db, name="quickstart") as conn:
+            run_demo(db, conn)
 
 
-def run_demo(db: Prima) -> None:
+def run_demo(db: repro.Prima, conn: repro.Connection) -> None:
     # 1. Atom types.  Every relationship is a pair of reference attributes
     #    pointing at each other (the association concept, Fig. 2.2):
     #    author.books <-> book.authors is a symmetric n:m association.
-    db.execute_script("""
+    conn.execute("""
     CREATE ATOM_TYPE author
     ( author_id : IDENTIFIER,
       name      : CHAR_VAR,
       books     : SET_OF (REF_TO (book.authors)) )
-    KEYS_ARE (name);
-
+    KEYS_ARE (name)
+    """)
+    conn.execute("""
     CREATE ATOM_TYPE book
     ( book_id   : IDENTIFIER,
       title     : CHAR_VAR,
@@ -38,41 +46,45 @@ def run_demo(db: Prima) -> None:
     """)
 
     # 2. Atoms.  REF <type>(<key>) resolves through the KEYS_ARE index.
-    db.execute("INSERT author (name = 'Haerder')")
-    db.execute("INSERT author (name = 'Mitschang')")
-    db.execute("INSERT book (title = 'PRIMA', year = 1987, "
-               "authors = [REF author('Haerder'), REF author('Mitschang')])")
-    db.execute("INSERT book (title = 'MAD Model', year = 1987, "
-               "authors = [REF author('Mitschang')])")
+    conn.execute("INSERT author (name = 'Haerder')")
+    conn.execute("INSERT author (name = 'Mitschang')")
+    conn.execute("INSERT book (title = 'PRIMA', year = 1987, "
+                 "authors = [REF author('Haerder'), "
+                 "REF author('Mitschang')])")
+    conn.execute("INSERT book (title = 'MAD Model', year = 1987, "
+                 "authors = [REF author('Mitschang')])")
 
     # 3. The system maintained the back-references: the authors already
     #    know their books although we never wrote author.books.
-    result = db.query("SELECT ALL FROM author-book WHERE name = 'Mitschang'")
+    result = conn.query(
+        "SELECT ALL FROM author-book WHERE name = 'Mitschang'")
     molecule = result[0]
     print("molecule:", molecule.atom["name"], "wrote",
           [b.atom["title"] for b in molecule.component_list("book")])
 
     # 4. Molecules are defined in the query, dynamically — the inverse
     #    nesting needs no schema change (symmetry!).
-    result = db.query("SELECT ALL FROM book-author WHERE title = 'PRIMA'")
+    result = conn.query("SELECT ALL FROM book-author WHERE title = 'PRIMA'")
     print("inverse  :", result[0].atom["title"], "by",
           [a.atom["name"] for a in result[0].component_list("author")])
 
     # 5. Tuning is transparent: an access path changes the plan, never the
-    #    result (the LDL of section 2.3).
-    before = db.query("SELECT ALL FROM book WHERE year = 1987")
+    #    result.  The LDL (section 2.3) is engine administration, so it
+    #    lives on the embedded instance, not the client connection.
+    before = conn.query("SELECT ALL FROM book WHERE year = 1987")
     db.execute_ldl("CREATE ACCESS PATH book_year ON book (year)")
-    after = db.query("SELECT ALL FROM book WHERE year = 1987")
+    after = conn.query("SELECT ALL FROM book WHERE year = 1987")
     assert len(before) == len(after) == 2
-    print("plan     :", db.explain("SELECT ALL FROM book WHERE year = 1987")
+    print("plan     :",
+          conn.explain("SELECT ALL FROM book WHERE year = 1987")
           .splitlines()[1].strip())
 
     # 6. Repetitive queries are the engineering workload: prepare once,
     #    re-execute with fresh bindings — zero parse/plan work per call,
     #    and the ? placeholder keeps the KEYS_ARE access path.
-    stmt = db.prepare("SELECT ALL FROM book-author WHERE title = ?")
+    stmt = conn.prepare("SELECT ALL FROM book-author WHERE title = ?")
     for title in ("PRIMA", "MAD Model"):
-        molecule = stmt.execute(title)[0]
+        molecule = list(stmt.execute(title))[0]
         print("prepared :", molecule.atom["title"], "by",
               [a.atom["name"] for a in molecule.component_list("author")])
     print("frontend :", int(db.io_report()["statements_parsed"]),

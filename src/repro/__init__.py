@@ -3,14 +3,21 @@ model (Härder, Meyer-Wegener, Mitschang, Sikeler — VLDB 1987).
 
 Quickstart::
 
-    from repro import Prima
+    import repro
 
-    db = Prima()
-    db.execute("CREATE ATOM_TYPE city (city_id: IDENTIFIER, "
-               "name: CHAR_VAR) KEYS_ARE (name)")
-    db.execute("INSERT city (name = 'Brighton')")
-    for molecule in db.query("SELECT ALL FROM city"):
-        print(molecule.atom)
+    with repro.connect() as conn:
+        conn.execute("CREATE ATOM_TYPE city (city_id: IDENTIFIER, "
+                     "name: CHAR_VAR) KEYS_ARE (name)")
+        conn.execute("INSERT city (name = 'Brighton')")
+        for molecule in conn.query("SELECT ALL FROM city"):
+            print(molecule.atom)
+
+:func:`connect` is the one client entry point: the same
+:class:`~repro.serve.Connection` API serves an in-process instance
+(``connect()``, ``connect(db)``), an existing session manager, or an
+asyncio daemon over a socket (``connect("prima://host:port")``).  The
+embedded :class:`Prima` façade remains available for direct,
+sessionless engine access.
 
 Package map (one subpackage per layer of Fig. 3.1):
 
@@ -38,10 +45,12 @@ from repro.db import Prima
 from repro.errors import PrimaError
 from repro.mad.molecule import Molecule
 from repro.mad.types import Surrogate
+from repro.serve.connection import Connection, connect
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "Connection",
     "Molecule",
     "PreparedStatement",
     "Prima",
@@ -49,4 +58,5 @@ __all__ = [
     "ResultSet",
     "Surrogate",
     "__version__",
+    "connect",
 ]

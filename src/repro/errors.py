@@ -204,3 +204,37 @@ class SessionLimitError(SessionError):
 class SessionStateError(SessionError):
     """A session or remote cursor was used in an illegal state
     (closed session, unknown cursor id, double close, ...)."""
+
+
+class SessionExpiredError(SessionStateError):
+    """A session, cursor, or statement handle was reclaimed by the
+    server's resource hygiene before this use: the session lease ran
+    out, or an idle-cursor / idle-statement timeout returned the
+    pipeline resources.  The client must reconnect (or re-open)."""
+
+
+class ProtocolError(SessionError):
+    """A malformed or out-of-order message on the serving wire
+    (undecodable frame, oversized length prefix, a request before
+    HELLO, ...)."""
+
+
+class ServeError(SessionError):
+    """Multiple serve-loop jobs failed concurrently.
+
+    Aggregates every failure (in deterministic job order) instead of
+    dropping all but the first; ``failures`` maps job index to the
+    exception raised.  A single failing job re-raises its exception
+    directly, so the common case keeps its type.
+    """
+
+    def __init__(self, failures: list[tuple[int, BaseException]]) -> None:
+        summary = "; ".join(
+            f"job {index}: {type(exc).__name__}: {exc}"
+            for index, exc in failures
+        )
+        super().__init__(
+            f"{len(failures)} serve-loop jobs failed ({summary})"
+        )
+        #: ``(job_index, exception)`` pairs, ordered by job index.
+        self.failures = list(failures)

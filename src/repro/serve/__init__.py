@@ -1,20 +1,35 @@
-"""The serving layer: multi-session server with remote streaming cursors.
+"""The serving layer: a daemonised multi-session server with one
+explicit wire protocol and one client API.
 
 Grows the paper's workstation–server coupling into a serving subsystem:
-a :class:`SessionManager` multiplexes many concurrent client sessions
-(each with its own transaction/lock scope and counters) onto one
-:class:`~repro.db.Prima` instance, :class:`RemoteCursor` streams lazy
-result-set pipelines across the coupling network in fetch-size batches
-(OPEN / FETCH(n) / CLOSE, double-buffered prefetch), and
-:class:`ServeLoop` interleaves whole client jobs on threads.
 
-Entry points: ``Prima.serve()`` returns a configured manager;
-:class:`~repro.coupling.PrimaServer` and
-:class:`~repro.coupling.Workstation` ride on sessions and remote cursors
-for checkout/checkin.
+* :mod:`repro.serve.protocol` — the typed request/response messages of
+  every client exchange (OPEN / FETCH(n) / CLOSE, PREPARE /
+  EXECUTE_PREPARED, EXECUTE, EXPLAIN, CHECKIN, HELLO / PING / GOODBYE)
+  plus the one codec that frames them and bills them against the
+  network cost model — identically on every transport;
+* :class:`SessionManager` / :class:`Session` — many concurrent client
+  sessions (own transaction/lock scope, counters, admission control,
+  idle/lease resource hygiene) multiplexed onto one
+  :class:`~repro.db.Prima`; :meth:`Session.handle` is the
+  transport-agnostic dispatch;
+* :class:`RemoteCursor` — lazy result-set pipelines streamed in
+  fetch-size batches with double-buffered prefetch (and optional
+  network-model-tuned batch sizes, :mod:`repro.serve.tuning`);
+* :class:`~repro.serve.daemon.PrimaDaemon` — the asyncio event-loop
+  transport: many clients over a socket from a single thread, bounded
+  send queues for backpressure;
+* :class:`ServeLoop` — the synchronous thread-per-session transport for
+  in-process job batches;
+* :func:`connect` / :class:`Connection` — the one client entry point,
+  identical over the in-process and daemon-socket transports.
 """
 
+from repro.errors import ServeError
+from repro.serve import protocol
+from repro.serve.connection import Connection, connect
 from repro.serve.cursor import RemoteCursor, ServerCursor
+from repro.serve.daemon import PrimaDaemon, serve_daemon
 from repro.serve.loop import ServeLoop
 from repro.serve.session import (
     DEFAULT_FETCH_SIZE,
@@ -24,11 +39,17 @@ from repro.serve.session import (
 )
 
 __all__ = [
+    "Connection",
     "DEFAULT_FETCH_SIZE",
+    "PrimaDaemon",
     "RemoteCursor",
     "RemotePreparedStatement",
+    "ServeError",
     "ServeLoop",
     "ServerCursor",
     "Session",
     "SessionManager",
+    "connect",
+    "protocol",
+    "serve_daemon",
 ]

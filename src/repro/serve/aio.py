@@ -1,0 +1,137 @@
+"""Asyncio framing and the async client of the serving protocol.
+
+The daemon (:mod:`repro.serve.daemon`) and the async client below speak
+the exact same typed messages and length-prefixed frames as the blocking
+:class:`~repro.serve.connection.SocketTransport` — the codec lives in
+:mod:`repro.serve.protocol`; this module only adapts it to coroutines.
+
+:class:`AsyncClient` is what lets one thread hold *many* concurrent
+client conversations: every client is a coroutine awaiting its reply
+frames, so a 64-client workload against the daemon is two event loops
+(one client-side, one daemon-side) rather than 64 threads.  Open clients
+with :func:`open_client`; addresses should be numeric (``127.0.0.1``) —
+asyncio resolves numeric hosts inline, keeping the no-helper-threads
+property measurable.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.errors import ProtocolError, SessionError
+from repro.serve import protocol
+
+__all__ = ["AsyncClient", "open_client", "read_message", "write_message"]
+
+
+async def read_message(
+        reader: asyncio.StreamReader) -> protocol.Request | \
+        protocol.Response | None:
+    """Read one framed message (None at a clean EOF on a frame
+    boundary; mid-frame EOF raises :class:`ProtocolError`)."""
+    try:
+        header = await reader.readexactly(4)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ProtocolError("connection closed mid-frame") from exc
+    try:
+        payload = await reader.readexactly(protocol.frame_length(header))
+    except asyncio.IncompleteReadError as exc:
+        raise ProtocolError("connection closed mid-frame") from exc
+    return protocol.decode(payload)
+
+
+async def write_message(writer: asyncio.StreamWriter,
+                        message: protocol.Request | protocol.Response
+                        ) -> None:
+    """Write one framed message and drain (the backpressure point)."""
+    writer.write(protocol.pack_frame(protocol.encode(message)))
+    await writer.drain()
+
+
+class AsyncClient:
+    """One asynchronous client session against the daemon.
+
+    Strictly request/response (like the blocking transport), so requests
+    of one client are serialised by an ``asyncio.Lock`` — concurrency
+    comes from many clients interleaving on the loop, not from
+    pipelining within one.  Server errors re-raise under their original
+    :mod:`repro.errors` classes.
+    """
+
+    def __init__(self, reader: asyncio.StreamReader,
+                 writer: asyncio.StreamWriter) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._lock = asyncio.Lock()
+        self._closed = False
+        #: The server-assigned session label (set by :meth:`hello`).
+        self.session: str | None = None
+        #: The server's default fetch-size knob (from the Welcome).
+        self.default_fetch_size: int | str | None = None
+
+    async def request(self, message: protocol.Request) -> protocol.Response:
+        """One exchange: send the request, await its reply."""
+        async with self._lock:
+            if self._closed:
+                raise SessionError("async client transport is closed")
+            await write_message(self._writer, message)
+            reply = await read_message(self._reader)
+        if reply is None:
+            raise ProtocolError("server closed the connection mid-exchange")
+        if isinstance(reply, protocol.WireError):
+            protocol.raise_wire_error(reply)
+        return reply
+
+    async def hello(self, client: str | None = None) -> protocol.Welcome:
+        """Open the session (admission control applies; a queued HELLO
+        resolves when a slot frees)."""
+        welcome = await self.request(protocol.Hello(client=client))
+        if not isinstance(welcome, protocol.Welcome):
+            raise ProtocolError(
+                f"expected Welcome, got {type(welcome).__name__}"
+            )
+        self.session = welcome.session
+        self.default_fetch_size = welcome.default_fetch_size
+        return welcome
+
+    async def goodbye(self, abort: bool = False) -> None:
+        """End the session cleanly (``abort=True`` rolls it back)."""
+        await self.request(protocol.Goodbye(abort=abort))
+
+    async def close(self) -> None:
+        """Drop the transport (without GOODBYE: the server aborts the
+        session on the EOF — the abrupt-disconnect path)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (OSError, ConnectionError):
+            pass
+
+    async def __aenter__(self) -> "AsyncClient":
+        return self
+
+    async def __aexit__(self, exc_type, _exc, _tb) -> None:
+        if exc_type is None and not self._closed:
+            try:
+                await self.goodbye()
+            except (SessionError, ProtocolError, OSError):
+                pass
+        await self.close()
+
+
+async def open_client(host: str, port: int,
+                      client: str | None = None) -> AsyncClient:
+    """Connect to a daemon and complete the HELLO exchange."""
+    reader, writer = await asyncio.open_connection(host, port)
+    async_client = AsyncClient(reader, writer)
+    try:
+        await async_client.hello(client)
+    except BaseException:
+        await async_client.close()
+        raise
+    return async_client

@@ -1,0 +1,384 @@
+"""One client API over every transport: :func:`connect` and
+:class:`Connection`.
+
+The serving layer grew three generations of entry points — direct
+:class:`~repro.serve.SessionManager` construction, ``Prima.serve()``,
+and the coupling façades — each exposing a slightly different client
+surface.  This module collapses them: :func:`connect` takes *anything
+serveable* (nothing, a :class:`~repro.db.Prima`, a manager, a daemon, a
+``host:port`` address) and returns a :class:`Connection` whose API is
+**identical regardless of transport**, because every method is one typed
+request of :mod:`repro.serve.protocol` pushed through a transport:
+
+* **in process** — :class:`LocalTransport` hands the message straight to
+  :meth:`repro.serve.Session.handle`;
+* **over a socket** — :class:`SocketTransport` frames the same message
+  onto a blocking socket against the asyncio daemon
+  (:mod:`repro.serve.daemon`), and re-raises server errors under their
+  original :mod:`repro.errors` classes.
+
+Both transports are billed through the same codec
+(:func:`repro.serve.protocol.wire_size`), so ``io_report`` counters are
+transport-invariant — the parity the daemon test suite asserts.
+
+Usage::
+
+    import repro
+
+    with repro.connect() as conn:                 # owns a fresh Prima
+        conn.execute("CREATE ATOM_TYPE part (part_id: IDENTIFIER, "
+                     "n: INTEGER)")
+        conn.execute("INSERT part (n = 1)")
+        for molecule in conn.query("SELECT ALL FROM part"):
+            ...
+
+    with repro.connect(db) as conn:               # serve an existing db
+        ...
+
+    with repro.connect("prima://127.0.0.1:5432") as conn:   # a daemon
+        ...
+"""
+
+from __future__ import annotations
+
+import socket as _socket
+import threading
+from typing import Any, Callable
+
+from repro.data.result import ResultSet
+from repro.errors import ProtocolError, SessionError
+from repro.mad.molecule import Molecule
+from repro.mad.types import Surrogate
+from repro.serve import protocol
+from repro.serve.cursor import RemoteCursor
+from repro.serve.session import (
+    DEFAULT_FETCH_SIZE,
+    RemotePreparedStatement,
+    Session,
+    SessionManager,
+    _wire_fetch_size,
+)
+
+
+class LocalTransport:
+    """In-process transport: requests go straight to
+    :meth:`Session.handle`; exceptions propagate natively."""
+
+    __slots__ = ("session",)
+
+    def __init__(self, session: Session) -> None:
+        self.session = session
+
+    def request(self, message: protocol.Request) -> protocol.Response:
+        return self.session.handle(message)
+
+    def close(self) -> None:
+        """Nothing to release: the session owns the resources."""
+
+
+class SocketTransport:
+    """Blocking-socket transport against the asyncio daemon.
+
+    One request frame out, one response frame in, serialised by a lock
+    (the protocol is strictly request/response per session, exactly like
+    the per-session lock server-side).  A :class:`WireError` response is
+    re-raised under its original exception class, so admission rejects,
+    truncation errors and friends keep their types across the wire.
+    """
+
+    def __init__(self, sock: _socket.socket) -> None:
+        self._sock = sock
+        self._lock = threading.Lock()
+        self._closed = False
+
+    def request(self, message: protocol.Request) -> protocol.Response:
+        with self._lock:
+            if self._closed:
+                raise SessionError("connection transport is closed")
+            protocol.send_message(self._sock, message)
+            reply = protocol.recv_message(self._sock)
+        if reply is None:
+            raise ProtocolError("server closed the connection mid-exchange")
+        if isinstance(reply, protocol.WireError):
+            protocol.raise_wire_error(reply)
+        return reply
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            try:
+                self._sock.shutdown(_socket.SHUT_RDWR)
+            except OSError:
+                pass
+            self._sock.close()
+
+
+class Connection:
+    """One client connection to a PRIMA server — any transport.
+
+    Obtained from :func:`connect` (or :meth:`PrimaDaemon.connect
+    <repro.serve.daemon.PrimaDaemon.connect>`); every method is one
+    protocol exchange:
+
+    * :meth:`cursor` / :meth:`query` — OPEN a streaming cursor / a lazy
+      :class:`ResultSet` over it;
+    * :meth:`prepare` — PREPARE a server-side statement handle;
+    * :meth:`execute` — one-shot statement (the server routes SELECT to
+      a cursor, DML to a subtransaction);
+    * :meth:`explain` — the server-rendered processing plan;
+    * :meth:`checkout` / :meth:`checkin` — the coupling protocol: a
+      checkout stream filling an object buffer via ``on_arrival``, and
+      the one-message-pair application of buffered modifications;
+    * :meth:`ping` — keepalive, refreshing the session lease.
+
+    ``close(abort=True)`` rolls the session's transaction back instead
+    of committing it; the context manager does this automatically when
+    the body raises.
+    """
+
+    def __init__(self, transport, name: str,
+                 default_fetch_size: int | str | None = None, *,
+                 session: Session | None = None,
+                 manager: SessionManager | None = None,
+                 owned_db: Any | None = None) -> None:
+        self._transport = transport
+        #: The server-assigned session label.
+        self.name = name
+        #: The server's default fetch-size knob (int, None, or "auto").
+        self.default_fetch_size = default_fetch_size
+        #: The underlying :class:`Session` — in-process transports only
+        #: (None over a socket; the session lives in the daemon).
+        self.session = session
+        #: The serving :class:`SessionManager` — in-process only.
+        self.manager = manager
+        self._owned_db = owned_db
+        self._closed = False
+
+    # -- queries -------------------------------------------------------------
+
+    def cursor(self, mql: str, fetch_size: Any = DEFAULT_FETCH_SIZE,
+               on_arrival: Callable[[Molecule], None] | None = None,
+               args: tuple = (),
+               params: dict[str, Any] | None = None) -> RemoteCursor:
+        """OPEN a remote streaming cursor over ``mql``.
+
+        ``fetch_size=None`` ships the whole set in the open response; an
+        integer streams batches of that size with one-batch prefetch;
+        ``"auto"`` lets the server tune the batch size from its network
+        model (the resolved size is :attr:`RemoteCursor.fetch_size`).
+        """
+        self._require_open()
+        reply = self._transport.request(protocol.Open(
+            mql, _wire_fetch_size(fetch_size), args, params))
+        return RemoteCursor(self._transport, reply, on_arrival=on_arrival)
+
+    def query(self, mql: str, fetch_size: Any = DEFAULT_FETCH_SIZE,
+              on_arrival: Callable[[Molecule], None] | None = None,
+              args: tuple = (),
+              params: dict[str, Any] | None = None) -> ResultSet:
+        """A lazy :class:`ResultSet` streaming over a remote cursor."""
+        cursor = self.cursor(mql, fetch_size=fetch_size,
+                             on_arrival=on_arrival, args=args, params=params)
+        return ResultSet(source=cursor, plan_text=cursor.plan_text)
+
+    def prepare(self, mql: str) -> RemotePreparedStatement:
+        """PREPARE ``mql`` server-side; the text ships exactly once."""
+        self._require_open()
+        reply = self._transport.request(protocol.Prepare(mql))
+        return RemotePreparedStatement(self._transport, reply)
+
+    def execute(self, mql: str, *args: Any, **params: Any) -> ResultSet:
+        """Execute one statement; the server routes SELECT to a
+        default-sized cursor, DML to a subtransaction."""
+        self._require_open()
+        reply = self._transport.request(
+            protocol.Execute(mql, args, params or None))
+        if isinstance(reply, protocol.OpenReply):
+            cursor = RemoteCursor(self._transport, reply)
+            return ResultSet(source=cursor, plan_text=cursor.plan_text)
+        return ResultSet(molecules=reply.molecules, affected=reply.affected,
+                         inserted=reply.inserted)
+
+    def explain(self, mql: str, *args: Any, **params: Any) -> str:
+        """The server-side processing plan of ``mql``."""
+        self._require_open()
+        return self._transport.request(
+            protocol.Explain(mql, args, params or None)).text
+
+    # -- the coupling protocol -----------------------------------------------
+
+    def checkout(self, mql: str, fetch_size: Any = DEFAULT_FETCH_SIZE,
+                 on_arrival: Callable[[Molecule], None] | None = None,
+                 args: tuple = (),
+                 params: dict[str, Any] | None = None) -> RemoteCursor:
+        """The checkout stream of the workstation coupling: a cursor
+        whose molecules populate a local object buffer as they arrive
+        (``on_arrival`` runs per molecule, before the caller pulls it).
+        ``fetch_size=None`` is the paper's set-oriented one-message-pair
+        checkout."""
+        return self.cursor(mql, fetch_size=fetch_size,
+                           on_arrival=on_arrival, args=args, params=params)
+
+    def checkin(self, modifications: dict[Surrogate, dict[str, Any]],
+                deletions: list[Surrogate] | None = None,
+                creations: list[tuple[Surrogate, dict[str, Any]]] | None
+                = None) -> dict[Surrogate, Surrogate]:
+        """Apply an object buffer in one message pair; returns the
+        temporary → real surrogate mapping of applied creations."""
+        self._require_open()
+        reply = self._transport.request(protocol.Checkin(
+            modifications, deletions or [], creations or []))
+        return reply.mapping
+
+    # -- connection management -----------------------------------------------
+
+    def ping(self) -> str:
+        """Keepalive: refresh the session lease; returns the label."""
+        self._require_open()
+        return self._transport.request(protocol.Ping()).session
+
+    def close(self, abort: bool = False) -> None:
+        """GOODBYE: end the session (``abort=True`` rolls it back),
+        close the transport, and tear down anything this connection
+        owns (a Prima created by ``connect()`` with no target)."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._transport.request(protocol.Goodbye(abort=abort))
+        except (SessionError, OSError):
+            pass   # server already gone / session already closed
+        self._transport.close()
+        if self._owned_db is not None:
+            self._owned_db.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise SessionError(f"connection {self.name!r} is closed")
+
+    def __enter__(self) -> "Connection":
+        return self
+
+    def __exit__(self, exc_type, _exc, _tb) -> None:
+        self.close(abort=exc_type is not None)
+
+    def __repr__(self) -> str:
+        transport = type(self._transport).__name__
+        state = "closed" if self._closed else "open"
+        return f"Connection({self.name!r}, {state}, {transport})"
+
+
+def _parse_address(target: str) -> tuple[str, int]:
+    """``"prima://host:port"`` (or bare ``"host:port"``) → (host, port)."""
+    address = target
+    if address.startswith("prima://"):
+        address = address[len("prima://"):]
+    host, sep, port = address.rpartition(":")
+    if not sep or not port.isdigit():
+        raise ValueError(
+            f"cannot parse server address {target!r} "
+            f"(expected 'prima://host:port')"
+        )
+    return host or "127.0.0.1", int(port)
+
+
+def _socket_connection(host: str, port: int, name: str | None,
+                       timeout: float | None) -> Connection:
+    sock = _socket.create_connection((host, port), timeout=timeout)
+    sock.settimeout(None)   # exchanges block; timeout governed connect only
+    transport = SocketTransport(sock)
+    try:
+        welcome = transport.request(protocol.Hello(client=name))
+    except BaseException:
+        transport.close()
+        raise
+    if not isinstance(welcome, protocol.Welcome):
+        transport.close()
+        raise ProtocolError(
+            f"expected Welcome, got {type(welcome).__name__}"
+        )
+    return Connection(transport, welcome.session,
+                      welcome.default_fetch_size)
+
+
+def _session_connection(session: Session, *,
+                        manager: SessionManager,
+                        owned_db: Any | None = None) -> Connection:
+    return Connection(LocalTransport(session), session.name,
+                      manager.default_fetch_size, session=session,
+                      manager=manager, owned_db=owned_db)
+
+
+def connect(target: Any = None, *, name: str | None = None,
+            timeout: float | None = None, **options: Any) -> Connection:
+    """Connect to a PRIMA server — the one entry point of the client API.
+
+    ``target`` selects the transport:
+
+    * ``None`` — create a **fresh in-memory Prima** and serve it; the
+      connection owns the instance and closes it on ``close()``.
+    * a :class:`~repro.db.Prima` — serve an existing instance in
+      process.  With no ``options``, an already-attached
+      :class:`SessionManager` is reused (so several ``connect(db)``
+      calls share one admission domain); otherwise a new manager is
+      created with ``options`` as its knobs (``max_sessions``,
+      ``admission``, ``fetch_size``, ``idle_cursor_timeout``,
+      ``session_lease``, ... — see :class:`SessionManager`).
+    * a :class:`SessionManager` — open one more session on it.
+    * a :class:`~repro.serve.daemon.PrimaDaemon` — a socket connection
+      to a locally running daemon.
+    * ``"prima://host:port"`` (or ``(host, port)``) — a socket
+      connection to a remote daemon; ``timeout`` bounds connection
+      establishment, and admission queueing blocks in the HELLO
+      exchange.
+
+    ``name`` labels the session (``io_report`` keys, lock diagnostics).
+
+    This façade supersedes direct ``SessionManager(...)`` construction
+    and ``Prima.serve(...)`` as the client entry point — both remain as
+    thin shims for the server-side plumbing they still provide.
+    """
+    from repro.db import Prima
+
+    if target is None:
+        db = Prima()
+        manager = SessionManager(db, **options)
+        return _session_connection(manager.open(name=name, timeout=timeout),
+                                   manager=manager, owned_db=db)
+    if isinstance(target, Prima):
+        managers = getattr(target, "_session_managers", [])
+        if not options and managers:
+            manager = managers[-1]
+        else:
+            manager = SessionManager(target, **options)
+        return _session_connection(manager.open(name=name, timeout=timeout),
+                                   manager=manager)
+    if isinstance(target, SessionManager):
+        if options:
+            raise ValueError(
+                "manager knobs cannot be changed on an existing "
+                f"SessionManager: {sorted(options)}"
+            )
+        return _session_connection(target.open(name=name, timeout=timeout),
+                                   manager=target)
+    if isinstance(target, tuple) and len(target) == 2:
+        host, port = target
+        return _socket_connection(host, int(port), name, timeout)
+    if isinstance(target, str):
+        host, port = _parse_address(target)
+        return _socket_connection(host, port, name, timeout)
+    address = getattr(target, "address", None)   # PrimaDaemon duck type
+    if address is not None and not options:
+        host, port = address
+        return _socket_connection(host, port, name, timeout)
+    raise TypeError(
+        f"cannot connect to {type(target).__name__!r} — expected None, "
+        f"Prima, SessionManager, PrimaDaemon, 'prima://host:port', or "
+        f"(host, port)"
+    )

@@ -1,28 +1,22 @@
-"""Remote streaming cursors: the serving layer's wire protocol.
+"""Remote streaming cursors over the serving wire protocol.
 
 A served SELECT is not shipped as one monolithic molecule set; it is an
-**OPEN / FETCH(n) / CLOSE** conversation over the coupling network's cost
-model.  The server side (:class:`ServerCursor`) keeps the lazy
-:class:`~repro.data.result.ResultSet` pipeline open and delivers it in
-``fetch_size`` batches; the client side (:class:`RemoteCursor`) honours
-the operator cursor protocol (``next()``/``close()``/``rewind()``), so a
-plain ResultSet wraps it and the whole client-side cursor contract —
-lazy iteration, fetch caching, close-while-pending truncation — holds
-unchanged across the wire.
+**OPEN / FETCH(n) / CLOSE** conversation in the typed messages of
+:mod:`repro.serve.protocol`.  The server side (:class:`ServerCursor`)
+keeps the lazy :class:`~repro.data.result.ResultSet` pipeline open and
+delivers it in ``fetch_size`` batches; the client side
+(:class:`RemoteCursor`) honours the operator cursor protocol
+(``next()``/``close()``/``rewind()``), so a plain ResultSet wraps it and
+the whole client-side cursor contract — lazy iteration, fetch caching,
+close-while-pending truncation — holds unchanged across the wire.
 
-Message inventory (every message is billed against the network model):
-
-=========  ===============================================================
-OPEN       request carries the MQL text; the response carries the
-           *first batch* (open-with-fetch), so a whole-set cursor
-           (``fetch_size=None``) costs exactly one message pair — the
-           set-oriented MAD interface of benchmark A9
-FETCH(n)   small request; response carries up to ``n`` molecules and an
-           exhausted flag (a short batch implies exhaustion)
-REOPEN     restart the server pipeline at the first molecule (pipeline
-           breakers replay their cached run); small request + ack
-CLOSE      release the server pipeline for good; small request + ack
-=========  ===============================================================
+The client half is **transport-agnostic**: it holds nothing but a
+transport exposing ``request(message) -> reply`` and speaks protocol
+dataclasses through it.  In process that transport calls
+:meth:`repro.serve.Session.handle` directly; against the daemon it
+frames the same messages onto a socket — the cursor cannot tell the
+difference (and is billed identically, because accounting lives in the
+protocol codec).
 
 **Double buffering.**  With a bounded ``fetch_size`` the client cursor
 keeps at most two batches in flight: the batch the caller is consuming
@@ -40,28 +34,32 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any, Callable
 
-from repro.access.encoding import encoded_size
 from repro.errors import SessionStateError
 from repro.mad.molecule import Molecule
+from repro.serve import protocol
+from repro.serve.protocol import (
+    ACK_BYTES,
+    BATCH_HEADER_BYTES,
+    CONTROL_REQUEST_BYTES,
+    FETCH_REQUEST_BYTES,
+    STATEMENT_HANDLE_BYTES,
+    batch_bytes,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.data.result import ResultSet
     from repro.serve.session import Session
 
-#: Fixed message sizes of the cursor protocol (bytes).
-FETCH_REQUEST_BYTES = 24
-CONTROL_REQUEST_BYTES = 16
-ACK_BYTES = 8
-BATCH_HEADER_BYTES = 8
-
-
-def batch_bytes(batch: list[Molecule]) -> int:
-    """Wire size of one response batch: encoded atoms plus a header."""
-    total = BATCH_HEADER_BYTES
-    for molecule in batch:
-        for _label, atom in molecule.atoms():
-            total += encoded_size(atom)
-    return total
+__all__ = [
+    "ACK_BYTES",
+    "BATCH_HEADER_BYTES",
+    "CONTROL_REQUEST_BYTES",
+    "FETCH_REQUEST_BYTES",
+    "STATEMENT_HANDLE_BYTES",
+    "RemoteCursor",
+    "ServerCursor",
+    "batch_bytes",
+]
 
 
 class ServerCursor:
@@ -71,7 +69,10 @@ class ServerCursor:
     batches from it.  A close-hook on the pipeline root records the
     actual release (``serve_pipelines_released``), so tests and the
     serving benchmark can verify that a client CLOSE — truncating or
-    not — really tore the operator tree down.
+    not — really tore the operator tree down.  ``last_used`` feeds the
+    idle-cursor reaper: a cursor nobody fetches from within the
+    manager's ``idle_cursor_timeout`` is closed server-side and its
+    pipeline resources returned.
     """
 
     def __init__(self, session: "Session", cursor_id: int,
@@ -85,6 +86,9 @@ class ServerCursor:
         #: Molecules shipped to the client so far.
         self.delivered = 0
         self.released = False
+        #: Last client interaction (manager clock) — the idle reaper's
+        #: decision input.
+        self.last_used = session.manager._now()  # noqa: SLF001
         result.on_close(self._on_pipeline_close)
 
     def _on_pipeline_close(self, _operator) -> None:
@@ -93,9 +97,13 @@ class ServerCursor:
         self.session.manager.db.access.counters.bump(
             "serve_pipelines_released")
 
+    def touch(self) -> None:
+        self.last_used = self.session.manager._now()  # noqa: SLF001
+
     def fetch(self, count: int) -> tuple[list[Molecule], bool]:
         """Deliver the next batch (at most ``count`` molecules) and
         whether the set is exhausted with it."""
+        self.touch()
         batch = self.result.fetch_many(count)
         self.delivered += len(batch)
         exhausted = self.result.exhausted or len(batch) < count
@@ -103,6 +111,7 @@ class ServerCursor:
 
     def fetch_all(self) -> list[Molecule]:
         """Drain the whole set (the ``fetch_size=None`` open)."""
+        self.touch()
         batch: list[Molecule] = []
         while True:
             chunk = self.result.fetch_many(256)
@@ -119,6 +128,7 @@ class ServerCursor:
         was closed while molecules were pending — the truncation half of
         the ResultSet contract, surfaced across the wire.
         """
+        self.touch()
         self.result.reopen()
         self.delivered = 0
 
@@ -128,39 +138,47 @@ class ServerCursor:
 
 
 class RemoteCursor:
-    """The client half: a streaming cursor over the OPEN/FETCH/CLOSE wire.
+    """The client half: a streaming cursor speaking protocol messages.
 
     Honours the operator cursor protocol, so ``ResultSet(source=cursor)``
     turns it into an ordinary lazy result set.  ``on_arrival`` (if given)
     runs for every molecule *as its batch arrives* — before the caller
     pulls it — which is how a streaming checkout populates the
     workstation's object buffer incrementally.
+
+    Constructed from the :class:`~repro.serve.protocol.OpenReply` of an
+    OPEN or EXECUTE_PREPARED exchange; ``fetch_size`` is the *resolved*
+    batch size the server answered with (its default knob, or the
+    auto-tuned value of an ``"auto"`` open).
     """
 
-    def __init__(self, session: "Session", cursor_id: int,
-                 fetch_size: int | None,
-                 first_batch: list[Molecule], exhausted: bool,
-                 plan_text: str = "",
+    def __init__(self, transport, reply: protocol.OpenReply,
                  on_arrival: Callable[[Molecule], None] | None = None) -> None:
-        self._session = session
-        self.cursor_id = cursor_id
-        self._fetch_size = fetch_size
+        self._transport = transport
+        self.cursor_id = reply.cursor_id
+        self._fetch_size = reply.fetch_size
         self._on_arrival = on_arrival
         self._buffer: list[Molecule] = []
         self._pos = 0
         self._prefetched: list[Molecule] | None = None
-        self._server_exhausted = exhausted
+        self._server_exhausted = reply.exhausted
         self._closed = False
         self._close_hooks: list[Callable[[Any], None]] = []
-        self.plan_text = plan_text
+        self.plan_text = reply.plan_text
         #: Molecules delivered to the caller so far.
         self.rows_delivered = 0
         #: High-water mark of undelivered molecules held client-side —
         #: bounded by 2 * fetch_size (double buffering).
         self.max_in_flight = 0
-        self._arrive(first_batch)
-        self._buffer = first_batch
+        self._arrive(reply.batch)
+        self._buffer = reply.batch
         self._note_in_flight()
+
+    @property
+    def fetch_size(self) -> int | None:
+        """The resolved batch size this cursor fetches with (None:
+        whole set shipped at open)."""
+        return self._fetch_size
 
     # -- bookkeeping ---------------------------------------------------------
 
@@ -182,11 +200,11 @@ class RemoteCursor:
 
     def _fetch_batch(self) -> list[Molecule]:
         assert self._fetch_size is not None
-        batch, exhausted = self._session._fetch_message(  # noqa: SLF001
-            self.cursor_id, self._fetch_size)
-        self._server_exhausted = exhausted
-        self._arrive(batch)
-        return batch
+        reply = self._transport.request(
+            protocol.Fetch(self.cursor_id, self._fetch_size))
+        self._server_exhausted = reply.exhausted
+        self._arrive(reply.batch)
+        return reply.batch
 
     # -- the operator cursor protocol ---------------------------------------
 
@@ -226,7 +244,7 @@ class RemoteCursor:
         self._buffer = []
         self._prefetched = None
         self._pos = 0
-        self._session._close_message(self.cursor_id)  # noqa: SLF001
+        self._transport.request(protocol.CloseCursor(self.cursor_id))
         hooks, self._close_hooks = self._close_hooks, []
         for hook in hooks:
             hook(self)
@@ -242,11 +260,11 @@ class RemoteCursor:
             raise SessionStateError(
                 f"remote cursor #{self.cursor_id} is closed"
             )
-        batch, exhausted = self._session._reopen_message(  # noqa: SLF001
-            self.cursor_id, self._fetch_size)
-        self._server_exhausted = exhausted
-        self._arrive(batch)
-        self._buffer = batch
+        reply = self._transport.request(
+            protocol.Reopen(self.cursor_id, self._fetch_size))
+        self._server_exhausted = reply.exhausted
+        self._arrive(reply.batch)
+        self._buffer = reply.batch
         self._prefetched = None
         self._pos = 0
         self._note_in_flight()

@@ -1,0 +1,336 @@
+"""The asyncio daemon: many concurrent clients, one event-loop thread.
+
+The thread-per-session :class:`~repro.serve.loop.ServeLoop` burns one OS
+thread per client; this daemon multiplexes every connection onto a
+single event loop instead, so the server's thread count stays **O(1)**
+no matter how many sessions are open (the property
+``benchmarks/bench_b7_daemon.py`` gates on).  Per connection:
+
+* a **reader coroutine** decodes length-prefixed frames into the typed
+  requests of :mod:`repro.serve.protocol` and dispatches them inline to
+  :meth:`repro.serve.Session.handle` — the same transport-agnostic entry
+  the in-process transport calls, so billing and semantics are identical
+  by construction;
+* a **writer coroutine** drains a *bounded* ``asyncio.Queue`` of
+  responses onto the socket.  The bound is the backpressure point: a
+  client that stops reading fills its TCP window, the writer blocks in
+  ``drain()``, the queue fills, and the reader stops accepting requests
+  for that session — one slow client never grows server memory.
+
+**Admission.**  The first frame must be HELLO.  The daemon admits via
+the non-blocking :meth:`SessionManager.open_nowait` — with
+``admission='queue'`` a full server *parks the coroutine* (cooperative
+retry) instead of blocking a thread, honouring ``queue_timeout``; with
+``'reject'`` the client gets :class:`~repro.errors.SessionLimitError`
+as a :class:`~repro.serve.protocol.WireError` frame.
+
+**Failure handling.**  A server-side :class:`~repro.errors.PrimaError`
+becomes a WireError frame (the client re-raises it by class); an abrupt
+EOF — client crashed mid-fetch — **aborts** the session, which closes
+its cursors (truncating pending pipelines, running close-hooks, and
+releasing pinned snapshots) and returns the admission slot.
+
+**Hygiene.**  A periodic task calls :meth:`SessionManager.reap`, so
+idle-cursor / idle-statement timeouts and session leases are enforced
+without any client cooperation.
+
+The daemon serialises molecules with pickle; like any pickle endpoint it
+must only listen on trusted interfaces (default: loopback).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import socket
+import threading
+import time
+from typing import TYPE_CHECKING
+
+from repro.errors import ProtocolError, SessionError, SessionLimitError
+from repro.serve import protocol
+from repro.serve.aio import read_message, write_message
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.serve.connection import Connection
+    from repro.serve.session import Session, SessionManager
+
+#: Sentinel closing a connection's send queue.
+_CLOSE = object()
+
+
+class PrimaDaemon:
+    """Serve a :class:`SessionManager` over a socket, asynchronously.
+
+    One background thread runs the event loop; everything else — every
+    client, the reaper, the acceptor — is a coroutine on it.  The
+    listening socket is bound synchronously in ``__init__`` (so
+    :attr:`address` is known before :meth:`start`, and the loop never
+    needs resolver helper threads).
+
+    ``send_queue`` bounds the per-connection response queue (the
+    backpressure knob); ``reap_interval`` is the hygiene sweep period
+    (defaults on when the manager has any timeout knob set);
+    ``admission_poll`` is the cooperative retry period of queued
+    admission.
+    """
+
+    def __init__(self, manager: "SessionManager", host: str = "127.0.0.1",
+                 port: int = 0, *, backlog: int = 128, send_queue: int = 8,
+                 reap_interval: float | None = None,
+                 admission_poll: float = 0.005) -> None:
+        if send_queue < 1:
+            raise ValueError("send_queue must be >= 1")
+        self.manager = manager
+        self.send_queue = send_queue
+        self.admission_poll = admission_poll
+        if reap_interval is None and (
+                manager.idle_cursor_timeout is not None
+                or manager.idle_statement_timeout is not None
+                or manager.session_lease is not None):
+            timeouts = [t for t in (manager.idle_cursor_timeout,
+                                    manager.idle_statement_timeout,
+                                    manager.session_lease)
+                        if t is not None]
+            reap_interval = max(min(timeouts) / 4, 0.01)
+        self.reap_interval = reap_interval
+        self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._sock.bind((host, port))
+        self._sock.listen(backlog)
+        self._sock.setblocking(False)
+        self._thread: threading.Thread | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop: asyncio.Event | None = None
+        self._started = threading.Event()
+        self._startup_error: BaseException | None = None
+        #: Live connection tasks (cancelled on stop).
+        self._connections: set[asyncio.Task] = set()
+        #: Served-connection count (diagnostics).
+        self.connections_served = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound (host, port) — valid immediately after
+        construction."""
+        host, port = self._sock.getsockname()[:2]
+        return host, port
+
+    def start(self) -> "PrimaDaemon":
+        """Launch the event-loop thread and begin accepting."""
+        if self._thread is not None:
+            raise SessionError("daemon already started")
+        if self._started.is_set():
+            raise SessionError(
+                "daemon cannot be restarted (its socket is closed); "
+                "construct a new PrimaDaemon"
+            )
+        self._thread = threading.Thread(target=self._run,
+                                        name="prima-daemon", daemon=True)
+        self._thread.start()
+        self._started.wait()
+        if self._startup_error is not None:
+            raise self._startup_error
+        return self
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as exc:  # pragma: no cover - startup races
+            self._startup_error = exc
+            self._started.set()
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        server = await asyncio.start_server(self._serve_connection,
+                                            sock=self._sock)
+        reaper = (asyncio.ensure_future(self._reap_loop())
+                  if self.reap_interval is not None else None)
+        self._started.set()
+        try:
+            await self._stop.wait()
+        finally:
+            server.close()
+            await server.wait_closed()
+            if reaper is not None:
+                reaper.cancel()
+            for task in list(self._connections):
+                task.cancel()
+            if self._connections:
+                await asyncio.gather(*self._connections,
+                                     return_exceptions=True)
+
+    def stop(self) -> None:
+        """Stop accepting, cancel live connections (their sessions are
+        aborted, releasing cursors and slots), and join the loop
+        thread."""
+        if self._thread is None or self._loop is None:
+            return
+        loop, stop = self._loop, self._stop
+        try:
+            loop.call_soon_threadsafe(stop.set)
+        except RuntimeError:
+            pass   # loop already ended (startup failure)
+        self._thread.join()
+        self._thread = None
+
+    def connect(self, name: str | None = None,
+                timeout: float | None = None) -> "Connection":
+        """A blocking-socket :class:`Connection` to this daemon."""
+        from repro.serve.connection import connect
+        return connect(self.address, name=name, timeout=timeout)
+
+    def __enter__(self) -> "PrimaDaemon":
+        return self.start()
+
+    def __exit__(self, _exc_type, _exc, _tb) -> None:
+        self.stop()
+
+    def __repr__(self) -> str:
+        host, port = self.address
+        state = "running" if self._thread is not None else "stopped"
+        return f"PrimaDaemon({host}:{port}, {state})"
+
+    # -- the per-connection protocol machine ---------------------------------
+
+    async def _serve_connection(self, reader: asyncio.StreamReader,
+                                writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        self._connections.add(task)
+        self.connections_served += 1
+        session: "Session | None" = None
+        queue: asyncio.Queue = asyncio.Queue(maxsize=self.send_queue)
+        sender = asyncio.ensure_future(self._send_loop(queue, writer))
+        try:
+            session = await self._handshake(reader, queue)
+            if session is not None:
+                await self._request_loop(session, reader, queue)
+        except (ProtocolError, ConnectionError, asyncio.CancelledError):
+            pass   # torn-down client; the finally block reclaims
+        finally:
+            # Whatever ended the conversation — GOODBYE (session already
+            # closed), abrupt EOF, a protocol violation, daemon stop —
+            # an open session is *aborted*: cursors close (pending
+            # pipelines truncate, snapshots unpin) and the admission
+            # slot returns.  The cleanup must tolerate re-delivered
+            # cancellation (daemon stop cancels this very task), so the
+            # task ends *finished*, not *cancelled* — a cancelled stream
+            # task trips asyncio's connection_made error logger.
+            if session is not None and not session.closed:
+                session.abort()
+            try:
+                queue.put_nowait(_CLOSE)
+            except asyncio.QueueFull:
+                sender.cancel()
+            with contextlib.suppress(asyncio.CancelledError, Exception):
+                await sender
+            writer.close()
+            with contextlib.suppress(asyncio.CancelledError, OSError,
+                                     ConnectionError):
+                await writer.wait_closed()
+            self._connections.discard(task)
+
+    async def _handshake(self, reader: asyncio.StreamReader,
+                         queue: asyncio.Queue) -> "Session | None":
+        """First frame must be HELLO; admit (possibly queueing
+        cooperatively) and answer with the Welcome."""
+        first = await read_message(reader)
+        if first is None:
+            return None
+        if not isinstance(first, protocol.Hello):
+            await queue.put(protocol.wire_error(ProtocolError(
+                f"expected Hello, got {type(first).__name__}")))
+            return None
+        try:
+            session = await self._admit(first.client)
+        except SessionLimitError as exc:
+            await queue.put(protocol.wire_error(exc))
+            return None
+        await queue.put(protocol.Welcome(
+            session.name, self.manager.default_fetch_size))
+        return session
+
+    async def _admit(self, client: str | None) -> "Session":
+        """Admission without blocking the loop: non-blocking open plus
+        cooperative retry under the ``'queue'`` policy."""
+        manager = self.manager
+        try:
+            return manager.open_nowait(client)
+        except SessionLimitError:
+            if manager.admission != "queue":
+                raise
+        manager.db.access.counters.bump("serve_sessions_queued")
+        deadline = (time.monotonic() + manager.queue_timeout
+                    if manager.queue_timeout is not None else None)
+        while True:
+            await asyncio.sleep(self.admission_poll)
+            try:
+                return manager.open_nowait(client)
+            except SessionLimitError:
+                if deadline is not None and time.monotonic() >= deadline:
+                    raise SessionLimitError(
+                        f"queued session timed out after "
+                        f"{manager.queue_timeout}s (max_sessions="
+                        f"{manager.max_sessions})"
+                    ) from None
+
+    async def _request_loop(self, session: "Session",
+                            reader: asyncio.StreamReader,
+                            queue: asyncio.Queue) -> None:
+        """Decode → dispatch → enqueue, until GOODBYE or EOF.
+
+        Dispatch runs inline on the loop thread: the engine work of one
+        message is CPU-bound under the GIL anyway, so handing it to a
+        thread pool would re-grow the thread count this daemon exists to
+        flatten.  Concurrency happens *between* messages of different
+        connections, which is exactly the granularity the per-session
+        lock serialises anyway."""
+        while True:
+            request = await read_message(reader)
+            if request is None:
+                # Abrupt EOF (no GOODBYE): the finally block aborts.
+                return
+            try:
+                response = session.handle(request)
+            except Exception as exc:  # noqa: BLE001 - shipped to client
+                response = protocol.wire_error(exc)
+            await queue.put(response)
+            if isinstance(request, protocol.Goodbye) and session.closed:
+                return
+
+    async def _send_loop(self, queue: asyncio.Queue,
+                         writer: asyncio.StreamWriter) -> None:
+        """Drain the bounded response queue onto the socket.
+
+        After a send failure (client gone) the loop keeps *discarding*
+        until the close sentinel: the reader coroutine must never block
+        on a full queue whose consumer died — it has to reach its own
+        EOF and reclaim the session."""
+        failed = False
+        while True:
+            message = await queue.get()
+            if message is _CLOSE:
+                return
+            if failed:
+                continue
+            try:
+                await write_message(writer, message)
+            except (ConnectionError, OSError):
+                failed = True
+
+    # -- hygiene -------------------------------------------------------------
+
+    async def _reap_loop(self) -> None:
+        """Periodic :meth:`SessionManager.reap` sweep."""
+        while True:
+            await asyncio.sleep(self.reap_interval)
+            self.manager.reap()
+
+
+def serve_daemon(manager: "SessionManager", host: str = "127.0.0.1",
+                 port: int = 0, **options) -> PrimaDaemon:
+    """Construct and start a :class:`PrimaDaemon` in one call."""
+    return PrimaDaemon(manager, host, port, **options).start()

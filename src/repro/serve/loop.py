@@ -18,6 +18,8 @@ from __future__ import annotations
 import threading
 from typing import TYPE_CHECKING, Any, Callable, Sequence
 
+from repro.errors import ServeError
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.serve.session import Session, SessionManager
 
@@ -42,15 +44,19 @@ class ServeLoop:
         ``admission='queue'`` a loop wider than ``max_sessions`` simply
         waits for slots; with ``'reject'`` it surfaces
         :class:`~repro.errors.SessionLimitError` like any other job
-        failure.  The first failure is re-raised after all threads have
-        finished (their sessions are always closed).
+        failure.  Failures are collected from *every* thread (their
+        sessions are always closed): one failing job re-raises its
+        exception directly, several raise a
+        :class:`~repro.errors.ServeError` aggregating all of them in
+        deterministic job order — concurrent failures are no longer
+        silently dropped behind the first.
         """
         if names is not None and len(names) != len(jobs):
             raise ValueError("names must match jobs one-to-one")
         if not jobs:
             return []
         results: list[Any] = [None] * len(jobs)
-        failures: list[BaseException] = []
+        failures: list[tuple[int, BaseException]] = []
         thread_count = len(jobs) if self.max_threads is None \
             else min(self.max_threads, len(jobs))
 
@@ -62,7 +68,7 @@ class ServeLoop:
                     session = self.manager.open(name=label)
                     results[index] = jobs[index](session)
                 except BaseException as exc:  # noqa: BLE001 - reraised below
-                    failures.append(exc)
+                    failures.append((index, exc))
                 finally:
                     if session is not None and not session.closed:
                         session.close()
@@ -78,5 +84,8 @@ class ServeLoop:
         for thread in threads:
             thread.join()
         if failures:
-            raise failures[0]
+            failures.sort(key=lambda pair: pair[0])
+            if len(failures) == 1:
+                raise failures[0][1]
+            raise ServeError(failures)
         return results

@@ -21,22 +21,43 @@ Each :class:`Session` owns
 * a set of **server cursors** (:mod:`repro.serve.cursor`) streaming lazy
   ResultSet pipelines to the client in fetch-size batches;
 * a set of **server-side prepared statements**: PREPARE ships the MQL
-  text once and returns a handle (:class:`RemotePreparedStatement`
-  client-side); EXECUTE_PREPARED re-executes it with fresh placeholder
-  bindings — the request carries only the handle id + values, and the
-  server binds its cached, catalog-versioned plan (the shared
-  :class:`~repro.data.prepared.PlanCache` also sits under plain OPEN
-  messages, so even unprepared repeated text skips parse+plan);
+  text once and returns a handle; EXECUTE_PREPARED re-executes it with
+  fresh placeholder bindings — the request carries only the handle id +
+  values, and the server binds its cached, catalog-versioned plan;
 * **per-session counters**, merged into :meth:`SessionManager.io_report`
   (and mirrored as ``serve_*`` aggregates into the shared access-system
-  counters, so ``Prima.io_report()`` shows serving activity alongside
-  the operator counters).
+  counters).
+
+**The protocol core.**  Every client exchange is one typed request in,
+one typed response out (:mod:`repro.serve.protocol`), dispatched through
+:meth:`Session.handle` — the single transport-agnostic entry point.  The
+in-process transport (:class:`~repro.serve.connection.LocalTransport`,
+and this class's own convenience methods) calls ``handle`` directly; the
+asyncio daemon (:mod:`repro.serve.daemon`) decodes the same dataclasses
+off a socket and calls the same method.  Message/byte accounting happens
+once, in ``handle``, via :func:`repro.serve.protocol.wire_size` — so
+every transport is billed identically against the network cost model.
+
+**Resource hygiene at scale.**  Three knobs reclaim what abandoned
+clients leave behind (all off by default; the daemon runs a periodic
+reaper, in-process callers invoke :meth:`SessionManager.reap`):
+
+* ``idle_cursor_timeout`` — a cursor nobody FETCHes from is closed,
+  its pipeline (and pinned snapshot) released; later use raises
+  :class:`~repro.errors.SessionExpiredError`;
+* ``idle_statement_timeout`` — a statement handle nobody executes is
+  deallocated;
+* ``session_lease`` — a session with no message traffic at all is
+  aborted and its admission slot returned; PING refreshes the lease
+  without doing work (keepalive).
 
 **Admission control.**  ``max_sessions`` bounds concurrency; the
 ``admission`` knob decides what happens at the limit: ``"reject"``
 raises :class:`~repro.errors.SessionLimitError` immediately, ``"queue"``
 blocks the opener until a slot frees (optionally bounded by
-``queue_timeout`` seconds).
+``queue_timeout`` seconds).  The daemon admits via the non-blocking
+:meth:`SessionManager.open_nowait` and retries cooperatively, so a full
+server never stalls its event loop.
 
 **Threading model.**  Messages of one session are serialised by a
 per-session lock; the engine-touching part of every message runs under
@@ -46,22 +67,20 @@ messages (OPEN / FETCH / REOPEN / CLOSE / PREPARE / EXPLAIN) take the
 concurrently, each against its pinned snapshot epoch — while writes
 (DML subtransactions, checkin application) take the **exclusive writer
 side**, which also covers the copy-on-write preservation of pre-images
-for the pinned snapshots.  The old session-wide ``engine_lock`` (one
-RLock over *everything*, reads included) is gone; what remains of it
-is exactly this narrow writer/epoch-publish mutex.  The network model
-and stats are thread-safe (see :mod:`repro.coupling.network`).
+for the pinned snapshots.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from typing import TYPE_CHECKING, Any, Callable
 
-from repro.access.encoding import encoded_size
 from repro.data.prepared import PreparedStatement
 from repro.data.result import ResultSet
 from repro.errors import (
     CouplingError,
+    SessionExpiredError,
     SessionLimitError,
     SessionStateError,
 )
@@ -72,14 +91,10 @@ from repro.mql.ast import (
     InsertStatement,
     ModifyStatement,
 )
-from repro.serve.cursor import (
-    ACK_BYTES,
-    CONTROL_REQUEST_BYTES,
-    FETCH_REQUEST_BYTES,
-    RemoteCursor,
-    ServerCursor,
-    batch_bytes,
-)
+from repro.serve import protocol
+from repro.serve.cursor import RemoteCursor, ServerCursor
+from repro.serve.protocol import batch_bytes, wire_size
+from repro.serve.tuning import AUTO_PROBE_SIZE, tune_fetch_size
 from repro.txn import Transaction, TransactionManager
 from repro.util.rwlock import ReadWriteLock
 from repro.util.stats import Counters
@@ -90,12 +105,17 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 #: Sentinel: "use the manager's default fetch size" — callers that
 #: want to defer the batching decision to the server's knob pass
-#: this instead of an explicit size/None.
+#: this instead of an explicit size/None.  On the wire it travels as
+#: the string ``"default"`` (sentinel identity does not survive
+#: serialisation).
 DEFAULT_FETCH_SIZE = object()
 
-#: Wire size of one server-side statement handle (id + parameter
-#: signature) in a PREPARE response.
-STATEMENT_HANDLE_BYTES = 16
+
+def _wire_fetch_size(fetch_size: Any) -> int | str | None:
+    """Map the client-side sentinel to its wire representation."""
+    if fetch_size is DEFAULT_FETCH_SIZE:
+        return protocol.DEFAULT_FETCH_SIZE_WIRE
+    return fetch_size
 
 
 def _lock_resource(atom_type: str) -> tuple[str, str]:
@@ -104,17 +124,42 @@ def _lock_resource(atom_type: str) -> tuple[str, str]:
     return ("atom_type", atom_type)
 
 
-def _bindings_bytes(args: tuple, params: dict[str, Any] | None) -> int:
-    """Wire size of one execution's parameter values (EXECUTE_PREPARED
-    requests ship bindings, never statement text)."""
-    payload = {f"p{i}": value for i, value in enumerate(args)}
-    if params:
-        payload.update(params)
-    return encoded_size(payload) if payload else 0
+class _StatementHolder:
+    """One server-side prepared-statement handle with idle tracking."""
+
+    __slots__ = ("prepared", "last_used")
+
+    def __init__(self, prepared: PreparedStatement, now: float) -> None:
+        self.prepared = prepared
+        self.last_used = now
+
+
+class _LocalTransport:
+    """The in-process transport: protocol messages straight into
+    :meth:`Session.handle`.  Exceptions propagate natively (no
+    :class:`~repro.serve.protocol.WireError` wrapping — there is no
+    wire)."""
+
+    __slots__ = ("session",)
+
+    def __init__(self, session: "Session") -> None:
+        self.session = session
+
+    def request(self, message: protocol.Request) -> protocol.Response:
+        return self.session.handle(message)
+
+    def close(self) -> None:
+        """The transport owns no resources; the session outlives it."""
 
 
 class Session:
-    """One client session: transaction scope, cursors, counters."""
+    """One client session: transaction scope, cursors, counters.
+
+    The server-facing core is :meth:`handle`; the remaining public
+    methods (``open_cursor``/``query``/``prepare``/``execute``/
+    ``explain``/``checkin``) are the in-process convenience client,
+    speaking the same protocol through a local transport.
+    """
 
     def __init__(self, manager: "SessionManager", name: str) -> None:
         self.manager = manager
@@ -122,23 +167,42 @@ class Session:
         self.txn: Transaction = manager.txns.begin()
         self.counters = Counters()
         self.closed = False
+        self.expired = False
+        #: Manager-clock time of the last message (the lease input).
+        self.last_activity = manager._now()
         self._cursors: dict[int, ServerCursor] = {}
         self._next_cursor = 0
+        #: Cursor ids reclaimed by the idle reaper (tombstones for
+        #: error messages that explain *why* the cursor is gone).
+        self._reaped_cursors: set[int] = set()
         #: Server-side prepared-statement handles of this session.
-        self._statements: dict[int, PreparedStatement] = {}
+        self._statements: dict[int, _StatementHolder] = {}
         self._next_statement = 0
+        self._reaped_statements: set[int] = set()
         #: Serialises this session's messages (the per-session half of
         #: the serving thread model).
         self._lock = threading.RLock()
+        self._transport = _LocalTransport(self)
 
     # -- internals -----------------------------------------------------------
 
     def _require_open(self) -> None:
         if self.closed:
+            if self.expired:
+                raise SessionExpiredError(
+                    f"session {self.name!r} lease expired after "
+                    f"{self.manager.session_lease}s without traffic — "
+                    f"its admission slot was reclaimed"
+                )
             raise SessionStateError(f"session {self.name!r} is closed")
 
-    def _bill(self, nbytes: int) -> None:
-        self.manager.stats.account(self.manager.model, nbytes)
+    def _bill(self, message: protocol.Request | protocol.Response) -> None:
+        """Account one protocol message against the network cost model.
+
+        Sizing lives in the codec (:func:`~repro.serve.protocol.wire_size`),
+        so the in-process transport and the daemon socket bill the exact
+        same bytes for the same exchange."""
+        self.manager.stats.account(self.manager.model, wire_size(message))
 
     def _count(self, name: str, amount: float = 1) -> None:
         """Bump a per-session counter and its ``serve_*`` aggregate."""
@@ -153,24 +217,79 @@ class Session:
         try:
             return self._cursors[cursor_id]
         except KeyError:
+            if cursor_id in self._reaped_cursors:
+                raise SessionExpiredError(
+                    f"cursor #{cursor_id} of session {self.name!r} was "
+                    f"reclaimed after {self.manager.idle_cursor_timeout}s "
+                    f"idle — its pipeline resources were returned"
+                ) from None
             raise SessionStateError(
                 f"session {self.name!r} has no cursor #{cursor_id}"
             ) from None
 
-    def _statement_of(self, statement_id: int) -> PreparedStatement:
+    def _statement_of(self, statement_id: int) -> _StatementHolder:
         try:
             return self._statements[statement_id]
         except KeyError:
+            if statement_id in self._reaped_statements:
+                raise SessionExpiredError(
+                    f"prepared statement #{statement_id} of session "
+                    f"{self.name!r} was deallocated after "
+                    f"{self.manager.idle_statement_timeout}s idle"
+                ) from None
             raise SessionStateError(
                 f"session {self.name!r} has no prepared statement "
                 f"#{statement_id}"
             ) from None
 
-    # -- the cursor protocol, server side ------------------------------------
+    # -- the protocol core ---------------------------------------------------
+
+    def handle(self, request: protocol.Request) -> protocol.Response:
+        """Serve one protocol request — the transport-agnostic entry.
+
+        Bills the request and the response against the network model
+        (via the codec's :func:`~repro.serve.protocol.wire_size`),
+        refreshes the session lease, and dispatches on the message
+        type.  Raises the usual :class:`~repro.errors.PrimaError`
+        subclasses; socket transports convert them to
+        :class:`~repro.serve.protocol.WireError` frames.
+        """
+        handler = self._DISPATCH.get(type(request))
+        if handler is None:
+            raise SessionStateError(
+                f"session {self.name!r} cannot serve "
+                f"{type(request).__name__} messages"
+            )
+        with self._lock:
+            if self.closed and isinstance(
+                    request, (protocol.CloseCursor, protocol.Deallocate,
+                              protocol.Goodbye)):
+                # Session teardown already released everything —
+                # idempotent, unbilled (matches a direct close()).
+                return protocol.Ack()
+            self._require_open()
+            self.last_activity = self.manager._now()
+            self._bill(request)
+            response = handler(self, request)
+            self._bill(response)
+            return response
+
+    # -- cursor messages -----------------------------------------------------
+
+    def _resolve_fetch_size(self, fetch_size: Any) -> int | str | None:
+        if fetch_size is DEFAULT_FETCH_SIZE or \
+                fetch_size == protocol.DEFAULT_FETCH_SIZE_WIRE:
+            fetch_size = self.manager.default_fetch_size
+        if fetch_size is None or fetch_size == protocol.AUTO_FETCH_SIZE:
+            return fetch_size
+        if not isinstance(fetch_size, int) or fetch_size < 1:
+            raise SessionStateError(
+                "fetch_size must be >= 1, None, or 'auto'")
+        return fetch_size
 
     def _open_pipeline(self, prepared: PreparedStatement, args: tuple,
-                       params: dict[str, Any] | None, fetch_size: int | None
-                       ) -> tuple[ServerCursor, list[Molecule], bool, str]:
+                       params: dict[str, Any] | None,
+                       fetch_size: int | str | None) -> protocol.OpenReply:
         """Bind a prepared SELECT, open its server cursor, fetch the
         first batch.  The caller holds the engine's reader side.
 
@@ -178,8 +297,15 @@ class Session:
         against a pinned snapshot of the atom-version epoch, so it keeps
         reading the state as of this open — concurrent commits neither
         block it nor leak into it.  The pin is released when the
-        pipeline closes (client CLOSE, exhaustion teardown, or session
-        close)."""
+        pipeline closes (client CLOSE, exhaustion teardown, idle reap,
+        or session close).
+
+        ``fetch_size="auto"`` serves a probe batch and answers with the
+        size tuned from the network model against the *measured* mean
+        molecule wire size of this very result (see
+        :mod:`repro.serve.tuning`); the reply's ``fetch_size`` is always
+        the resolved value the client should FETCH with.
+        """
         if prepared.kind != "select":
             raise SessionStateError(
                 "remote cursors serve SELECT statements only "
@@ -202,153 +328,196 @@ class Session:
         self._cursors[cursor.cursor_id] = cursor
         if fetch_size is None:
             batch = cursor.fetch_all()
-            exhausted = True
+            exhausted, resolved = True, None
+        elif fetch_size == protocol.AUTO_FETCH_SIZE:
+            batch, exhausted = cursor.fetch(AUTO_PROBE_SIZE)
+            if batch:
+                row_bytes = max(
+                    1, (batch_bytes(batch) - protocol.BATCH_HEADER_BYTES)
+                    // len(batch))
+            else:
+                row_bytes = 0
+            resolved = tune_fetch_size(self.manager.model, row_bytes)
+            self._count("fetch_sizes_tuned")
         else:
             batch, exhausted = cursor.fetch(fetch_size)
-        return cursor, batch, exhausted, result.plan_text
+            resolved = fetch_size
+        self._count("cursors_opened")
+        self._count("fetch_messages")
+        self._count("rows_streamed", len(batch))
+        return protocol.OpenReply(cursor.cursor_id, batch, exhausted,
+                                  result.plan_text, resolved)
 
-    def _open_message(self, mql: str, fetch_size: int | None,
-                      args: tuple = (),
-                      params: dict[str, Any] | None = None
-                      ) -> tuple[ServerCursor, list[Molecule], bool, str]:
+    def _handle_open(self, request: protocol.Open) -> protocol.OpenReply:
         """OPEN: compile the pipeline, deliver the first batch.
 
         The statement text rides in the request; preparation runs
         through the shared plan cache, so repeated text skips parse+plan
-        even over this one-shot message.
-        """
-        self._bill(len(mql.encode("utf-8"))
-                   + _bindings_bytes(args, params))          # request
+        even over this one-shot message."""
+        fetch_size = self._resolve_fetch_size(request.fetch_size)
         with self.manager.engine.reader():
-            prepared = self._db.data.prepare(mql)
-            cursor, batch, exhausted, plan_text = self._open_pipeline(
-                prepared, args, params, fetch_size)
-        self._bill(batch_bytes(batch))                       # response
-        self._count("cursors_opened")
+            prepared = self._db.data.prepare(request.mql)
+            return self._open_pipeline(prepared, request.args,
+                                       request.params, fetch_size)
+
+    def _handle_fetch(self, request: protocol.Fetch) -> protocol.Batch:
+        """FETCH(n): the next batch of an open cursor."""
+        cursor = self._cursor_of(request.cursor_id)
+        with self.manager.engine.reader():
+            batch, exhausted = cursor.fetch(request.count)
         self._count("fetch_messages")
         self._count("rows_streamed", len(batch))
-        return cursor, batch, exhausted, plan_text
+        return protocol.Batch(batch, exhausted)
 
-    def _fetch_message(self, cursor_id: int,
-                       count: int) -> tuple[list[Molecule], bool]:
-        """FETCH(n): the next batch of an open cursor."""
-        with self._lock:
-            self._require_open()
-            self._bill(FETCH_REQUEST_BYTES)                  # request
-            cursor = self._cursor_of(cursor_id)
-            with self.manager.engine.reader():
-                batch, exhausted = cursor.fetch(count)
-            self._bill(batch_bytes(batch))                   # response
-            self._count("fetch_messages")
-            self._count("rows_streamed", len(batch))
-            return batch, exhausted
-
-    def _reopen_message(self, cursor_id: int, fetch_size: int | None
-                        ) -> tuple[list[Molecule], bool]:
+    def _handle_reopen(self, request: protocol.Reopen) -> protocol.Batch:
         """REOPEN: restart the stream (truncation raises, as locally)."""
-        with self._lock:
-            self._require_open()
-            self._bill(CONTROL_REQUEST_BYTES)                # request
-            cursor = self._cursor_of(cursor_id)
-            with self.manager.engine.reader():
-                cursor.reopen()
-                if fetch_size is None:
-                    batch = cursor.fetch_all()
-                    exhausted = True
-                else:
-                    batch, exhausted = cursor.fetch(fetch_size)
-            self._bill(batch_bytes(batch))                   # response
-            self._count("fetch_messages")
-            self._count("rows_streamed", len(batch))
-            return batch, exhausted
+        cursor = self._cursor_of(request.cursor_id)
+        with self.manager.engine.reader():
+            cursor.reopen()
+            if request.fetch_size is None:
+                batch = cursor.fetch_all()
+                exhausted = True
+            else:
+                batch, exhausted = cursor.fetch(request.fetch_size)
+        self._count("fetch_messages")
+        self._count("rows_streamed", len(batch))
+        return protocol.Batch(batch, exhausted)
 
-    def _close_message(self, cursor_id: int) -> None:
+    def _handle_close_cursor(self,
+                             request: protocol.CloseCursor) -> protocol.Ack:
         """CLOSE: release the server pipeline for good."""
-        with self._lock:
-            if self.closed:
-                return   # session teardown already released everything
-            self._bill(CONTROL_REQUEST_BYTES)                # request
-            cursor = self._cursors.pop(cursor_id, None)
-            if cursor is not None:
-                with self.manager.engine.reader():
-                    cursor.close()
-            self._bill(ACK_BYTES)                            # ack
-            self._count("cursors_closed")
+        cursor = self._cursors.pop(request.cursor_id, None)
+        if cursor is not None:
+            with self.manager.engine.reader():
+                cursor.close()
+        self._count("cursors_closed")
+        return protocol.Ack()
 
-    # -- the prepared-statement protocol, server side ------------------------
+    # -- prepared-statement messages -----------------------------------------
 
-    def _prepare_message(self, mql: str) -> tuple[int, PreparedStatement]:
+    def _handle_prepare(self,
+                        request: protocol.Prepare) -> protocol.PrepareReply:
         """PREPARE: ship the text once; the response is a statement
         handle.  Every later EXECUTE_PREPARED carries only the handle
         and the bindings — the text is never reshipped, and the server
         never re-plans it (until a catalog-version bump forces a
         transparent re-plan)."""
-        with self._lock:
-            self._require_open()
-            self._bill(len(mql.encode("utf-8")))             # request
+        with self.manager.engine.reader():
+            prepared = self._db.data.prepare(request.mql)
+        self._next_statement += 1
+        statement_id = self._next_statement
+        self._statements[statement_id] = _StatementHolder(
+            prepared, self.manager._now())
+        self._count("statements_prepared")
+        return protocol.PrepareReply(
+            statement_id, prepared.kind, prepared.text,
+            prepared.param_count, tuple(prepared.param_names))
+
+    def _handle_execute_prepared(
+            self, request: protocol.ExecutePrepared
+    ) -> protocol.OpenReply | protocol.Executed:
+        """EXECUTE_PREPARED: open a cursor (SELECT) or run the DML over
+        a server-side statement handle — handle + bindings only."""
+        holder = self._statement_of(request.statement_id)
+        holder.last_used = self.manager._now()
+        self._count("prepared_executions")
+        if holder.prepared.kind == "select":
+            fetch_size = self._resolve_fetch_size(request.fetch_size)
             with self.manager.engine.reader():
-                prepared = self._db.data.prepare(mql)
-            self._next_statement += 1
-            statement_id = self._next_statement
-            self._statements[statement_id] = prepared
-            self._bill(STATEMENT_HANDLE_BYTES)               # response
-            self._count("statements_prepared")
-            return statement_id, prepared
+                return self._open_pipeline(holder.prepared, request.args,
+                                           request.params, fetch_size)
+        result = self._execute_locked(holder.prepared, request.args,
+                                      request.params)
+        self._count("statements")
+        return protocol.Executed(result.molecules, result.affected,
+                                 result.inserted)
 
-    def _execute_prepared_message(self, statement_id: int, args: tuple,
-                                  params: dict[str, Any] | None,
-                                  fetch_size: int | None
-                                  ) -> tuple[ServerCursor, list[Molecule],
-                                             bool, str]:
-        """EXECUTE_PREPARED (SELECT): open a cursor over a server-side
-        statement handle — the request ships handle + bindings only."""
-        with self._lock:
-            self._require_open()
-            prepared = self._statement_of(statement_id)
-            self._bill(CONTROL_REQUEST_BYTES
-                       + _bindings_bytes(args, params))      # request
-            with self.manager.engine.reader():
-                cursor, batch, exhausted, plan_text = self._open_pipeline(
-                    prepared, args, params, fetch_size)
-            self._bill(batch_bytes(batch))                   # response
-            self._count("cursors_opened")
-            self._count("fetch_messages")
-            self._count("rows_streamed", len(batch))
-            self._count("prepared_executions")
-            return cursor, batch, exhausted, plan_text
-
-    def _execute_prepared_dml(self, statement_id: int, args: tuple,
-                              params: dict[str, Any] | None) -> ResultSet:
-        """EXECUTE_PREPARED (DML): bind and run under the same
-        subtransaction/lock discipline as :meth:`execute`."""
-        with self._lock:
-            self._require_open()
-            prepared = self._statement_of(statement_id)
-            self._bill(CONTROL_REQUEST_BYTES
-                       + _bindings_bytes(args, params))      # request
-            result = self._execute_locked(prepared, args, params)
-            self._bill(ACK_BYTES)                            # ack
-            self._count("statements")
-            self._count("prepared_executions")
-            return result
-
-    def _deallocate_message(self, statement_id: int) -> None:
+    def _handle_deallocate(self,
+                           request: protocol.Deallocate) -> protocol.Ack:
         """DEALLOCATE: drop a server-side statement handle."""
-        with self._lock:
-            if self.closed:
-                return   # session teardown already released everything
-            self._bill(CONTROL_REQUEST_BYTES)                # request
-            self._statements.pop(statement_id, None)
-            self._bill(ACK_BYTES)                            # ack
+        self._statements.pop(request.statement_id, None)
+        return protocol.Ack()
 
-    # -- client entry points -------------------------------------------------
+    # -- one-shot statements -------------------------------------------------
 
-    def _resolve_fetch_size(self, fetch_size: Any) -> int | None:
-        if fetch_size is DEFAULT_FETCH_SIZE:
-            fetch_size = self.manager.default_fetch_size
-        if fetch_size is not None and fetch_size < 1:
-            raise SessionStateError("fetch_size must be >= 1 (or None)")
-        return fetch_size
+    def _handle_execute(
+            self, request: protocol.Execute
+    ) -> protocol.OpenReply | protocol.Executed:
+        """EXECUTE: the server routes — SELECT opens a default-sized
+        cursor (the reply is an :class:`~repro.serve.protocol.OpenReply`),
+        DML runs in a subtransaction and answers with its outcome."""
+        with self.manager.engine.reader():
+            prepared = self._db.data.prepare(request.mql)
+            if prepared.kind == "select":
+                fetch_size = self._resolve_fetch_size(DEFAULT_FETCH_SIZE)
+                return self._open_pipeline(prepared, request.args,
+                                           request.params, fetch_size)
+        result = self._execute_locked(prepared, request.args, request.params)
+        self._count("statements")
+        return protocol.Executed(result.molecules, result.affected,
+                                 result.inserted)
+
+    def _handle_explain(self,
+                        request: protocol.Explain) -> protocol.ExplainReply:
+        """EXPLAIN: the server renders the processing plan as a
+        first-class message pair — request carries the text (+ optional
+        bindings), response carries the plan text.  No pipeline opens,
+        no cursor, no locks beyond the shared reader side."""
+        with self.manager.engine.reader():
+            prepared = self._db.data.prepare(request.mql)
+            if prepared.kind != "select":
+                raise SessionStateError(
+                    "EXPLAIN supports SELECT statements only"
+                )
+            text = prepared.explain(args=request.args,
+                                    params=request.params or {})
+        self._count("explains")
+        return protocol.ExplainReply(text)
+
+    # -- checkin -------------------------------------------------------------
+
+    def _handle_checkin(self,
+                        request: protocol.Checkin) -> protocol.CheckinReply:
+        """Apply a workstation's object buffer in one message pair (see
+        :meth:`checkin` for the protocol semantics)."""
+        with self.manager.engine.writer():
+            mapping = self._apply_checkin(request.modifications,
+                                          request.deletions,
+                                          request.creations)
+        self._count("checkins")
+        return protocol.CheckinReply(mapping)
+
+    # -- connection management -----------------------------------------------
+
+    def _handle_ping(self, _request: protocol.Ping) -> protocol.Pong:
+        """PING: refresh the session lease (keepalive) — no work."""
+        self._count("keepalives")
+        return protocol.Pong(self.name)
+
+    def _handle_goodbye(self, request: protocol.Goodbye) -> protocol.Ack:
+        """GOODBYE: end the session (abort=True rolls it back)."""
+        if request.abort:
+            self.abort()
+        else:
+            self.close()
+        return protocol.Ack()
+
+    _DISPATCH: dict[type, Callable[["Session", Any], protocol.Response]] = {
+        protocol.Open: _handle_open,
+        protocol.Fetch: _handle_fetch,
+        protocol.Reopen: _handle_reopen,
+        protocol.CloseCursor: _handle_close_cursor,
+        protocol.Prepare: _handle_prepare,
+        protocol.ExecutePrepared: _handle_execute_prepared,
+        protocol.Deallocate: _handle_deallocate,
+        protocol.Execute: _handle_execute,
+        protocol.Explain: _handle_explain,
+        protocol.Checkin: _handle_checkin,
+        protocol.Ping: _handle_ping,
+        protocol.Goodbye: _handle_goodbye,
+    }
+
+    # -- client entry points (the in-process convenience client) -------------
 
     def open_cursor(self, mql: str, fetch_size: Any = DEFAULT_FETCH_SIZE,
                     on_arrival: Callable[[Molecule], None] | None = None,
@@ -358,20 +527,16 @@ class Session:
 
         ``fetch_size=None`` ships the whole set in the open response (the
         set-oriented one-message-pair mode); an integer streams batches
-        of that size with one-batch prefetch.  ``on_arrival`` runs per
-        molecule as its batch reaches the client.  ``args``/``params``
-        bind ``?`` / ``:name`` placeholders for this one execution; a
-        statement executed repeatedly is better served by
+        of that size with one-batch prefetch; ``"auto"`` lets the server
+        tune the batch size from the network model.  ``on_arrival`` runs
+        per molecule as its batch reaches the client.  ``args``/
+        ``params`` bind ``?`` / ``:name`` placeholders for this one
+        execution; a statement executed repeatedly is better served by
         :meth:`prepare` (the text ships once).
         """
-        with self._lock:
-            self._require_open()
-            fetch_size = self._resolve_fetch_size(fetch_size)
-            cursor, batch, exhausted, plan_text = \
-                self._open_message(mql, fetch_size, args=args, params=params)
-            return RemoteCursor(self, cursor.cursor_id, fetch_size,
-                                batch, exhausted, plan_text=plan_text,
-                                on_arrival=on_arrival)
+        reply = self.handle(protocol.Open(mql, _wire_fetch_size(fetch_size),
+                                          args, params))
+        return RemoteCursor(self._transport, reply, on_arrival=on_arrival)
 
     def query(self, mql: str, fetch_size: Any = DEFAULT_FETCH_SIZE,
               on_arrival: Callable[[Molecule], None] | None = None,
@@ -393,8 +558,8 @@ class Session:
         and streams the cursor as usual (no re-parse, no re-plan, no
         text).
         """
-        statement_id, prepared = self._prepare_message(mql)
-        return RemotePreparedStatement(self, statement_id, prepared)
+        reply = self.handle(protocol.Prepare(mql))
+        return RemotePreparedStatement(self._transport, reply)
 
     def _execute_locked(self, prepared: PreparedStatement, args: tuple,
                         params: dict[str, Any] | None) -> ResultSet:
@@ -431,48 +596,27 @@ class Session:
     def execute(self, mql: str, *args: Any, **params: Any) -> ResultSet:
         """Execute one statement; DML runs in a *subtransaction* (see
         :meth:`_execute_locked` for the lock discipline).  SELECTs route
-        to :meth:`query`.  ``*args``/``**params`` bind placeholders.
+        to a default-sized remote cursor.  ``*args``/``**params`` bind
+        placeholders.
         """
-        with self._lock:
-            self._require_open()
-            with self.manager.engine.reader():
-                prepared = self._db.data.prepare(mql)
-            if prepared.kind == "select":
-                return self.query(mql, args=args, params=params or None)
-            self._bill(len(mql.encode("utf-8"))
-                       + _bindings_bytes(args, params))      # request
-            result = self._execute_locked(prepared, args, params)
-            self._bill(ACK_BYTES)                            # ack
-            self._count("statements")
-            return result
-
-    def _explain_message(self, mql: str, args: tuple,
-                         params: dict[str, Any] | None) -> str:
-        """EXPLAIN: the server renders the processing plan as a
-        first-class message pair — request carries the text (+ optional
-        bindings), response carries the plan text.  No pipeline opens,
-        no cursor, no locks beyond the shared reader side."""
-        with self._lock:
-            self._require_open()
-            self._bill(len(mql.encode("utf-8"))
-                       + _bindings_bytes(args, params))      # request
-            with self.manager.engine.reader():
-                prepared = self._db.data.prepare(mql)
-                if prepared.kind != "select":
-                    raise SessionStateError(
-                        "EXPLAIN supports SELECT statements only"
-                    )
-                text = prepared.explain(args=args, params=params or {})
-            self._bill(len(text.encode("utf-8")))            # response
-            self._count("explains")
-            return text
+        reply = self.handle(protocol.Execute(mql, args, params or None))
+        if isinstance(reply, protocol.OpenReply):
+            cursor = RemoteCursor(self._transport, reply)
+            return ResultSet(source=cursor, plan_text=cursor.plan_text)
+        return ResultSet(molecules=reply.molecules, affected=reply.affected,
+                         inserted=reply.inserted)
 
     def explain(self, mql: str, *args: Any, **params: Any) -> str:
         """The server-side processing plan of ``mql``, over the wire.
 
         ``args``/``params`` optionally bind placeholders so the rendered
         plan shows concrete ranges instead of ``?n`` markers."""
-        return self._explain_message(mql, args, params or None)
+        return self.handle(
+            protocol.Explain(mql, args, params or None)).text
+
+    def ping(self) -> str:
+        """Keepalive: refresh this session's lease; returns its label."""
+        return self.handle(protocol.Ping()).session
 
     def _statement_target(self, statement) -> str | None:
         if isinstance(statement, InsertStatement):
@@ -530,21 +674,10 @@ class Session:
         checkins serialise at message granularity and the later one wins
         (the optimistic object-buffer protocol).
         """
-        with self._lock:
-            self._require_open()
-            payload = sum(encoded_size(values)
-                          for values in modifications.values())
-            payload += sum(encoded_size(values)
-                           for _t, values in creations or [])
-            payload += 16 * len(deletions or [])
-            self._bill(payload)                              # request
-            with self.manager.engine.writer():
-                mapping = self._apply_checkin(modifications,
-                                              deletions or [],
-                                              creations or [])
-            self._bill(8 + 24 * len(mapping))                # ack + mapping
-            self._count("checkins")
-            return mapping
+        reply = self.handle(protocol.Checkin(modifications,
+                                             deletions or [],
+                                             creations or []))
+        return reply.mapping
 
     def _apply_checkin(self, modifications, deletions,
                        creations) -> dict[Surrogate, Surrogate]:
@@ -581,6 +714,57 @@ class Session:
         # from here on see the checkin; pinned ones keep their epoch.
         db.data.publish_data_version()
         return mapping
+
+    # -- resource hygiene ----------------------------------------------------
+
+    def reap_idle(self, now: float) -> tuple[int, int]:
+        """Close idle cursors and deallocate idle statement handles
+        (driven by :meth:`SessionManager.reap`); returns the counts.
+
+        A reaped cursor's pipeline is released exactly as a client CLOSE
+        would release it — the pinned snapshot unpins, close-hooks run,
+        close-while-pending marks the set truncated.  Later client use
+        of the reclaimed id raises
+        :class:`~repro.errors.SessionExpiredError`.
+        """
+        cursors = statements = 0
+        with self._lock:
+            if self.closed:
+                return 0, 0
+            timeout = self.manager.idle_cursor_timeout
+            if timeout is not None:
+                for cursor_id, cursor in list(self._cursors.items()):
+                    if now - cursor.last_used >= timeout:
+                        with self.manager.engine.reader():
+                            cursor.close()
+                        del self._cursors[cursor_id]
+                        self._reaped_cursors.add(cursor_id)
+                        self._count("cursors_reaped")
+                        cursors += 1
+            timeout = self.manager.idle_statement_timeout
+            if timeout is not None:
+                for statement_id, holder in list(self._statements.items()):
+                    if now - holder.last_used >= timeout:
+                        del self._statements[statement_id]
+                        self._reaped_statements.add(statement_id)
+                        self._count("statements_reaped")
+                        statements += 1
+        return cursors, statements
+
+    def expire(self) -> None:
+        """Lease ran out: abort the session and reclaim its slot.
+
+        Abort — not commit — because an expired session is an abandoned
+        one: its uncommitted subtransaction work is rolled back, exactly
+        as for a client that disconnects without GOODBYE.  (Checkins
+        committed in their own short transactions are unaffected.)
+        """
+        with self._lock:
+            if self.closed:
+                return
+            self.expired = True
+            self._count("sessions_expired")
+        self.abort()
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -643,23 +827,25 @@ class Session:
 class RemotePreparedStatement:
     """The client half of a server-side prepared statement.
 
-    Created by :meth:`Session.prepare` — the PREPARE request shipped the
-    statement text once; this handle re-executes it with fresh bindings
-    over EXECUTE_PREPARED messages that carry only the statement id and
-    the parameter values.  SELECT handles stream their result through
-    the ordinary remote-cursor machinery (first batch in the response,
-    double-buffered prefetch, the full client cursor contract); DML
-    handles execute under the session's subtransaction lock discipline.
+    Created from the :class:`~repro.serve.protocol.PrepareReply` of a
+    PREPARE exchange — the statement text shipped once; this handle
+    re-executes it with fresh bindings over EXECUTE_PREPARED messages
+    that carry only the statement id and the parameter values.  SELECT
+    handles stream their result through the ordinary remote-cursor
+    machinery (first batch in the response, double-buffered prefetch,
+    the full client cursor contract); DML handles execute under the
+    session's subtransaction lock discipline.  Like the cursor, the
+    handle is transport-agnostic: it speaks protocol dataclasses through
+    whatever transport created it.
     """
 
-    def __init__(self, session: Session, statement_id: int,
-                 prepared: PreparedStatement) -> None:
-        self._session = session
-        self.statement_id = statement_id
-        self.text = prepared.text
-        self.kind = prepared.kind
-        self.param_count = prepared.param_count
-        self.param_names = prepared.param_names
+    def __init__(self, transport, reply: protocol.PrepareReply) -> None:
+        self._transport = transport
+        self.statement_id = reply.statement_id
+        self.text = reply.text
+        self.kind = reply.kind
+        self.param_count = reply.param_count
+        self.param_names = reply.param_names
         self._closed = False
 
     def _require_open(self) -> None:
@@ -674,16 +860,15 @@ class RemotePreparedStatement:
                     **params: Any) -> RemoteCursor:
         """EXECUTE_PREPARED: a streaming cursor over one execution."""
         self._require_open()
-        session = self._session
-        with session._lock:  # noqa: SLF001
-            session._require_open()  # noqa: SLF001
-            fetch_size = session._resolve_fetch_size(fetch_size)  # noqa: SLF001
-        cursor, batch, exhausted, plan_text = \
-            session._execute_prepared_message(  # noqa: SLF001
-                self.statement_id, args, params, fetch_size)
-        return RemoteCursor(session, cursor.cursor_id, fetch_size,
-                            batch, exhausted, plan_text=plan_text,
-                            on_arrival=on_arrival)
+        if self.kind != "select":
+            raise SessionStateError(
+                "remote cursors serve SELECT statements only "
+                "(use execute() for DML)"
+            )
+        reply = self._transport.request(protocol.ExecutePrepared(
+            self.statement_id, args, params or None,
+            _wire_fetch_size(fetch_size)))
+        return RemoteCursor(self._transport, reply, on_arrival=on_arrival)
 
     def execute(self, *args: Any, fetch_size: Any = DEFAULT_FETCH_SIZE,
                 on_arrival: Callable[[Molecule], None] | None = None,
@@ -695,8 +880,11 @@ class RemotePreparedStatement:
         """
         self._require_open()
         if self.kind != "select":
-            return self._session._execute_prepared_dml(  # noqa: SLF001
-                self.statement_id, args, params)
+            reply = self._transport.request(protocol.ExecutePrepared(
+                self.statement_id, args, params or None, None))
+            return ResultSet(molecules=reply.molecules,
+                             affected=reply.affected,
+                             inserted=reply.inserted)
         cursor = self.open_cursor(*args, fetch_size=fetch_size,
                                   on_arrival=on_arrival, **params)
         return ResultSet(source=cursor, plan_text=cursor.plan_text)
@@ -706,7 +894,7 @@ class RemotePreparedStatement:
         if self._closed:
             return
         self._closed = True
-        self._session._deallocate_message(self.statement_id)  # noqa: SLF001
+        self._transport.request(protocol.Deallocate(self.statement_id))
 
     def __enter__(self) -> "RemotePreparedStatement":
         return self
@@ -726,9 +914,13 @@ class SessionManager:
     def __init__(self, db: "Prima", model: "NetworkModel | None" = None,
                  max_sessions: int = 8, admission: str = "reject",
                  queue_timeout: float | None = None,
-                 default_fetch_size: int | None = None,
+                 default_fetch_size: int | str | None = None,
                  parallel_mode: str = "threads",
-                 parallel_workers: int | None = None) -> None:
+                 parallel_workers: int | None = None,
+                 idle_cursor_timeout: float | None = None,
+                 idle_statement_timeout: float | None = None,
+                 session_lease: float | None = None,
+                 clock: Callable[[], float] | None = None) -> None:
         # Imported here, not at module level: the coupling package's
         # server rides on this module, so a top-level import would cycle.
         from repro.coupling.network import NetworkModel, NetworkStats
@@ -743,19 +935,40 @@ class SessionManager:
                 f"parallel_mode must be 'threads' or 'processes', got "
                 f"{parallel_mode!r}"
             )
+        if isinstance(default_fetch_size, str) and \
+                default_fetch_size != protocol.AUTO_FETCH_SIZE:
+            raise ValueError(
+                f"default_fetch_size must be None, an int >= 1, or "
+                f"'auto', got {default_fetch_size!r}"
+            )
+        for knob, value in (("idle_cursor_timeout", idle_cursor_timeout),
+                            ("idle_statement_timeout",
+                             idle_statement_timeout),
+                            ("session_lease", session_lease)):
+            if value is not None and value <= 0:
+                raise ValueError(f"{knob} must be positive (or None)")
         self.db = db
         self.model = model if model is not None else NetworkModel()
         self.stats = NetworkStats()
         self.max_sessions = max_sessions
         self.admission = admission
         self.queue_timeout = queue_timeout
-        #: None: whole set in the open response; int: streaming batches.
+        #: None: whole set in the open response; int: streaming batches;
+        #: ``"auto"``: the server tunes per cursor from the network model.
         self.default_fetch_size = default_fetch_size
         #: Worker fabric of :meth:`Session.parallel_query`: 'threads'
         #: or 'processes' (fork-based pool); per-call ``mode`` overrides.
         self.parallel_mode = parallel_mode
         #: Default worker cap of :meth:`Session.parallel_query`.
         self.parallel_workers = parallel_workers
+        #: Resource-hygiene knobs (seconds; None disables) — enforced by
+        #: :meth:`reap`, which the daemon calls periodically.
+        self.idle_cursor_timeout = idle_cursor_timeout
+        self.idle_statement_timeout = idle_statement_timeout
+        self.session_lease = session_lease
+        #: Injectable monotonic clock (tests drive expiry determinis-
+        #: tically by substituting a fake).
+        self._clock = clock if clock is not None else time.monotonic
         self.txns = TransactionManager(db.access)
         #: The narrow writer/epoch-publish mutex that replaced the old
         #: session-wide engine RLock: read-only messages share the
@@ -778,6 +991,9 @@ class SessionManager:
         attach_sessions = getattr(db, "attach_sessions", None)
         if attach_sessions is not None:
             attach_sessions(self)
+
+    def _now(self) -> float:
+        return self._clock()
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -805,20 +1021,40 @@ class SessionManager:
                             f"{wait_limit}s (max_sessions="
                             f"{self.max_sessions})"
                         )
-            self._active += 1
-            if self._active > self._peak:
-                self._peak = self._active
-            self._session_seq += 1
-            label = name if name is not None else f"s{self._session_seq}"
-            if label in self._names:
-                # Reserve a unique label atomically with the slot, so
-                # two concurrent opens under one name cannot collide
-                # (their io_report keys would silently merge).
-                label = f"{label}#{self._session_seq}"
-            self._names.add(label)
-        session = Session(self, label)
+            return self._admit(name)
+
+    def open_nowait(self, name: str | None = None) -> Session:
+        """Open one session without ever blocking.
+
+        Raises :class:`~repro.errors.SessionLimitError` immediately when
+        the server is at capacity — regardless of the ``admission``
+        policy.  The asyncio daemon admits through this and retries
+        cooperatively (its event loop must never sleep in a condition
+        wait), implementing ``'queue'`` admission without a blocked
+        thread."""
         with self._slots:
-            self._sessions.append(session)
+            if self._active >= self.max_sessions:
+                raise SessionLimitError(
+                    f"server at max_sessions={self.max_sessions}"
+                )
+            return self._admit(name)
+
+    def _admit(self, name: str | None) -> Session:
+        """Take one admission slot and build its session.  The caller
+        holds ``_slots`` with ``_active < max_sessions``."""
+        self._active += 1
+        if self._active > self._peak:
+            self._peak = self._active
+        self._session_seq += 1
+        label = name if name is not None else f"s{self._session_seq}"
+        if label in self._names:
+            # Reserve a unique label atomically with the slot, so
+            # two concurrent opens under one name cannot collide
+            # (their io_report keys would silently merge).
+            label = f"{label}#{self._session_seq}"
+        self._names.add(label)
+        session = Session(self, label)
+        self._sessions.append(session)
         self.db.access.counters.bump("serve_sessions_opened")
         return session
 
@@ -832,6 +1068,34 @@ class SessionManager:
         for session in list(self._sessions):
             if not session.closed:
                 session.close()
+
+    # -- resource hygiene ----------------------------------------------------
+
+    def reap(self, now: float | None = None) -> dict[str, int]:
+        """One sweep of the resource-hygiene timers.
+
+        Expires sessions whose lease ran out (aborting them and
+        returning their admission slots), then closes idle cursors and
+        deallocates idle statement handles of the surviving sessions.
+        The daemon calls this periodically from its event loop;
+        in-process setups call it manually (or from their own timer).
+        Returns the reclamation counts.
+        """
+        now = self._now() if now is None else now
+        expired = cursors = statements = 0
+        for session in list(self._sessions):
+            if session.closed:
+                continue
+            if self.session_lease is not None and \
+                    now - session.last_activity >= self.session_lease:
+                session.expire()
+                expired += 1
+                continue
+            reaped_cursors, reaped_statements = session.reap_idle(now)
+            cursors += reaped_cursors
+            statements += reaped_statements
+        return {"sessions_expired": expired, "cursors_reaped": cursors,
+                "statements_reaped": statements}
 
     def reset_accounting(self) -> None:
         """Zero this manager's accounting: network stats, the

@@ -24,6 +24,7 @@ from repro.errors import (
 from repro.mql.ast import Parameter
 from repro.mql.parser import parse
 from repro.parallel import parallel_select
+from repro.serve import protocol
 
 
 def make_items(db: Prima, count: int = 60) -> None:
@@ -487,7 +488,7 @@ class TestServingPrepared:
         manager = db.serve()
         with manager.open() as session:
             with pytest.raises(SessionStateError, match="no prepared"):
-                session._execute_prepared_message(99, (), None, None)
+                session.handle(protocol.ExecutePrepared(statement_id=99))
 
     def test_ldl_between_serving_executions_replans(self, db):
         make_items(db)

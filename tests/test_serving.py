@@ -12,7 +12,7 @@ from repro.errors import (
     SessionLimitError,
     SessionStateError,
 )
-from repro.serve import ServeLoop
+from repro.serve import ServeLoop, protocol
 from repro.workloads import brep
 
 N_ITEMS = 120
@@ -232,7 +232,7 @@ class TestRemoteCursor:
     def test_unknown_cursor_rejected(self, manager):
         with manager.open() as session:
             with pytest.raises(SessionStateError):
-                session._fetch_message(99, 4)  # noqa: SLF001
+                session.handle(protocol.Fetch(cursor_id=99, count=4))
 
     def test_session_close_releases_open_cursors(self, db, manager):
         session = manager.open()
