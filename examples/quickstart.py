@@ -7,8 +7,10 @@ maintains back-references automatically.
 
 Everything client-facing goes through :func:`repro.connect` — the one
 entry point whose :class:`~repro.serve.Connection` API is identical
-whether it speaks to an in-process instance (as here) or to an asyncio
-daemon over a socket (see ``examples/daemon_serving.py``).
+whether it speaks to an in-process instance (as here), to an asyncio
+daemon over a socket (see ``examples/daemon_serving.py``), or to a
+sharded multi-engine cluster (``repro.connect(shards=4)``; see
+``examples/sharded_cluster.py``).
 
 Run:  python examples/quickstart.py
 """
@@ -93,6 +95,11 @@ def run_demo(db: repro.Prima, conn: repro.Connection) -> None:
     # 7. Structural integrity is verifiable at any time.
     assert db.verify_integrity() == []
     print("integrity: OK")
+
+    # 8. When one engine is not enough: ``repro.connect(shards=N)``
+    #    serves a partitioned cluster through this exact API — routed
+    #    key lookups, scatter-gather ORDER BY, DDL fan-out and all.
+    #    See examples/sharded_cluster.py.
 
 
 if __name__ == "__main__":

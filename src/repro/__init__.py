@@ -34,6 +34,8 @@ Package map (one subpackage per layer of Fig. 3.1):
 * :mod:`repro.ldl`      — the load definition language
 * :mod:`repro.txn`      — nested transactions
 * :mod:`repro.parallel` — semantic parallelism on a simulated multiprocessor
+* :mod:`repro.shard`    — sharded scale-out: a partitioned engine cluster
+  with routed and scatter-gather query execution
 * :mod:`repro.coupling` — workstation-host checkout/checkin
 * :mod:`repro.workloads`— BREP / VLSI / GIS generators
 * :mod:`repro.baselines`— hierarchical and network stores (Fig. 2.1)
@@ -46,6 +48,7 @@ from repro.errors import PrimaError
 from repro.mad.molecule import Molecule
 from repro.mad.types import Surrogate
 from repro.serve.connection import Connection, connect
+from repro.shard import ShardedCluster, ShardRouter
 
 __version__ = "1.0.0"
 
@@ -56,6 +59,8 @@ __all__ = [
     "Prima",
     "PrimaError",
     "ResultSet",
+    "ShardRouter",
+    "ShardedCluster",
     "Surrogate",
     "__version__",
     "connect",

@@ -41,6 +41,7 @@ from repro.data.prepared import (
     PreparedStatement,
     extract_template,
     iter_parameters,
+    template_matches,
 )
 from repro.data.result import ResultSet
 from repro.data.simplification import sargable_root_terms, simplify
@@ -170,16 +171,13 @@ class DataSystem:
             statement = parse(template_text)
             self.access.counters.bump("statements_parsed")
             template = PreparedStatement(self, template_text, statement)
-            if template.kind != "select" \
-                    or template.param_count != len(values) \
-                    or template.param_names:
+            if not template_matches(template, values):
                 return None
             self.access.counters.bump("plan_cache_misses")
             self.plan_cache.put(tkey, template)
         else:
             if not isinstance(template, PreparedStatement) \
-                    or template.param_count != len(values) \
-                    or template.param_names:
+                    or not template_matches(template, values):
                 return None
             self.access.counters.bump("plan_cache_template_hits")
         return BoundTemplateStatement(mql, template, values)
@@ -203,6 +201,29 @@ class DataSystem:
         (or use it as a context manager) when the cursor closes.
         """
         return self.access.atoms.open_snapshot()
+
+    def open_result(self, prepared: "PreparedStatement | Any",
+                    args: tuple = (),
+                    params: dict[str, Any] | None = None) -> ResultSet:
+        """Bind and execute a prepared SELECT over a pinned snapshot.
+
+        The lock-free serving read path as one call: bind the plan, pin
+        a snapshot at the current atom-version epoch, compile the
+        pipeline against it, and hand back a lazy :class:`ResultSet`
+        that releases the snapshot when its cursor closes.  Shared by
+        the serving sessions and the cluster coordinator (which calls
+        it per shard) — the snapshot lifetime rules live in one place.
+        """
+        plan = prepared.bind(args, params or {})
+        snapshot = self.open_snapshot()
+        try:
+            result = ResultSet(source=plan.compile(self, snapshot=snapshot),
+                               plan_text=plan.explain())
+        except BaseException:
+            snapshot.release()
+            raise
+        result.on_close(lambda _op: snapshot.release())
+        return result
 
     def publish_data_version(self) -> int:
         """Advance the atom-version epoch (a commit boundary).
@@ -528,13 +549,25 @@ class DataSystem:
                 if estimate is not None and estimate > self.scan_threshold:
                     continue   # statistics veto: scan instead
                 conditions = [bounds] + [KeyCondition()] * (len(path.attrs) - 1)
-                return RootAccess("access_path", root_type.name, {
+                detail = {
                     "path": path.name,
                     "attr": path.attrs[0],
                     "conditions": conditions,
                     "range": _render_bounds(path.attrs[0], bounds),
                     "selectivity": estimate,
-                })
+                }
+                if estimate is None:
+                    # The crossover could not be decided here (a
+                    # placeholder hides the value, or statistics are
+                    # missing): stash the deferred terms and the scan
+                    # fallback so bind time can re-veto against the
+                    # concrete literals (repro.data.prepared.reveto_plan).
+                    detail["reveto"] = list(attr_terms)
+                    detail["fallback_search"] = [
+                        (attr, op, value) for attr, op, value in terms
+                        if op in ("=", "!=", "<", "<=", ">", ">=")
+                    ]
+                return RootAccess("access_path", root_type.name, detail)
         # 3. Atom-type scan; push simple terms down as a search argument.
         search_terms = [(attr, op, value) for attr, op, value in terms
                         if op in ("=", "!=", "<", "<=", ">", ">=")]

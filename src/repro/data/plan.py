@@ -80,6 +80,13 @@ class QueryPlan:
     #: non-empty tuple marks a *template*: values must be substituted by
     #: :func:`repro.data.prepared.bind_plan` before compilation.
     parameters: tuple = ()
+    #: Shard-routing annotation, stamped by a cluster coordinator's
+    #: planner wrapper (None on single-engine plans).  A dict shaped
+    #: ``{"mode": "routed"|"scatter", "shards": n, "key_attr": attr}``:
+    #: ``routed`` plans hit exactly the shard owning their root key,
+    #: ``scatter`` plans fan out to every shard and gather through the
+    #: coordinator's ordered k-way merge.
+    routing: dict[str, Any] | None = None
 
     @property
     def uses_topk(self) -> bool:
@@ -165,6 +172,16 @@ class QueryPlan:
 
     def explain(self) -> str:
         lines = [f"MOLECULE TYPE SCAN {self.structure!r}"]
+        if self.routing is not None:
+            mode = self.routing.get("mode", "scatter")
+            shards = self.routing.get("shards")
+            if mode == "routed":
+                detail = (f"routed to 1 of {shards} shard(s) by "
+                          f"{self.routing.get('key_attr')}")
+            else:
+                detail = (f"scatter to {shards} shard(s), "
+                          f"ordered k-way merge gather")
+            lines.append(f"  routing: {detail}")
         lines.append(f"  root: {self.root_access.explain()}")
         if self.cluster_name is not None:
             lines.append(

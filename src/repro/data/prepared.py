@@ -270,6 +270,45 @@ def bind_plan(plan: QueryPlan, bindings: Bindings) -> QueryPlan:
     )
 
 
+def reveto_plan(data: "DataSystem", plan: QueryPlan,
+                resolve: Callable[[Parameter], Any]) -> QueryPlan:
+    """Re-check the scan-vs-path crossover against bound values.
+
+    A template's access path was chosen *blind* when its range carried a
+    placeholder — the statistics could not veto the path at plan time
+    (the planner stashed the deferred terms as ``reveto`` in the access
+    detail).  Here, at bind time, the concrete literal is known: if the
+    estimated selectivity now crosses the A5 threshold, the bound plan
+    is demoted to the atom-type scan the literal form would have gotten
+    — with the sargable terms pushed down as its search argument, and
+    any access-path-served ordering surrendered (the residual
+    qualification is untouched, so results are identical either way).
+    Counted as ``plans_revetoed``.
+    """
+    access = plan.root_access
+    if access.kind != "access_path":
+        return plan
+    terms = access.detail.get("reveto")
+    if not terms:
+        return plan
+    bound_terms = [
+        (attr, op, resolve(value) if isinstance(value, Parameter) else value)
+        for attr, op, value in terms
+    ]
+    estimate = data.statistics.selectivity(access.atom_type, bound_terms)
+    if estimate is None or estimate <= data.scan_threshold:
+        return plan
+    data.access.counters.bump("plans_revetoed")
+    search = [
+        (attr, op, resolve(value) if isinstance(value, Parameter) else value)
+        for attr, op, value in access.detail.get("fallback_search", ())
+    ]
+    demoted = RootAccess("atom_type_scan", access.atom_type,
+                         {"search": search, "selectivity": estimate})
+    return replace(plan, root_access=demoted,
+                   order_served_by_access=False, order_prefix_served=0)
+
+
 def bind_statement(statement: Statement,
                    resolve: Callable[[Parameter], Any]) -> Statement:
     """A DML statement with its placeholder values substituted (DDL and
@@ -405,8 +444,16 @@ class PreparedStatement:
 
     def bind(self, args: tuple = (),
              params: dict[str, Any] | None = None) -> QueryPlan:
-        """The concrete plan of one execution (SELECT only)."""
-        return bind_plan(self.plan(), self._bindings(args, params or {}))
+        """The concrete plan of one execution (SELECT only).
+
+        Binding also settles the access decisions the template had to
+        defer: an access path chosen blind past a placeholder is
+        re-checked against the now-concrete values and demoted to a
+        scan when the statistics veto it (:func:`reveto_plan`).
+        """
+        bindings = self._bindings(args, params or {})
+        plan = bind_plan(self.plan(), bindings)
+        return reveto_plan(self._data, plan, bindings.resolve)
 
     def bound_statement(self, args: tuple = (),
                         params: dict[str, Any] | None = None) -> Statement:
@@ -505,18 +552,38 @@ def _render_token(token: Any) -> str | None:
     return token.value
 
 
+#: Prefix of the internal named placeholders carrying lifted literals.
+#: Named (not positional) so a template coexists with the statement's
+#: own explicit ``?`` placeholders without renumbering them.
+TEMPLATE_PARAM_PREFIX = "__t"
+
+#: First keywords of templatable statements: SELECT plus the DML verbs
+#: (literal variants of an INSERT/DELETE/MODIFY shape share one parsed
+#: statement the same way repeated SELECT shapes share one plan).
+_TEMPLATE_KINDS = ("SELECT", "INSERT", "DELETE", "MODIFY")
+
+
+def template_param_name(index: int) -> str:
+    """Name of the ``index``-th internal lifted-literal placeholder."""
+    return f"{TEMPLATE_PARAM_PREFIX}{index}"
+
+
 def extract_template(text: str) -> tuple[str, tuple] | None:
-    """Lift a SELECT's value literals into positional parameters.
+    """Lift a statement's value literals into internal parameters.
 
     Every literal in a *value position* — right of a comparison
-    operator, or an integer after LIMIT/OFFSET — becomes a ``?``
-    placeholder; the result is ``(template_text, lifted_values)``.
-    Returns ``None`` when the text is not a SELECT, already carries
-    placeholders (explicit ``?`` / named ``:name`` — or the label ``:``
-    of a quantifier, conservatively), or has no liftable literal; the
-    caller then proceeds on the ordinary literal path.  The rebuilt
-    template is token-equivalent MQL (whitespace-joined), so it parses
-    to the same statement shape regardless of the original formatting.
+    operator (which covers WHERE terms *and* INSERT/MODIFY assignment
+    scalars), or an integer after LIMIT/OFFSET — becomes an internal
+    named placeholder ``:__tN``; the result is ``(template_text,
+    lifted_values)``.  Explicit ``?`` / ``:name`` placeholders already
+    in the text pass through untouched, so a half-parameterized
+    statement still shares one template for its remaining literals.
+    Returns ``None`` when the first keyword is not SELECT / INSERT /
+    DELETE / MODIFY, when the text already uses the reserved ``__t``
+    name prefix, or when no literal is liftable; the caller then
+    proceeds on the ordinary literal path.  The rebuilt template is
+    token-equivalent MQL (whitespace-joined), so it parses to the same
+    statement shape regardless of the original formatting.
     """
     from repro.mql.lexer import tokenize
 
@@ -524,15 +591,16 @@ def extract_template(text: str) -> tuple[str, tuple] | None:
         tokens = tokenize(text)
     except PrimaError:
         return None   # the regular path reports the lexer error
-    if not tokens or not tokens[0].is_keyword("SELECT"):
+    if not tokens or not tokens[0].is_keyword(*_TEMPLATE_KINDS):
         return None
     rendered: list[str] = []
     values: list[Any] = []
     i = 0
     while tokens[i].kind != "EOF":
         token = tokens[i]
-        if token.is_op("?", ":"):
-            return None
+        if token.kind == "IDENT" \
+                and token.value.startswith(TEMPLATE_PARAM_PREFIX):
+            return None   # reserved prefix already taken by the text
         lifted = None
         if token.is_op(*_COMPARISONS):
             lifted = _literal_at(tokens, i + 1)
@@ -542,7 +610,7 @@ def extract_template(text: str) -> tuple[str, tuple] | None:
         if lifted is not None:
             value, width = lifted
             rendered.append(token.value)
-            rendered.append("?")
+            rendered.append(":" + template_param_name(len(values)))
             values.append(value)
             i += 1 + width
             continue
@@ -556,34 +624,58 @@ def extract_template(text: str) -> tuple[str, tuple] | None:
     return " ".join(rendered), tuple(values)
 
 
+def template_matches(template: "PreparedStatement",
+                     values: tuple) -> bool:
+    """Whether a shared template fits these lifted literals: it must
+    declare exactly the internal ``__tN`` names the values fill (its
+    explicit placeholders — the text's own ``?`` / ``:name`` — remain
+    open for the caller)."""
+    internal = {name for name in template.param_names
+                if name.startswith(TEMPLATE_PARAM_PREFIX)}
+    return internal == {template_param_name(i)
+                        for i in range(len(values))}
+
+
 class BoundTemplateStatement:
     """A literal statement riding a shared plan template.
 
     Presents the :class:`PreparedStatement` execution surface for the
-    original *literal* text — no open parameter slots; the lifted
-    literals are bound internally on every call — while parse,
-    validation, planning, and catalog-version tracking live once in the
-    shared template.
+    original text: its lifted literals are bound internally (as the
+    reserved ``:__tN`` names) on every call, while any *explicit*
+    ``?`` / ``:name`` placeholders the text carried stay open for the
+    caller — a half-parameterized statement keeps its public parameter
+    surface.  Parse, validation, planning, and catalog-version tracking
+    live once in the shared template.  Works for SELECT and the DML
+    verbs alike (``kind`` follows the template).
     """
 
-    __slots__ = ("text", "template", "_values")
-
-    kind = "select"
-    param_count = 0
-    param_names: tuple = ()
+    __slots__ = ("text", "template", "_values", "kind", "param_count",
+                 "param_names")
 
     def __init__(self, text: str, template: PreparedStatement,
                  values: tuple) -> None:
         self.text = text
         self.template = template
         self._values = tuple(values)
+        self.kind = template.kind
+        self.param_count = template.param_count
+        self.param_names = tuple(
+            name for name in template.param_names
+            if not name.startswith(TEMPLATE_PARAM_PREFIX)
+        )
 
-    def _reject_args(self, args: tuple, params: dict | None) -> None:
-        if args or params:
-            raise ExecutionError(
-                "statement takes 0 positional parameter(s); its literals "
-                "are bound internally"
-            )
+    def _merged(self, params: dict[str, Any] | None) -> dict[str, Any]:
+        """Caller-supplied named bindings plus the internal literals."""
+        merged = dict(params or {})
+        for name in merged:
+            if name.startswith(TEMPLATE_PARAM_PREFIX):
+                raise ExecutionError(
+                    f"parameter name {name!r} is reserved for internally "
+                    f"bound literals"
+                )
+        for index, value in enumerate(self._values):
+            merged[template_param_name(index)] = value
+        return merged
 
     @property
     def statement(self) -> Statement:
@@ -598,25 +690,22 @@ class BoundTemplateStatement:
 
     def bind(self, args: tuple = (),
              params: dict[str, Any] | None = None) -> QueryPlan:
-        self._reject_args(args, params)
-        return self.template.bind(self._values)
+        return self.template.bind(args, self._merged(params))
 
     def bound_statement(self, args: tuple = (),
                         params: dict[str, Any] | None = None) -> Statement:
-        self._reject_args(args, params)
-        return self.template.bound_statement(self._values)
+        return self.template.bound_statement(args, self._merged(params))
 
     def execute(self, *args: Any, **params: Any) -> ResultSet:
-        self._reject_args(args, params)
-        return self.template.execute(*self._values)
+        return self.template.execute(*args, **self._merged(params))
 
     def explain(self, analyze: bool = False, args: tuple = (),
                 params: dict[str, Any] | None = None) -> str:
-        self._reject_args(args, params)
-        return self.template.explain(analyze, args=self._values)
+        return self.template.explain(analyze, args=args,
+                                     params=self._merged(params))
 
     def __repr__(self) -> str:
-        return (f"BoundTemplateStatement({self.text!r}, "
+        return (f"BoundTemplateStatement({self.kind}, {self.text!r}, "
                 f"{len(self._values)} literal(s) bound)")
 
 

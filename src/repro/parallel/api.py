@@ -68,6 +68,12 @@ def parallel_select(db: Prima, query: "str | PreparedStatement",
     an embedding subsystem (the serving layer) substitute the reader
     side of its engine read/write lock for the per-run one.
     """
+    if getattr(db, "is_cluster", False):
+        raise DecompositionError(
+            "parallel_select targets one engine; a sharded cluster "
+            "already scatter-gathers across its shards — execute "
+            "through the coordinator instead"
+        )
     decomposer = SemanticDecomposer(db.data)
     if isinstance(query, PreparedStatement):
         if query.kind != "select":

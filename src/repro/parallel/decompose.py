@@ -48,19 +48,21 @@ byte-identical results.
 
 from __future__ import annotations
 
+import heapq
 import multiprocessing
 import os
 import queue
 import threading
 from contextlib import nullcontext
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Callable, Iterator
 
 from repro.data.executor import DataSystem
 from repro.data.operators import (
     MoleculeConstruct,
     RootPartition,
     RootScan,
+    order_rank,
     sort_stable,
     top_k_stable,
 )
@@ -69,7 +71,116 @@ from repro.data.result import ResultSet
 from repro.errors import DecompositionError
 from repro.mad.molecule import Molecule
 from repro.mad.types import Surrogate
-from repro.mql.ast import SelectStatement
+from repro.mql.ast import (
+    And,
+    Comparison,
+    EmptyLiteral,
+    Expr,
+    Literal,
+    Not,
+    Or,
+    Parameter,
+    Path,
+    RefLookup,
+    SelectStatement,
+)
+
+
+# ---------------------------------------------------------------------------
+# Gather/shaping machinery, shared with the cluster coordinator
+# ---------------------------------------------------------------------------
+#
+# The merge stage above the construction workers and the cross-shard
+# gather of :mod:`repro.shard` are the same operation: take ordered (or
+# orderable) item streams whose ORDER BY values are known *before*
+# projection, and shape them exactly like the serial pipeline's
+# Sort/TopK + OFFSET/LIMIT stack would.
+
+def shape_window(items: list, plan: QueryPlan,
+                 value_of: Callable[[Any, str], Any]) -> list:
+    """Result shaping above a gathered stream — the declarative twin of
+    the pipeline's ``[Sort|TopK] → [Offset] → [Limit]`` stack.
+
+    ``items`` is the full gathered candidate set (already in a
+    deterministic base order); ``value_of(item, attr)`` reads the ORDER
+    BY attribute values captured before projection.  Returns the shaped
+    selection, result order, same item objects.
+    """
+    if plan.uses_topk:
+        return top_k_stable(items, plan.order_by, value_of,
+                            plan.limit, plan.offset)
+    if plan.order_by and not plan.order_served_by_access:
+        items = list(items)
+        sort_stable(items, plan.order_by, value_of)
+    if plan.offset:
+        items = items[plan.offset:]
+    if plan.limit is not None:
+        items = items[:plan.limit]
+    return items
+
+
+def merge_ordered(streams: list, order_by: list[tuple[str, bool]],
+                  value_of: Callable[[Any, str], Any]
+                  ) -> Iterator[tuple[Any, int]]:
+    """Lazily k-way merge already-ordered item streams.
+
+    Each stream honours the operator pull protocol (``next()`` returns
+    the next item or ``None``); every stream must already deliver in the
+    ``order_by`` order.  Yields ``(item, stream_index)`` in global
+    order; ties resolve to the lower stream index (then arrival order
+    within the stream), so the merge is deterministic.  Consuming lazily
+    pulls at most one item ahead per stream — the cross-shard gather
+    stays as pipelined as its inputs.
+    """
+    heap: list[tuple[tuple, int, int, Any]] = []
+    serial = 0
+    for index, stream in enumerate(streams):
+        item = stream.next()
+        if item is not None:
+            heap.append((order_rank(item, order_by, value_of), index,
+                         serial, item))
+            serial += 1
+    heapq.heapify(heap)
+    while heap:
+        _rank, index, _serial, item = heapq.heappop(heap)
+        yield item, index
+        refill = streams[index].next()
+        if refill is not None:
+            heapq.heappush(heap, (order_rank(refill, order_by, value_of),
+                                  index, serial, refill))
+            serial += 1
+
+
+def residual_is_root_only(residual: "Expr | None", root_label: str,
+                          root_attrs: "set[str]") -> bool:
+    """True when a residual qualification reads only root-atom values.
+
+    Such a residual can be evaluated on the root atom alone — before any
+    molecule is constructed — which lets the sequential prologue keep
+    its window/bound shaping under residual qualification (each
+    disqualified root is simply skipped instead of disabling shaping).
+    Quantified conditions and component-label paths need the constructed
+    molecule and return False.
+    """
+    if residual is None:
+        return True
+    if isinstance(residual, (Literal, EmptyLiteral, Parameter, RefLookup)):
+        return True
+    if isinstance(residual, Path):
+        if residual.level is not None:
+            return False
+        if len(residual.parts) == 1:
+            return residual.parts[0] in root_attrs
+        return len(residual.parts) == 2 and residual.parts[0] == root_label
+    if isinstance(residual, Comparison):
+        return residual_is_root_only(residual.left, root_label, root_attrs) \
+            and residual_is_root_only(residual.right, root_label, root_attrs)
+    if isinstance(residual, (And, Or)):
+        return all(residual_is_root_only(part, root_label, root_attrs)
+                   for part in residual.parts)
+    if isinstance(residual, Not):
+        return residual_is_root_only(residual.inner, root_label, root_attrs)
+    return False
 
 
 @dataclass
@@ -218,15 +329,32 @@ class SemanticDecomposer:
     def _derive_roots(self, plan: QueryPlan) -> list[Surrogate]:
         """The sequential prologue: root surrogates, window-shaped.
 
-        Shaping only applies when no residual qualification can
-        disqualify a unit afterwards (a disqualified unit would shrink
-        the delivered window below LIMIT, and a bound anchored on a
-        disqualified molecule could prune true result members).
+        Shaping requires that no residual qualification can disqualify a
+        unit *after* the window was carved (a disqualified unit would
+        shrink the delivered window below LIMIT, and a bound anchored on
+        a disqualified molecule could prune true result members).  A
+        residual that reads only root-atom values is the exception: it
+        is evaluated right here on each root, disqualified roots are
+        skipped before they count toward the window, and the anchor is
+        always a true result candidate — so prefix-served DESC windows
+        keep their shaping instead of bailing to the full derive + Sort.
         """
         scan = RootScan(self._data, plan.root_access)
-        window = plan.limit + plan.offset \
-            if plan.limit is not None and plan.residual_where is None \
-            else None
+        window = plan.limit + plan.offset if plan.limit is not None else None
+        root_filter = None
+        if plan.residual_where is not None and window is not None:
+            root_type = self._data.schema.atom_type(plan.structure.atom_type)
+            if residual_is_root_only(plan.residual_where,
+                                     plan.structure.label,
+                                     set(root_type.attributes)):
+                evaluator = self._data.evaluator
+                residual = plan.residual_where
+
+                def root_filter(atom: dict) -> bool:
+                    return evaluator.matches(
+                        residual, Molecule(plan.structure, atom))
+            else:
+                window = None
         if window is None or not (plan.order_served_by_access
                                   or plan.order_prefix_served):
             return list(scan)
@@ -234,6 +362,11 @@ class SemanticDecomposer:
         prefix_attrs = [attr for attr, _desc in
                         plan.order_by[:plan.order_prefix_served]]
         for root in scan:
+            anchor = None
+            if root_filter is not None:
+                anchor = self._data.access.atoms.get(root)
+                if not root_filter(anchor):
+                    continue   # never reaches the window — no DU for it
             roots.append(root)
             if plan.order_served_by_access:
                 if len(roots) >= window:
@@ -243,7 +376,8 @@ class SemanticDecomposer:
                 # any later root with a strictly greater (in scan
                 # direction) prefix key is beaten by all k candidates
                 # already derived, so the walk can stop there.
-                anchor = self._data.access.atoms.get(root)
+                if anchor is None:
+                    anchor = self._data.access.atoms.get(root)
                 scan.bound(tuple(anchor.get(attr)
                                  for attr in prefix_attrs))
         return roots
@@ -314,19 +448,9 @@ class SemanticDecomposer:
         # bounded-heap top-k under ORDER BY + LIMIT, otherwise the
         # explicit final sort followed by the OFFSET/LIMIT window.
         value_of = lambda unit, attr: unit.order_values.get(attr)  # noqa: E731
-        if plan.uses_topk:
-            selected = top_k_stable(qualified, plan.order_by, value_of,
-                                    plan.limit, plan.offset)
-            molecules = [u.result for u in selected]
-        else:
-            if plan.order_by and not plan.order_served_by_access:
-                sort_stable(qualified, plan.order_by, value_of)
-            molecules = [u.result for u in qualified]
-            if plan.offset:
-                molecules = molecules[plan.offset:]
-            if plan.limit is not None:
-                molecules = molecules[:plan.limit]
-        return ResultSet(molecules, plan_text=plan.explain())
+        selected = shape_window(qualified, plan, value_of)
+        return ResultSet([u.result for u in selected],
+                         plan_text=plan.explain())
 
     def _run_threaded(self, plan: QueryPlan,
                       parts: list[list[UnitOfWork]],

@@ -142,12 +142,15 @@ class Connection:
                  default_fetch_size: int | str | None = None, *,
                  session: Session | None = None,
                  manager: SessionManager | None = None,
-                 owned_db: Any | None = None) -> None:
+                 owned_db: Any | None = None, shards: int = 1) -> None:
         self._transport = transport
         #: The server-assigned session label.
         self.name = name
         #: The server's default fetch-size knob (int, None, or "auto").
         self.default_fetch_size = default_fetch_size
+        #: Shard count of the served database (1: a single engine) —
+        #: from the Welcome handshake, so socket clients know too.
+        self.shards = shards
         #: The underlying :class:`Session` — in-process transports only
         #: (None over a socket; the session lives in the daemon).
         self.session = session
@@ -304,7 +307,8 @@ def _socket_connection(host: str, port: int, name: str | None,
             f"expected Welcome, got {type(welcome).__name__}"
         )
     return Connection(transport, welcome.session,
-                      welcome.default_fetch_size)
+                      welcome.default_fetch_size,
+                      shards=getattr(welcome, "shards", 1))
 
 
 def _session_connection(session: Session, *,
@@ -312,7 +316,8 @@ def _session_connection(session: Session, *,
                         owned_db: Any | None = None) -> Connection:
     return Connection(LocalTransport(session), session.name,
                       manager.default_fetch_size, session=session,
-                      manager=manager, owned_db=owned_db)
+                      manager=manager, owned_db=owned_db,
+                      shards=getattr(manager.db, "shard_count", 1))
 
 
 def connect(target: Any = None, *, name: str | None = None,
@@ -322,9 +327,13 @@ def connect(target: Any = None, *, name: str | None = None,
     ``target`` selects the transport:
 
     * ``None`` — create a **fresh in-memory Prima** and serve it; the
-      connection owns the instance and closes it on ``close()``.
-    * a :class:`~repro.db.Prima` — serve an existing instance in
-      process.  With no ``options``, an already-attached
+      connection owns the instance and closes it on ``close()``.  With
+      ``shards=N`` (N > 1) a fresh
+      :class:`~repro.shard.ShardedCluster` is created instead — the
+      same client API, the cluster coordinator underneath.
+    * a :class:`~repro.db.Prima` **or** a
+      :class:`~repro.shard.ShardedCluster` — serve an existing
+      instance in process.  With no ``options``, an already-attached
       :class:`SessionManager` is reused (so several ``connect(db)``
       calls share one admission domain); otherwise a new manager is
       created with ``options`` as its knobs (``max_sessions``,
@@ -336,7 +345,8 @@ def connect(target: Any = None, *, name: str | None = None,
     * ``"prima://host:port"`` (or ``(host, port)``) — a socket
       connection to a remote daemon; ``timeout`` bounds connection
       establishment, and admission queueing blocks in the HELLO
-      exchange.
+      exchange.  The daemon may serve a cluster — the protocol is
+      identical (``Welcome.shards`` reports the count).
 
     ``name`` labels the session (``io_report`` keys, lock diagnostics).
 
@@ -347,11 +357,16 @@ def connect(target: Any = None, *, name: str | None = None,
     from repro.db import Prima
 
     if target is None:
-        db = Prima()
+        shards = options.pop("shards", 1)
+        if shards and shards > 1:
+            from repro.shard import ShardedCluster
+            db: Any = ShardedCluster(shards=shards)
+        else:
+            db = Prima()
         manager = SessionManager(db, **options)
         return _session_connection(manager.open(name=name, timeout=timeout),
                                    manager=manager, owned_db=db)
-    if isinstance(target, Prima):
+    if isinstance(target, Prima) or getattr(target, "is_cluster", False):
         managers = getattr(target, "_session_managers", [])
         if not options and managers:
             manager = managers[-1]

@@ -165,6 +165,9 @@ class RemoteCursor:
         self._closed = False
         self._close_hooks: list[Callable[[Any], None]] = []
         self.plan_text = reply.plan_text
+        #: Shard index the pipeline was routed to (None: single engine,
+        #: or a scatter-gather across all shards).
+        self.shard = reply.shard
         #: Molecules delivered to the caller so far.
         self.rows_delivered = 0
         #: High-water mark of undelivered molecules held client-side —

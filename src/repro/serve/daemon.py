@@ -250,7 +250,8 @@ class PrimaDaemon:
             await queue.put(protocol.wire_error(exc))
             return None
         await queue.put(protocol.Welcome(
-            session.name, self.manager.default_fetch_size))
+            session.name, self.manager.default_fetch_size,
+            shards=getattr(self.manager.db, "shard_count", 1)))
         return session
 
     async def _admit(self, client: str | None) -> "Session":

@@ -127,6 +127,9 @@ class Welcome(Response):
     fetch-size knob (``None`` whole-set, int, or ``"auto"``)."""
     session: str = ""
     default_fetch_size: int | str | None = None
+    #: Shard count of the serving database (1: a single engine; >1: a
+    #: sharded cluster behind the same protocol).
+    shards: int = 1
 
 
 @dataclass
@@ -171,6 +174,9 @@ class OpenReply(Response):
     exhausted: bool = True
     plan_text: str = ""
     fetch_size: int | None = None
+    #: Shard the query routed to (``None``: single engine, or a
+    #: cluster scatter-gather across all shards).
+    shard: int | None = None
 
 
 @dataclass

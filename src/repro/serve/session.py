@@ -311,20 +311,11 @@ class Session:
                 "remote cursors serve SELECT statements only "
                 "(use Session.execute for DML)"
             )
-        plan = prepared.bind(args, params or {})
-        snapshot = self._db.data.open_snapshot()
-        try:
-            result = ResultSet(
-                source=plan.compile(self._db.data, snapshot=snapshot),
-                plan_text=plan.explain())
-        except BaseException:
-            snapshot.release()
-            raise
-        result.on_close(lambda _op: snapshot.release())
+        result = self._db.data.open_result(prepared, args, params or {})
         self._count("snapshot_reads")
         self._next_cursor += 1
         cursor = ServerCursor(self, self._next_cursor, result,
-                              plan.root_access.atom_type)
+                              prepared.root_atom_type)
         self._cursors[cursor.cursor_id] = cursor
         if fetch_size is None:
             batch = cursor.fetch_all()
@@ -346,7 +337,8 @@ class Session:
         self._count("fetch_messages")
         self._count("rows_streamed", len(batch))
         return protocol.OpenReply(cursor.cursor_id, batch, exhausted,
-                                  result.plan_text, resolved)
+                                  result.plan_text, resolved,
+                                  shard=getattr(result, "shard", None))
 
     def _handle_open(self, request: protocol.Open) -> protocol.OpenReply:
         """OPEN: compile the pipeline, deliver the first batch.

@@ -1,0 +1,428 @@
+"""A sharded PRIMA cluster: N independent engines, one database surface.
+
+:class:`ShardedCluster` stacks the scale-out configuration of section 4:
+instead of one engine owning all atoms, N :class:`~repro.db.Prima`
+instances each own a *partition* of every atom type — each with its own
+buffer, locks, catalog, plan cache, statistics, and snapshot store — and
+a :class:`~repro.shard.coordinator.Coordinator` executes MQL across
+them.  The cluster object duck-types the ``Prima`` surface (``prepare``
+/ ``execute`` / ``explain`` / ``io_report`` / ``commit`` / ``close`` /
+direct atom access), so examples, benchmarks, and the whole serving
+layer (``db.serve()``, the daemon, ``repro.connect``) run over a
+cluster unchanged.
+
+Sharding invariants:
+
+* surrogate spaces are disjoint by construction — shard *i* generates
+  numbers in the residue class ``i+1 (mod N)``, so any surrogate's
+  owner is ``(number - 1) % N`` with no lookup state;
+* keyed atoms place by router decision (hash or declared ranges), and
+  the *same* router answers key lookups — placement and routing cannot
+  drift apart;
+* catalogs move in lockstep because every DDL/LDL statement fans out to
+  all shards before it is acknowledged.
+
+Each shard also gets a modelled *service channel*
+(:class:`~repro.coupling.NetworkStats` billed per gathered result): the
+per-channel communication times report the work each shard performed,
+and their maximum is the cluster's makespan — the quantity the scaling
+benchmark gates on, independent of the GIL.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Any
+
+from repro.coupling.network import NetworkModel, NetworkStats
+from repro.data.result import ResultSet
+from repro.db import Prima
+from repro.errors import PrimaError
+from repro.mad.types import Surrogate
+from repro.mql.parser import parse_script
+from repro.shard.coordinator import ClusterPrepared, Coordinator
+from repro.shard.router import ShardRouter
+from repro.util.stats import Counters
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.serve import SessionManager
+
+
+class ClusterAtoms:
+    """The cluster's atom manager: surrogate residue → owning shard."""
+
+    def __init__(self, cluster: "ShardedCluster") -> None:
+        self._cluster = cluster
+
+    def _owner(self, surrogate: Surrogate):
+        index = self._cluster.router.shard_of_surrogate(surrogate)
+        return self._cluster.engines[index].access.atoms
+
+    def exists(self, surrogate: Surrogate) -> bool:
+        return self._owner(surrogate).exists(surrogate)
+
+    def get(self, surrogate: Surrogate, attrs: list[str] | None = None,
+            **kwargs: Any) -> dict[str, Any]:
+        return self._owner(surrogate).get(surrogate, attrs, **kwargs)
+
+    def modify(self, surrogate: Surrogate,
+               values: dict[str, Any]) -> None:
+        self._owner(surrogate).modify(surrogate, values)
+
+    def delete(self, surrogate: Surrogate) -> None:
+        self._owner(surrogate).delete(surrogate)
+
+    def restore_atom(self, surrogate: Surrogate,
+                     values: dict[str, Any]) -> None:
+        self._owner(surrogate).restore_atom(surrogate, values)
+
+    def find_by_key(self, type_name: str, key: Any) -> Surrogate | None:
+        """Key lookup: ask the routed owner first, fall back to a
+        cluster-wide probe (unrouted legacy placements)."""
+        cluster = self._cluster
+        routed = cluster.router.shard_of_key(type_name, key)
+        found = cluster.engines[routed].access.atoms.find_by_key(
+            type_name, key)
+        if found is not None:
+            return found
+        for index, engine in enumerate(cluster.engines):
+            if index == routed:
+                continue
+            found = engine.access.atoms.find_by_key(type_name, key)
+            if found is not None:
+                return found
+        return None
+
+    def atoms_of_type(self, type_name: str):
+        for engine in self._cluster.engines:
+            yield from engine.access.atoms.atoms_of_type(type_name)
+
+    def count(self, type_name: str) -> int:
+        return sum(engine.access.atoms.count(type_name)
+                   for engine in self._cluster.engines)
+
+
+class ClusterAccess:
+    """The cluster's access-system facade: routes by key or surrogate.
+
+    Presents the slice of :class:`~repro.access.system.AccessSystem`
+    the layers above speak (direct atom access, deferred propagation,
+    the shared counters); every call lands on exactly the shard owning
+    the addressed atom.
+    """
+
+    def __init__(self, cluster: "ShardedCluster") -> None:
+        self._cluster = cluster
+        #: Cluster-level counters (routing decisions, gather work); the
+        #: per-shard engines keep their own under ``engine.access``.
+        self.counters = Counters()
+        self.atoms = ClusterAtoms(cluster)
+
+    @property
+    def schema(self):
+        return self._cluster.engines[0].schema
+
+    def insert(self, type_name: str,
+               values: dict[str, Any] | None = None) -> Surrogate:
+        cluster = self._cluster
+        root_type = self.schema.atom_type(type_name)
+        shard = cluster.router.shard_for_insert(root_type.keys, type_name,
+                                                values or {})
+        if shard is None:
+            shard = cluster.next_unrouted_shard()
+            self.counters.bump("unrouted_inserts")
+        else:
+            self.counters.bump("routed_inserts")
+        return cluster.engines[shard].access.insert(type_name, values)
+
+    def get(self, surrogate: Surrogate,
+            attrs: list[str] | None = None) -> dict[str, Any]:
+        return self.atoms.get(surrogate, attrs)
+
+    def modify(self, surrogate: Surrogate,
+               values: dict[str, Any]) -> None:
+        self.atoms.modify(surrogate, values)
+
+    def delete(self, surrogate: Surrogate) -> None:
+        self.atoms.delete(surrogate)
+
+    def propagate_deferred(self, limit: int | None = None) -> int:
+        return sum(engine.access.propagate_deferred(limit)
+                   for engine in self._cluster.engines)
+
+
+class ShardedCluster:
+    """N partitioned PRIMA engines behind one coordinator.
+
+    ``shard_sessions`` bounds concurrent pipeline-opens *per shard* (the
+    shard half of split admission control — the serving layer's
+    ``max_sessions`` still bounds the coordinator side); ``ranges``
+    declares range placement per atom type (default: stable hash);
+    ``model`` prices the per-shard service channels.
+    """
+
+    #: Lets layer-agnostic code (``parallel_select``, ``connect``)
+    #: detect a cluster without importing this module.
+    is_cluster = True
+
+    def __init__(self, shards: int = 4, *,
+                 ranges: dict[str, Any] | None = None,
+                 router: ShardRouter | None = None,
+                 shard_sessions: int | None = None,
+                 model: NetworkModel | None = None,
+                 buffer_capacity: int = 256 * 8192) -> None:
+        self.router = router or ShardRouter(shards, ranges=ranges)
+        if self.router.shards != shards:
+            raise PrimaError(
+                f"router is built for {self.router.shards} shard(s), "
+                f"cluster has {shards}"
+            )
+        self.engines: list[Prima] = []
+        for index in range(shards):
+            engine = Prima(buffer_capacity=buffer_capacity)
+            # Strided surrogate generation must be in place before the
+            # first insert: disjoint residue classes are what make the
+            # owner recoverable arithmetically.
+            engine.access.atoms.surrogates.start = index + 1
+            engine.access.atoms.surrogates.stride = shards
+            self.engines.append(engine)
+        self.access = ClusterAccess(self)
+        self.data = Coordinator(self)
+        self.service_model = model or NetworkModel()
+        #: One modelled service channel per shard: each gathered result
+        #: bills one message + its molecule payload to its shard.
+        self.channels = [NetworkStats() for _ in range(shards)]
+        self.shard_sessions = shard_sessions
+        self._shard_slots = [threading.Semaphore(shard_sessions)
+                             for _ in range(shards)] \
+            if shard_sessions else None
+        self._unrouted = 0
+        self._lock = threading.Lock()
+        self._network_stats: list[Any] = []
+        self._session_managers: list["SessionManager"] = []
+
+    # -- cluster plumbing ----------------------------------------------------
+
+    @property
+    def shard_count(self) -> int:
+        return self.router.shards
+
+    @property
+    def schema(self):
+        return self.engines[0].schema
+
+    @property
+    def catalog(self):
+        return self.engines[0].catalog
+
+    def next_unrouted_shard(self) -> int:
+        """Round-robin placement for atoms without a routable key."""
+        with self._lock:
+            shard = self._unrouted % self.shard_count
+            self._unrouted += 1
+        return shard
+
+    @contextmanager
+    def shard_slot(self, index: int):
+        """Per-shard admission: bound concurrent pipeline-opens.
+
+        Contention is counted (``shard_admission_waits``), then waited
+        out — shard admission queues rather than rejects, because the
+        coordinator has already admitted the query."""
+        if self._shard_slots is None:
+            yield
+            return
+        slot = self._shard_slots[index]
+        if not slot.acquire(blocking=False):
+            self.access.counters.bump("shard_admission_waits")
+            slot.acquire()
+        try:
+            yield
+        finally:
+            slot.release()
+
+    def bill_shard(self, index: int, nbytes: int) -> None:
+        """Account one gathered result against a shard's channel."""
+        self.channels[index].account(self.service_model, nbytes)
+
+    def service_report(self) -> dict[str, Any]:
+        """Per-shard service-channel accounting plus the makespan.
+
+        ``makespan_ms`` — the slowest channel's modelled communication
+        time — is the cluster's parallel completion time: balanced
+        shards divide the work, so doubling the shard count should
+        roughly halve it (the scale-out quantity ``bench_b8`` gates)."""
+        per_shard = [stats.snapshot() for stats in self.channels]
+        makespan = max((entry["comm_time_ms"] for entry in per_shard),
+                       default=0.0)
+        total = sum(entry["comm_time_ms"] for entry in per_shard)
+        return {
+            "shards": self.shard_count,
+            "per_shard": per_shard,
+            "total_service_ms": round(total, 3),
+            "makespan_ms": round(makespan, 3),
+        }
+
+    # -- the Prima-shaped MQL surface ----------------------------------------
+
+    def prepare(self, mql: str) -> ClusterPrepared:
+        """Plan one statement on every shard, once; see
+        :meth:`repro.db.Prima.prepare` for the contract."""
+        return self.data.prepare(mql)
+
+    def execute(self, mql: str, *args: Any, use_cache: bool = True,
+                **params: Any) -> ResultSet:
+        """Execute one MQL statement across the cluster.
+
+        Routed single-key SELECTs touch exactly one shard; other
+        SELECTs scatter-gather; DDL fans out; INSERT routes by key."""
+        return self.data.execute_text(mql, args, params,
+                                      use_cache=use_cache)
+
+    query = execute
+    stream = execute
+
+    def execute_script(self, mql: str) -> list[ResultSet]:
+        """Parse and execute a ';'-separated MQL script cluster-wide."""
+        results = []
+        statements = parse_script(mql)
+        self.access.counters.bump("statements_parsed", len(statements))
+        for statement in statements:
+            result = self.data.execute(statement)
+            result.materialize()
+            results.append(result)
+        return results
+
+    def explain(self, mql: str, *args: Any, analyze: bool = False,
+                **params: Any) -> str:
+        """The processing plan including its shard-routing line."""
+        prepared = self.data.prepare(mql)
+        if prepared.kind != "select":
+            raise PrimaError("EXPLAIN supports SELECT statements only")
+        return prepared.explain(analyze=analyze, args=args, params=params)
+
+    def execute_ldl(self, ldl: str) -> list[str]:
+        """Execute an LDL script on every shard (catalog lockstep)."""
+        for engine in self.engines:
+            output = engine.execute_ldl(ldl)
+        self.access.counters.bump("ddl_fanouts")
+        return output
+
+    # -- direct atom access ---------------------------------------------------
+
+    def insert_atom(self, type_name: str,
+                    values: dict[str, Any] | None = None) -> Surrogate:
+        surrogate = self.access.insert(type_name, values)
+        self.data.publish_data_version()
+        return surrogate
+
+    def get_atom(self, surrogate: Surrogate,
+                 attrs: list[str] | None = None) -> dict[str, Any]:
+        return self.access.get(surrogate, attrs)
+
+    def modify_atom(self, surrogate: Surrogate,
+                    values: dict[str, Any]) -> None:
+        self.access.modify(surrogate, values)
+        self.data.publish_data_version()
+
+    def delete_atom(self, surrogate: Surrogate) -> None:
+        self.access.delete(surrogate)
+        self.data.publish_data_version()
+
+    # -- serving -------------------------------------------------------------
+
+    def serve(self, **kwargs):
+        """A :class:`~repro.serve.SessionManager` over the cluster —
+        the same serving layer, the coordinator underneath."""
+        from repro.serve import SessionManager
+        model = kwargs.pop("model", None)
+        fetch_size = kwargs.pop("fetch_size", None)
+        return SessionManager(self, model=model,
+                              default_fetch_size=fetch_size, **kwargs)
+
+    def attach_network(self, stats) -> None:
+        if stats not in self._network_stats:
+            self._network_stats.append(stats)
+
+    def attach_sessions(self, manager: "SessionManager") -> None:
+        if manager not in self._session_managers:
+            self._session_managers.append(manager)
+
+    # -- optimizer meta-data --------------------------------------------------
+
+    def analyze(self, type_name: str | None = None) -> int:
+        """Collect optimizer statistics on every shard (each sees only
+        its partition — selectivities stay locally accurate)."""
+        return sum(engine.analyze(type_name) for engine in self.engines)
+
+    # -- accounting -----------------------------------------------------------
+
+    def io_report(self) -> dict[str, Any]:
+        """Cluster-wide accounting: per-shard reports summed, plus the
+        coordinator's routing counters and the service channels."""
+        report: dict[str, Any] = {}
+        for engine in self.engines:
+            for key, value in engine.io_report().items():
+                if isinstance(value, bool) or \
+                        not isinstance(value, (int, float)):
+                    continue
+                report[key] = report.get(key, 0) + value
+        report.update(self.access.counters.snapshot())
+        service = self.service_report()
+        report["shards"] = service["shards"]
+        report["shard_service_ms"] = [entry["comm_time_ms"]
+                                      for entry in service["per_shard"]]
+        report["shard_makespan_ms"] = service["makespan_ms"]
+        if self._network_stats:
+            messages = nbytes = 0
+            comm_ms = 0.0
+            for stats in self._network_stats:
+                snapshot = stats.snapshot()
+                messages += snapshot["messages"]
+                nbytes += snapshot["bytes_sent"]
+                comm_ms += snapshot["comm_time_ms"]
+            report["net_messages"] = messages
+            report["net_bytes"] = nbytes
+            report["net_comm_time_ms"] = round(comm_ms, 3)
+        return report
+
+    def reset_accounting(self) -> None:
+        for engine in self.engines:
+            engine.reset_accounting()
+        self.access.counters.reset()
+        for stats in self.channels:
+            stats.reset()
+        for stats in self._network_stats:
+            stats.reset()
+        for manager in self._session_managers:
+            manager.reset_accounting()
+
+    # -- maintenance ----------------------------------------------------------
+
+    def commit(self) -> None:
+        for engine in self.engines:
+            engine.commit()
+
+    def close(self) -> None:
+        for manager in self._session_managers:
+            manager.close_all()
+        for engine in self.engines:
+            engine.close()
+        self._session_managers.clear()
+        self._network_stats.clear()
+
+    def __enter__(self) -> "ShardedCluster":
+        return self
+
+    def __exit__(self, _exc_type, _exc, _tb) -> None:
+        self.close()
+
+    def verify_integrity(self) -> list:
+        violations = []
+        for engine in self.engines:
+            violations.extend(engine.verify_integrity())
+        return violations
+
+    def __repr__(self) -> str:
+        return f"ShardedCluster({self.shard_count} shards, {self.router!r})"

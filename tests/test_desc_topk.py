@@ -272,10 +272,13 @@ class TestParallelShaping:
         result = decomposer.run_all(plan, units, partitions=4)
         assert [m.atom["n"] for m in result] == [3, 7, 11, 15, 19, 23]
 
-    def test_residual_where_disables_shaping(self):
+    def test_root_only_residual_keeps_prefix_shaping(self):
         # An OR qualification is not sargable: it stays residual, the
-        # sort order still serves the ORDER BY — but the prologue must
-        # NOT truncate, because units may be disqualified later.
+        # sort order still serves the ORDER BY.  Because the residual
+        # touches only root attributes, the prologue can evaluate it
+        # per root atom and still truncate at the window — counting
+        # only *qualified* roots, so disqualified ones never displace a
+        # window member.
         db = build_db(sort_order=["n"])
         decomposer = SemanticDecomposer(db.data)
         plan, units = decomposer.decompose_select(
@@ -283,7 +286,7 @@ class TestParallelShaping:
             "ORDER BY n DESC LIMIT 8")
         assert plan.order_served_by_access
         assert plan.residual_where is not None
-        assert len(units) == N_PARTS    # qualification decides later
+        assert len(units) == 8          # window of qualified roots only
         result = decomposer.run_all(plan, units, partitions=3)
         assert [m.atom["n"] for m in result] == \
             [59, 58, 57, 56, 55, 3, 2, 1]
