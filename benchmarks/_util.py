@@ -1,0 +1,55 @@
+"""Shared plumbing of the B-series benches.
+
+Every ``bench_b*`` used to hand-roll the same three steps: the
+reset-run-snapshot counter dance, the ``REGRESSIONS:`` trailer, and the
+``emit_json`` call.  This module owns them once — and
+:func:`emit_bench` additionally embeds a ``metrics_report()`` snapshot
+(counters + gauges + histograms, see :mod:`repro.obs`) in every bench
+JSON, so the CI artifacts carry the latency/batch-size distributions of
+the run next to the figures.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable
+
+from common import emit_json
+
+
+def counter_snapshot(db: Any, fn: Callable[[], Any]) -> tuple[Any, dict]:
+    """Run ``fn`` against freshly-zeroed accounting; returns
+    ``(fn's result, io_report())`` — the counters describe exactly that
+    one run."""
+    db.reset_accounting()
+    result = fn()
+    return result, db.io_report()
+
+
+def print_regressions(regressions: Iterable[str]) -> None:
+    """The CI-gated trailer: one line per regression marker (silent
+    when the list is empty — ``check_regressions.py`` reads the JSON,
+    this print is for humans)."""
+    regressions = list(regressions)
+    if regressions:
+        print("\nREGRESSIONS:")
+        for marker in regressions:
+            print(f"  - {marker}")
+
+
+def emit_bench(name: str, payload: dict[str, Any], db: Any = None,
+               regressions: Iterable[str] | None = None) -> str:
+    """Emit one bench's JSON with the shared trimmings.
+
+    ``regressions`` (when given) is printed and stored under the
+    ``"regressions"`` key ``check_regressions.py`` gates on; ``db``
+    (a :class:`~repro.db.Prima` or a cluster) contributes its
+    ``metrics_report()`` under ``"metrics"`` so every artifact carries
+    the run's metric distributions.
+    """
+    if regressions is not None:
+        regressions = list(regressions)
+        payload["regressions"] = regressions
+        print_regressions(regressions)
+    if db is not None and hasattr(db, "metrics_report"):
+        payload["metrics"] = db.metrics_report()
+    return emit_json(name, payload)

@@ -16,9 +16,9 @@ from __future__ import annotations
 
 import time
 
+from _util import counter_snapshot, emit_bench
 from common import (
     brep_database,
-    emit_json,
     operator_timings,
     print_header,
     print_table,
@@ -93,9 +93,9 @@ def report(n_solids: int = 24) -> None:
     # A dedicated drain for the per-operator times, so the emitted
     # timings describe exactly one known run of QUERY.
     db = brep_database(n_solids).db
-    db.reset_accounting()
-    db.query(QUERY).materialize()
-    emit_json("bench_b1_streaming", {
+    _, drained_report = counter_snapshot(
+        db, lambda: db.query(QUERY).materialize())
+    emit_bench("bench_b1_streaming", {
         "bench": "b1_streaming",
         "query": QUERY,
         "n_solids": n_solids,
@@ -108,8 +108,8 @@ def report(n_solids: int = 24) -> None:
              "molecules_built": row[2], "roots_pulled": row[3]}
             for row in counter_rows
         ],
-        "operator_time_ms_full_result": operator_timings(db.io_report()),
-    })
+        "operator_time_ms_full_result": operator_timings(drained_report),
+    }, db=db)
 
 
 def test_limit_reads_less() -> None:

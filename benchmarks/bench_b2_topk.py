@@ -21,7 +21,8 @@ from __future__ import annotations
 
 import time
 
-from common import emit_json, operator_timings, print_header, print_table
+from _util import emit_bench
+from common import operator_timings, print_header, print_table
 
 from repro import Prima
 from repro.data.operators import TopK
@@ -137,7 +138,7 @@ def report(n_items: int = N_ITEMS) -> None:
         topk, full = rows
         payload[f"speedup ({label})"] = \
             round(full["wall_ms"] / max(topk["wall_ms"], 1e-9), 2)
-    emit_json("bench_b2_topk", payload)
+    emit_bench("bench_b2_topk", payload, db=db)
     # The CI gate: bench-smoke fails the build when a bench raises, so
     # these assertions are the benchmark regression gate.  The early-exit
     # scenario must beat the full sort decisively (it constructs ~k

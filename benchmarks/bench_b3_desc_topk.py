@@ -30,7 +30,8 @@ from __future__ import annotations
 
 import time
 
-from common import emit_json, operator_timings, print_header, print_table
+from _util import emit_bench
+from common import operator_timings, print_header, print_table
 
 from repro import Prima
 from repro.data.operators import TopK
@@ -102,8 +103,9 @@ def run_pipeline(db: Prima, mql: str, label: str, use_topk: bool = True,
 
 
 def measure(n_items: int = N_ITEMS,
-            repeat: int = 3) -> tuple[dict[str, list], list[str]]:
-    """All scenario rows plus the wall-time regression markers."""
+            repeat: int = 3) -> tuple[dict[str, list], list[str], Prima]:
+    """All scenario rows, the wall-time regression markers, and the
+    prefix-served database (for the emitted metrics snapshot)."""
     scenarios: dict[str, list] = {}
     regressions: list[str] = []
 
@@ -161,7 +163,7 @@ def measure(n_items: int = N_ITEMS,
             f"({mixed_bound['wall_ms']} ms) did not beat the full sort "
             f"({mixed_full['wall_ms']} ms)"
         )
-    return scenarios, regressions
+    return scenarios, regressions, prefix
 
 
 def report(n_items: int = N_ITEMS) -> None:
@@ -170,7 +172,7 @@ def report(n_items: int = N_ITEMS) -> None:
         "dynamic bound)",
         f"{DESC_QUERY!r} / {MIXED_QUERY!r} over {n_items:,} item atoms",
     )
-    scenarios, regressions = measure(n_items)
+    scenarios, regressions, prefix_db = measure(n_items)
     for label, rows in scenarios.items():
         print()
         print(label)
@@ -188,17 +190,13 @@ def report(n_items: int = N_ITEMS) -> None:
         "n_molecules": n_items,
         "k": K,
         "scenarios": scenarios,
-        "regressions": regressions,
     }
     for label, rows in scenarios.items():
         best, *_rest, full = rows
         payload[f"speedup ({label})"] = \
             round(full["wall_ms"] / max(best["wall_ms"], 1e-9), 2)
-    emit_json("bench_b3_desc_topk", payload)
-    if regressions:
-        print("\nREGRESSION MARKERS:")
-        for marker in regressions:
-            print(f"  - {marker}")
+    emit_bench("bench_b3_desc_topk", payload, db=prefix_db,
+               regressions=regressions)
 
 
 # ---------------------------------------------------------------------------
@@ -216,7 +214,7 @@ def test_desc_served_constructs_k_and_matches_full_sort() -> None:
 
 
 def test_mixed_prefix_bound_cuts_walk() -> None:
-    scenarios, _regressions = measure(500, repeat=1)
+    scenarios, _regressions, _db = measure(500, repeat=1)
     bound, nobound, full = scenarios["mixed direction, prefix served"]
     assert bound["delivered"] == nobound["delivered"] \
         == full["delivered"] == K

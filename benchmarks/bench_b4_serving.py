@@ -29,7 +29,8 @@ the JSON ``regressions`` list, which CI's bench-smoke job fails on
 
 from __future__ import annotations
 
-from common import emit_json, print_header, print_table
+from _util import emit_bench
+from common import print_header, print_table
 
 from repro import Prima
 from repro.serve import ServeLoop
@@ -201,20 +202,14 @@ def main() -> None:
     print(f"concurrent sessions: {sessions['sessions']} x "
           f"{sessions['rows_per_session']} rows, deterministic: "
           f"{sessions['deterministic']}")
-    if regressions:
-        print("\nREGRESSIONS:")
-        for marker in regressions:
-            print(f"  - {marker}")
-
-    emit_json("bench_b4_serving", {
+    emit_bench("bench_b4_serving", {
         "n_items": N_ITEMS,
         "k": K,
         "fetch_size": FETCH_SIZE,
         "window": window,
         "abandoned_scan": abandon,
         "concurrent_sessions": sessions,
-        "regressions": regressions,
-    })
+    }, db=db, regressions=regressions)
 
 
 if __name__ == "__main__":

@@ -31,7 +31,8 @@ from __future__ import annotations
 
 import time
 
-from common import emit_json, print_header, print_table
+from _util import emit_bench
+from common import print_header, print_table
 
 from repro import Prima
 
@@ -207,7 +208,7 @@ def report(n_items: int = N_ITEMS, repeat: int = REPEAT) -> None:
         )
     print(f"\nspeedup prepared vs re-parsed: {speedup:.2f}x")
 
-    emit_json("bench_b5_prepared", {
+    emit_bench("bench_b5_prepared", {
         "bench": "b5_prepared",
         "query": QUERY,
         "n_molecules": n_items,
@@ -215,8 +216,7 @@ def report(n_items: int = N_ITEMS, repeat: int = REPEAT) -> None:
         "modes": rows,
         "serving": serving,
         "speedup_prepared_vs_reparsed": round(speedup, 2),
-        "regressions": regressions,
-    })
+    }, db=db, regressions=regressions)
 
 
 # ---------------------------------------------------------------------------

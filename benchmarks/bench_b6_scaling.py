@@ -33,7 +33,8 @@ import os
 import threading
 import time
 
-from common import emit_json, print_header, print_table
+from _util import emit_bench
+from common import print_header, print_table
 
 from repro import Prima
 from repro.serve import ServeLoop
@@ -250,12 +251,7 @@ def main() -> None:
     print(f"pool parity: {pool['rows']} rows; threads {pool['threads_s']}s "
           f"vs processes {pool['processes_s']}s on "
           f"{pool['worker_pids']} forked worker(s)")
-    if regressions:
-        print("\nREGRESSIONS:")
-        for marker in regressions:
-            print(f"  - {marker}")
-
-    emit_json("bench_b6_scaling", {
+    emit_bench("bench_b6_scaling", {
         "n_items": N_ITEMS,
         "session_sweep": list(SESSION_SWEEP),
         "fetch_size": FETCH_SIZE,
@@ -264,8 +260,7 @@ def main() -> None:
         "reads_under_retained_x": retained,
         "isolation_under_churn": isolation,
         "process_pool": pool,
-        "regressions": regressions,
-    })
+    }, db=db, regressions=regressions)
 
 
 if __name__ == "__main__":

@@ -33,7 +33,8 @@ import asyncio
 import threading
 import time
 
-from common import emit_json, print_header, print_table
+from _util import emit_bench
+from common import print_header, print_table
 
 from repro import Prima
 from repro.serve import PrimaDaemon, ServeLoop, SessionManager, protocol
@@ -261,12 +262,7 @@ def main() -> None:
           f"messages)")
     print(f"lease reclaim: {reclaim['reclaimed']}/{reclaim['abandoned']} "
           f"abandoned sessions expired by the reaper")
-    if regressions:
-        print("\nREGRESSIONS:")
-        for marker in regressions:
-            print(f"  - {marker}")
-
-    emit_json("bench_b7_daemon", {
+    emit_bench("bench_b7_daemon", {
         "n_items": N_ITEMS,
         "client_sweep": list(CLIENT_SWEEP),
         "fetch_size": FETCH_SIZE,
@@ -274,8 +270,7 @@ def main() -> None:
         "daemon_vs_thread_loop": versus,
         "auto_tuning": tuning,
         "lease_reclaim": reclaim,
-        "regressions": regressions,
-    })
+    }, db=db, regressions=regressions)
 
 
 if __name__ == "__main__":

@@ -28,7 +28,8 @@ from __future__ import annotations
 import pickle
 import time
 
-from common import emit_json, print_header, print_table
+from _util import emit_bench
+from common import print_header, print_table
 
 from repro import Prima, ShardedCluster
 from repro.serve import ServeLoop, SessionManager
@@ -182,6 +183,7 @@ def topk_pushdown_gate(regressions: list[str]) -> dict[str, object]:
         per_shard = [_constructed(e) - before[i]
                      for i, e in enumerate(cluster.engines)]
         pushed = cluster.io_report().get("shard_bounds_pushed", 0)
+        metrics = cluster.metrics_report()
     identical = pickle.dumps(got) == pickle.dumps(expected)
     if not identical:
         regressions.append(
@@ -195,7 +197,8 @@ def topk_pushdown_gate(regressions: list[str]) -> dict[str, object]:
     assert all(count <= TOPK_K for count in per_shard), per_shard
     return {"k": TOPK_K, "per_shard_constructed": per_shard,
             "total_constructed": sum(per_shard),
-            "bounds_pushed": pushed, "byte_identical": identical}
+            "bounds_pushed": pushed, "byte_identical": identical,
+            "metrics": metrics}
 
 
 def main() -> None:
@@ -225,20 +228,15 @@ def main() -> None:
     print(f"TopK pushdown: per-shard constructed {topk['per_shard_constructed']} "
           f"(cap {TOPK_K}), {topk['bounds_pushed']} bound(s) pushed, "
           f"byte-identical: {topk['byte_identical']}")
-    if regressions:
-        print("\nREGRESSIONS:")
-        for marker in regressions:
-            print(f"  - {marker}")
-
-    emit_json("bench_b8_sharding", {
+    emit_bench("bench_b8_sharding", {
         "n_items": N_ITEMS,
         "shard_sweep": list(SHARD_SWEEP),
         "session_sweep": list(SESSION_SWEEP),
         "routed_lookup": routed,
         "scale_out": scale,
         "topk_pushdown": topk,
-        "regressions": regressions,
-    })
+        "metrics": topk.pop("metrics"),
+    }, regressions=regressions)
 
 
 if __name__ == "__main__":

@@ -1,0 +1,181 @@
+"""B9 — observability overhead: tracing off must be (nearly) free.
+
+PR 9 threads the observability layer (:mod:`repro.obs`) through every
+query: ``DataSystem.watch_query`` arms a close hook that records the
+query's wall-time into the ``query_latency_ms`` histogram and — when the
+tracer sampled the query — rebuilds a span tree from the operators' own
+measurements.  The design constraint is that the **disabled** path adds
+nothing per row: one float test in ``Tracer.start``, one
+``perf_counter`` pair and one histogram observe per *query*.
+
+This bench gates that constraint on the B1 workload (the full
+``SELECT ALL FROM brep-face-edge-point`` drain over a 24-solid BREP
+database):
+
+* **overhead gate** (regression marker): the instrumented path
+  (``db.query`` with tracing off) must stay within ``OVERHEAD_CAP``
+  of the hook-free ``DataSystem.select`` drain of the same plan (the
+  PR-8 entry point, same plan cache and cursor) — medians of
+  ``ROUNDS`` interleaved measurements, with an absolute slack floor of
+  ``ABS_SLACK_MS`` so a sub-millisecond delta on a fast box cannot
+  flake the ratio;
+* **null-path gate** (hard assert): with sampling off the tracer
+  returns ``None`` — no span objects are ever allocated;
+* tracing **on** (sample=1.0) and a forced ``db.trace`` ride along as
+  data, so the artifact shows what full tracing costs.
+
+The marker lands in the JSON ``regressions`` list, which CI's
+bench-smoke job fails on (``benchmarks/check_regressions.py``).
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+
+from _util import emit_bench
+from common import brep_database, print_header, print_table
+
+from repro.mql.parser import parse
+
+QUERY = "SELECT ALL FROM brep-face-edge-point"
+N_SOLIDS = 24
+ROUNDS = 9
+OVERHEAD_CAP = 0.05
+ABS_SLACK_MS = 2.0
+
+
+def _drain_bare(db) -> tuple[float, int]:
+    """The pre-observability entry point: ``DataSystem.select`` builds
+    the same plan-cached pipeline and ``ResultSet`` but arms no
+    per-query accounting hook — the PR-8 baseline."""
+    statement = parse(QUERY)
+    started = time.perf_counter()
+    result = db.data.select(statement)
+    delivered = len(result.materialize())
+    result.close()
+    wall_ms = (time.perf_counter() - started) * 1000.0
+    return wall_ms, delivered
+
+
+def _drain_instrumented(db) -> tuple[float, int]:
+    """The real entry point: ``db.query`` arms the per-query hook."""
+    started = time.perf_counter()
+    result = db.query(QUERY)
+    delivered = len(result.materialize())
+    result.close()
+    wall_ms = (time.perf_counter() - started) * 1000.0
+    return wall_ms, delivered
+
+
+def measure(n_solids: int = N_SOLIDS,
+            rounds: int = ROUNDS) -> dict[str, object]:
+    """Interleaved medians: bare vs tracing-off vs tracing-on."""
+    db = brep_database(n_solids).db
+    db.obs.disable_tracing()
+    assert db.data.obs.tracer.start("probe") is None, \
+        "disabled tracer allocated a span"
+
+    # Warm the buffer and the plan cache before any measured round.
+    _drain_bare(db)
+    _drain_instrumented(db)
+
+    bare, off, on = [], [], []
+    rows = None
+    for _ in range(max(rounds, 1)):
+        db.obs.disable_tracing()
+        bare_ms, bare_rows = _drain_bare(db)
+        off_ms, off_rows = _drain_instrumented(db)
+        db.obs.enable_tracing(1.0)
+        on_ms, on_rows = _drain_instrumented(db)
+        db.obs.disable_tracing()
+        assert bare_rows == off_rows == on_rows
+        rows = bare_rows
+        bare.append(bare_ms)
+        off.append(off_ms)
+        on.append(on_ms)
+    return {
+        "rows": rows,
+        "rounds": rounds,
+        "bare_ms": round(statistics.median(bare), 3),
+        "tracing_off_ms": round(statistics.median(off), 3),
+        "tracing_on_ms": round(statistics.median(on), 3),
+    }
+
+
+def forced_trace(n_solids: int = N_SOLIDS) -> dict[str, object]:
+    """One forced trace: the span tree the artifact carries as data."""
+    db = brep_database(n_solids).db
+    span = db.trace(QUERY)
+    return {"rendered": span.render(), "tree": span.to_dict()}
+
+
+def main() -> None:
+    print_header(
+        "B9 — observability overhead (tracing off vs bare drain)",
+        f"{QUERY!r} over a {N_SOLIDS}-solid BREP database, "
+        f"median of {ROUNDS} interleaved rounds",
+    )
+    regressions: list[str] = []
+    timings = measure()
+    trace = forced_trace()
+    db = brep_database(N_SOLIDS).db
+
+    bare_ms = timings["bare_ms"]
+    off_ms = timings["tracing_off_ms"]
+    overhead = (off_ms - bare_ms) / max(bare_ms, 1e-9)
+    gated = off_ms - bare_ms > ABS_SLACK_MS and overhead > OVERHEAD_CAP
+    if gated:
+        regressions.append(
+            f"tracing-disabled query path costs {off_ms} ms vs {bare_ms} "
+            f"ms bare ({overhead:.1%} overhead, cap {OVERHEAD_CAP:.0%} "
+            f"with {ABS_SLACK_MS} ms slack)"
+        )
+
+    print_table(
+        ["path", "median ms", "rows"],
+        [["bare select (no hook)", bare_ms, timings["rows"]],
+         ["db.query, tracing off", off_ms, timings["rows"]],
+         ["db.query, tracing on", timings["tracing_on_ms"],
+          timings["rows"]]],
+    )
+    print(f"\ntracing-off overhead: {overhead:+.1%} "
+          f"(cap {OVERHEAD_CAP:.0%}, abs slack {ABS_SLACK_MS} ms)")
+    print("\nforced trace:")
+    for line in trace["rendered"]:
+        print(f"  {line}")
+
+    emit_bench("bench_b9_obs", {
+        "bench": "b9_obs",
+        "query": QUERY,
+        "n_solids": N_SOLIDS,
+        "timings": timings,
+        "overhead": round(overhead, 4),
+        "overhead_cap": OVERHEAD_CAP,
+        "abs_slack_ms": ABS_SLACK_MS,
+        "forced_trace": trace["tree"],
+    }, db=db, regressions=regressions)
+
+
+# ---------------------------------------------------------------------------
+# pytest entries (kept small so the tier-1 run stays fast)
+# ---------------------------------------------------------------------------
+
+def test_disabled_tracer_allocates_nothing() -> None:
+    db = brep_database(4).db
+    db.obs.disable_tracing()
+    assert db.data.obs.tracer.start("query") is None
+
+
+def test_forced_trace_builds_operator_spans() -> None:
+    db = brep_database(4).db
+    db.obs.disable_tracing()          # forced trace must not depend on it
+    span = db.trace(QUERY)
+    assert span.name == "query"
+    assert span.children, "trace produced no operator spans"
+    assert sum(child.duration for child in span.children) >= 0.0
+    assert any("rows=" in line for line in span.render())
+
+
+if __name__ == "__main__":
+    main()

@@ -96,7 +96,24 @@ def run_demo(db: repro.Prima, conn: repro.Connection) -> None:
     assert db.verify_integrity() == []
     print("integrity: OK")
 
-    # 8. When one engine is not enough: ``repro.connect(shards=N)``
+    # 8. Observability rides along on every entry point.  The metric
+    #    names follow one convention (see examples/observability.py):
+    #      counters   — <noun>_<verb-ed>: statements_parsed, atoms_read,
+    #                   plan_cache_hits, routed_queries;
+    #      gauges     — point-in-time ratios/levels: buffer_hit_ratio,
+    #                   parallel_speedup;
+    #      histograms — <what>_<unit>: query_latency_ms,
+    #                   fetch_batch_rows, admission_wait_ms,
+    #                   send_queue_depth, event_loop_lag_ms.
+    #    ``metrics_report()`` merges all of them across sessions (and
+    #    shards) into one JSON-able view; remote clients get the same
+    #    via ``conn.server_stats()``.
+    report = db.metrics_report()
+    latency = report["histograms"]["query_latency_ms"]
+    print("metrics  :", latency["count"], "queries observed,",
+          f"buffer hit ratio {report['gauges']['buffer_hit_ratio']}")
+
+    # 9. When one engine is not enough: ``repro.connect(shards=N)``
     #    serves a partitioned cluster through this exact API — routed
     #    key lookups, scatter-gather ORDER BY, DDL fan-out and all.
     #    See examples/sharded_cluster.py.

@@ -25,6 +25,7 @@ scan is exhausted (the paper's one-molecule-at-a-time MAD interface).
 
 from __future__ import annotations
 
+import time
 from dataclasses import replace
 from typing import Any
 
@@ -69,6 +70,8 @@ from repro.mql.ast import (
 )
 from repro.mql.parser import parse
 from repro.mad.schema import AtomType
+from repro.obs import Observability
+from repro.obs.trace import span_from_operator
 
 
 class DataSystem:
@@ -97,6 +100,11 @@ class DataSystem:
         #: plan template (promoted on the second distinct variant); turn
         #: off to cache every literal text separately.
         self.auto_parameterize = True
+        #: This engine's observability bundle: the query tracer
+        #: (off-by-default sampling), the metrics registry (latency
+        #: histograms and gauges on top of the counter bag), and the
+        #: slow-query log.  ``Prima.metrics_report()`` exports it.
+        self.obs = Observability()
 
     @property
     def catalog_version(self) -> int:
@@ -217,13 +225,36 @@ class DataSystem:
         plan = prepared.bind(args, params or {})
         snapshot = self.open_snapshot()
         try:
-            result = ResultSet(source=plan.compile(self, snapshot=snapshot),
-                               plan_text=plan.explain())
+            pipeline = plan.compile(self, snapshot=snapshot)
+            result = ResultSet(source=pipeline, plan_text=plan.explain())
         except BaseException:
             snapshot.release()
             raise
         result.on_close(lambda _op: snapshot.release())
+        self.watch_query(getattr(prepared, "text", ""), pipeline)
         return result
+
+    def watch_query(self, text: str, pipeline: Any) -> None:
+        """Arm per-query accounting on a compiled pipeline.
+
+        When the cursor is closed, the elapsed wall-time lands in the
+        ``query_latency_ms`` histogram and the slow log; when the tracer
+        sampled this query, the slow-log entry additionally carries the
+        span tree with one span per operator (rebuilt from the
+        operators' own measurements, so nothing extra runs per row).
+        """
+        obs = self.obs
+        span = obs.tracer.start("query", mql=text)
+        started = time.perf_counter()
+
+        def _finish(operator: Any) -> None:
+            duration = time.perf_counter() - started
+            if span is not None:
+                span.duration = duration
+                span_from_operator(operator, parent=span)
+            obs.observe_query(text, duration, span)
+
+        pipeline.add_close_hook(_finish)
 
     def publish_data_version(self) -> int:
         """Advance the atom-version epoch (a commit boundary).

@@ -37,7 +37,11 @@ counters ``operator_rows:<Name>``) and the cumulative wall-time of its
 ``next()`` calls (``time_total``; the access counters
 ``operator_time:<Name>`` carry the *self* time, children's time already
 subtracted), which benchmark reports use as per-operator cost/row/time
-accounting and ``explain(analyze=True)`` renders per operator.
+accounting.  The observability layer (:mod:`repro.obs`) subsumes these
+measurements per query: a drained pipeline converts into a span tree
+(:meth:`Operator.span`), which ``explain(analyze=True)``, the TRACE
+wire message, and the slow log all render — same numbers, rooted under
+the query instead of summed into the global counter bag.
 """
 
 from __future__ import annotations
@@ -130,8 +134,18 @@ class Operator:
 
     @property
     def self_time(self) -> float:
-        """Cumulative ``next()`` wall-time minus the children's share."""
+        """Wall-time spent in this operator alone."""
         return self.time_total - sum(c.time_total for c in self.children)
+
+    def span(self, parent=None):
+        """This (drained) subtree as an observability span tree.
+
+        Re-roots the measurements ``next()`` already took (rows and
+        wall-time per operator) under ``parent`` — nothing extra runs
+        on the row path.  See :func:`repro.obs.trace.span_from_operator`.
+        """
+        from repro.obs.trace import span_from_operator
+        return span_from_operator(self, parent)
 
     def add_close_hook(self, hook: Callable[["Operator"], None]) -> None:
         """Register a cursor-release hook, run once when this operator is

@@ -52,6 +52,7 @@ from repro.data.plan import QueryPlan, RootAccess
 from repro.data.predicates import bind_expr
 from repro.data.result import ResultSet
 from repro.errors import ExecutionError, PrimaError
+from repro.obs.trace import Span, span_from_operator
 from repro.mql.ast import (
     DeleteStatement,
     Expr,
@@ -473,8 +474,40 @@ class PreparedStatement:
         if self.kind == "select":
             plan = self.bind(args, params)
             pipeline = plan.compile(data)
+            data.watch_query(self.text, pipeline)
             return ResultSet(source=pipeline, plan_text=plan.explain())
         return data.execute(self.bound_statement(args, params))
+
+    def _trace_plan(self, plan: QueryPlan) -> Span:
+        """Compile and drain ``plan`` under a forced trace.
+
+        The returned root span's duration is the wall-time of the whole
+        drain; its children are the operator spans, rebuilt from the
+        operators' own ``time_total`` / ``rows_out`` measurements."""
+        data = self._data
+        span = Span("query", attrs={"mql": self.text})
+        pipeline = plan.compile(data)
+        try:
+            while pipeline.next() is not None:
+                pass
+        finally:
+            pipeline.close()
+        span.finish()
+        span_from_operator(pipeline, parent=span)
+        data.obs.observe_query(self.text, span.duration, span)
+        return span
+
+    def trace(self, args: tuple = (),
+              params: dict[str, Any] | None = None) -> Span:
+        """Execute to exhaustion under a forced trace (SELECT only).
+
+        Unlike the sampled tracing of the regular execution path, this
+        always produces the span tree — the programmatic twin of
+        ``explain(analyze=True)``, and what the TRACE wire message runs
+        server-side."""
+        if self.kind != "select":
+            raise PrimaError("TRACE supports SELECT statements only")
+        return self._trace_plan(self.bind(args, params or {}))
 
     def explain(self, analyze: bool = False, args: tuple = (),
                 params: dict[str, Any] | None = None) -> str:
@@ -483,8 +516,10 @@ class PreparedStatement:
         Without bindings the *template* is rendered — placeholders show
         as ``?n`` / ``:name`` markers.  With bindings (or under
         ``analyze=True``, which must execute the pipeline) the bound
-        plan is rendered; ``analyze=True`` additionally carries measured
-        rows + self-time per operator.
+        plan is rendered; ``analyze=True`` additionally renders the
+        query's **span tree** (see :meth:`trace`): the root span's
+        measured wall-time with one child span per operator carrying
+        rows and self/total time.
         """
         if self.kind != "select":
             raise PrimaError("EXPLAIN supports SELECT statements only")
@@ -496,15 +531,9 @@ class PreparedStatement:
             plan = self.plan()
         if not analyze:
             return plan.explain()
-        pipeline = plan.compile(self._data)
-        try:
-            while pipeline.next() is not None:
-                pass
-        finally:
-            pipeline.close()
+        span = self._trace_plan(plan)
         lines = [plan.explain(), "  analyzed:"]
-        lines.extend("    " + line
-                     for line in pipeline.render_tree(analyze=True))
+        lines.extend("    " + line for line in span.render())
         return "\n".join(lines)
 
     def __repr__(self) -> str:
@@ -703,6 +732,10 @@ class BoundTemplateStatement:
                 params: dict[str, Any] | None = None) -> str:
         return self.template.explain(analyze, args=args,
                                      params=self._merged(params))
+
+    def trace(self, args: tuple = (),
+              params: dict[str, Any] | None = None) -> "Span":
+        return self.template.trace(args, self._merged(params))
 
     def __repr__(self) -> str:
         return (f"BoundTemplateStatement({self.kind}, {self.text!r}, "

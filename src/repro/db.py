@@ -165,6 +165,20 @@ class Prima:
             raise PrimaError("EXPLAIN supports SELECT statements only")
         return prepared.explain(analyze=analyze, args=args, params=params)
 
+    def trace(self, mql: str, *args: Any, **params: Any):
+        """Run a SELECT to exhaustion under a forced trace.
+
+        Returns the root :class:`~repro.obs.trace.Span` of the query:
+        its duration is the wall-time of the whole drain, its children
+        are the operator spans (rows + self/total time per operator).
+        The programmatic twin of ``explain(analyze=True)`` — and the
+        engine half of the TRACE wire message.
+        """
+        prepared = self.data.prepare(mql)
+        if prepared.kind != "select":
+            raise PrimaError("TRACE supports SELECT statements only")
+        return prepared.trace(args, params)
+
     # -- LDL ------------------------------------------------------------------------
 
     def execute_ldl(self, ldl: str) -> list[str]:
@@ -374,6 +388,38 @@ class Prima:
             report["net_comm_time_ms"] = round(comm_ms, 3)
         return report
 
+    @property
+    def obs(self):
+        """This engine's :class:`~repro.obs.Observability` bundle
+        (tracer + metrics registry + slow log)."""
+        return self.data.obs
+
+    def metrics_report(self) -> dict[str, Any]:
+        """The JSON-able metrics export: counters, gauges, histograms.
+
+        ``counters`` is :meth:`io_report` (the paper's count
+        quantities); ``gauges``/``histograms`` merge this engine's
+        registry with the per-session registries of every attached
+        serving manager — one view over engine, sessions, and daemon.
+        The buffer hit ratio is sampled into its gauge (and its
+        histogram) at report time.
+        """
+        registries = [self.data.obs.metrics]
+        for manager in self._session_managers:
+            registries.extend(manager.metric_registries())
+        counters = self.io_report()
+        fixes = counters.get("fixes", 0)
+        if fixes:
+            ratio = round(counters.get("hits", 0) / fixes, 4)
+            self.data.obs.metrics.gauge("buffer_hit_ratio", ratio)
+            self.data.obs.metrics.observe("buffer_hit_ratio", ratio)
+        merged = registries[0].merge(*registries[1:])
+        return {
+            "counters": counters,
+            "gauges": merged.gauges(),
+            "histograms": merged.histograms(),
+        }
+
     def reset_accounting(self) -> None:
         """Zero all counters (data is untouched).
 
@@ -383,6 +429,7 @@ class Prima:
         serving setup start from zero."""
         self.storage.reset_accounting()
         self.access.counters.reset()
+        self.data.obs.reset()
         for stats in self._network_stats:
             stats.reset()
         for manager in self._session_managers:

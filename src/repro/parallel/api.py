@@ -94,5 +94,8 @@ def parallel_select(db: Prima, query: "str | PreparedStatement",
         mode=mode,
     )
     report = simulate(units, processors)
+    metrics = db.data.obs.metrics
+    metrics.gauge("parallel_speedup", round(report.speedup, 4))
+    metrics.observe("parallel_units", len(units))
     return ParallelQueryResult(result=result, report=report,
                                worker_pids=frozenset(decomposer.worker_pids))

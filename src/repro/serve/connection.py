@@ -210,6 +210,32 @@ class Connection:
         return self._transport.request(
             protocol.Explain(mql, args, params or None)).text
 
+    # -- observability -------------------------------------------------------
+
+    def server_stats(self, reset: bool = False) -> dict[str, Any]:
+        """The server's observability export, over any transport.
+
+        One STATS message pair: ``{"metrics": metrics_report(),
+        "slowlog": [...]}`` — counters, gauges and histograms in the
+        same schema whether this connection is in-process or a socket
+        (the parity the observability tests assert).  ``reset=True``
+        zeroes the server-side metrics and slow log after the read.
+        """
+        self._require_open()
+        reply = self._transport.request(protocol.Stats(reset))
+        return {"metrics": reply.metrics, "slowlog": reply.slowlog}
+
+    def trace(self, mql: str, *args: Any, **params: Any) -> dict[str, Any]:
+        """TRACE: run ``mql`` server-side under a forced trace.
+
+        Returns ``{"text": rendered span tree, "tree": Span.to_dict()}``
+        — per-shard child spans included when the server is a cluster.
+        No cursor opens; the rows are drained server-side."""
+        self._require_open()
+        reply = self._transport.request(
+            protocol.Trace(mql, args, params or None))
+        return {"text": reply.text, "tree": reply.tree}
+
     # -- the coupling protocol -----------------------------------------------
 
     def checkout(self, mql: str, fetch_size: Any = DEFAULT_FETCH_SIZE,

@@ -264,12 +264,17 @@ class PrimaDaemon:
             if manager.admission != "queue":
                 raise
         manager.db.access.counters.bump("serve_sessions_queued")
+        wait_started = time.perf_counter()
         deadline = (time.monotonic() + manager.queue_timeout
                     if manager.queue_timeout is not None else None)
         while True:
             await asyncio.sleep(self.admission_poll)
             try:
-                return manager.open_nowait(client)
+                session = manager.open_nowait(client)
+                manager.metrics.observe(
+                    "admission_wait_ms",
+                    (time.perf_counter() - wait_started) * 1000.0)
+                return session
             except SessionLimitError:
                 if deadline is not None and time.monotonic() >= deadline:
                     raise SessionLimitError(
@@ -311,8 +316,12 @@ class PrimaDaemon:
         on a full queue whose consumer died — it has to reach its own
         EOF and reclaim the session."""
         failed = False
+        metrics = self.manager.metrics
         while True:
             message = await queue.get()
+            # Depth *after* taking this message: 0 means the writer is
+            # keeping up, near ``send_queue`` means backpressure.
+            metrics.observe("send_queue_depth", queue.qsize())
             if message is _CLOSE:
                 return
             if failed:
@@ -325,9 +334,19 @@ class PrimaDaemon:
     # -- hygiene -------------------------------------------------------------
 
     async def _reap_loop(self) -> None:
-        """Periodic :meth:`SessionManager.reap` sweep."""
+        """Periodic :meth:`SessionManager.reap` sweep.
+
+        The sweep doubles as the event loop's health probe: the
+        difference between the intended and the actual sleep is the
+        loop's scheduling lag — inline dispatch hogging the loop shows
+        up here as ``event_loop_lag_ms``."""
         while True:
+            before = time.perf_counter()
             await asyncio.sleep(self.reap_interval)
+            lag_ms = (time.perf_counter() - before
+                      - self.reap_interval) * 1000.0
+            self.manager.metrics.observe("event_loop_lag_ms",
+                                         max(lag_ms, 0.0))
             self.manager.reap()
 
 

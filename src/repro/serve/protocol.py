@@ -272,6 +272,42 @@ class ExplainReply(Response):
     text: str = ""
 
 
+# -- observability -----------------------------------------------------------
+
+@dataclass
+class Stats(Request):
+    """STATS: pull the server's metrics registry and slow-query log.
+    ``reset=True`` zeroes the server-side accounting after the read
+    (a sampling client's read-and-rearm)."""
+    reset: bool = False
+
+
+@dataclass
+class StatsReply(Response):
+    """The server's observability export: the merged
+    ``metrics_report()`` (counters + gauges + histograms — the same
+    schema on every transport) and the slow-log entries."""
+    metrics: dict[str, Any] = field(default_factory=dict)
+    slowlog: list[dict[str, Any]] = field(default_factory=list)
+
+
+@dataclass
+class Trace(Request):
+    """TRACE: run a SELECT to exhaustion under a forced trace; the
+    reply carries the rendered span tree.  No cursor opens."""
+    mql: str = ""
+    args: tuple = ()
+    params: dict[str, Any] | None = None
+
+
+@dataclass
+class TraceReply(Response):
+    """The query's span tree: rendered text plus the JSON-able dict
+    (``Span.to_dict()`` — durations in ms)."""
+    text: str = ""
+    tree: dict[str, Any] = field(default_factory=dict)
+
+
 # -- checkout/checkin (the coupling protocol) --------------------------------
 
 @dataclass
@@ -321,11 +357,17 @@ def wire_size(message: Request | Response) -> int:
     if isinstance(message, ExecutePrepared):
         return (CONTROL_REQUEST_BYTES
                 + bindings_bytes(message.args, message.params))
-    if isinstance(message, (Execute, Explain)):
+    if isinstance(message, (Execute, Explain, Trace)):
         return (len(message.mql.encode("utf-8"))
                 + bindings_bytes(message.args, message.params))
     if isinstance(message, ExplainReply):
         return len(message.text.encode("utf-8"))
+    if isinstance(message, TraceReply):
+        return len(message.text.encode("utf-8")) \
+            + encoded_size(message.tree)
+    if isinstance(message, StatsReply):
+        return (encoded_size(message.metrics)
+                + sum(encoded_size(entry) for entry in message.slowlog))
     if isinstance(message, Checkin):
         payload = sum(encoded_size(values)
                       for values in message.modifications.values())

@@ -91,13 +91,13 @@ from repro.mql.ast import (
     InsertStatement,
     ModifyStatement,
 )
+from repro.obs import MetricsRegistry
 from repro.serve import protocol
 from repro.serve.cursor import RemoteCursor, ServerCursor
 from repro.serve.protocol import batch_bytes, wire_size
 from repro.serve.tuning import AUTO_PROBE_SIZE, tune_fetch_size
 from repro.txn import Transaction, TransactionManager
 from repro.util.rwlock import ReadWriteLock
-from repro.util.stats import Counters
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.coupling.network import NetworkModel
@@ -116,6 +116,13 @@ def _wire_fetch_size(fetch_size: Any) -> int | str | None:
     if fetch_size is DEFAULT_FETCH_SIZE:
         return protocol.DEFAULT_FETCH_SIZE_WIRE
     return fetch_size
+
+
+#: Requests whose handling time is a *query* latency (they bind and run
+#: a statement), observed into ``query_latency_ms`` next to the generic
+#: per-message ``request_latency_ms``.
+_QUERY_REQUESTS = (protocol.Open, protocol.Execute,
+                   protocol.ExecutePrepared)
 
 
 def _lock_resource(atom_type: str) -> tuple[str, str]:
@@ -165,7 +172,11 @@ class Session:
         self.manager = manager
         self.name = name
         self.txn: Transaction = manager.txns.begin()
-        self.counters = Counters()
+        #: A full metrics registry (still a ``Counters`` — the serving
+        #: reports keep reading it as one): counters plus the session's
+        #: request-latency and fetch-batch-size histograms, merged into
+        #: the cluster view by ``metrics_report()``.
+        self.counters = MetricsRegistry()
         self.closed = False
         self.expired = False
         #: Manager-clock time of the last message (the lease input).
@@ -270,7 +281,23 @@ class Session:
             self._require_open()
             self.last_activity = self.manager._now()
             self._bill(request)
+            obs = self._db.data.obs
+            span = obs.tracer.start(f"msg:{type(request).__name__}",
+                                    session=self.name)
+            started = time.perf_counter()
             response = handler(self, request)
+            duration = time.perf_counter() - started
+            self.counters.observe("request_latency_ms",
+                                  duration * 1000.0)
+            if isinstance(request, _QUERY_REQUESTS):
+                self.counters.observe("query_latency_ms",
+                                      duration * 1000.0)
+            if span is not None:
+                span.finish()
+                span.duration = duration
+                text = getattr(request, "mql", "") or \
+                    f"msg:{type(request).__name__}"
+                obs.slowlog.record(text, duration, span)
             self._bill(response)
             return response
 
@@ -336,6 +363,7 @@ class Session:
         self._count("cursors_opened")
         self._count("fetch_messages")
         self._count("rows_streamed", len(batch))
+        self.counters.observe("fetch_batch_rows", len(batch))
         return protocol.OpenReply(cursor.cursor_id, batch, exhausted,
                                   result.plan_text, resolved,
                                   shard=getattr(result, "shard", None))
@@ -359,6 +387,7 @@ class Session:
             batch, exhausted = cursor.fetch(request.count)
         self._count("fetch_messages")
         self._count("rows_streamed", len(batch))
+        self.counters.observe("fetch_batch_rows", len(batch))
         return protocol.Batch(batch, exhausted)
 
     def _handle_reopen(self, request: protocol.Reopen) -> protocol.Batch:
@@ -373,6 +402,7 @@ class Session:
                 batch, exhausted = cursor.fetch(request.fetch_size)
         self._count("fetch_messages")
         self._count("rows_streamed", len(batch))
+        self.counters.observe("fetch_batch_rows", len(batch))
         return protocol.Batch(batch, exhausted)
 
     def _handle_close_cursor(self,
@@ -466,6 +496,42 @@ class Session:
         self._count("explains")
         return protocol.ExplainReply(text)
 
+    # -- observability -------------------------------------------------------
+
+    def _handle_stats(self,
+                      request: protocol.Stats) -> protocol.StatsReply:
+        """STATS: export the server's merged metrics registry and its
+        slow-query log — the same ``metrics_report()`` schema the
+        in-process API returns, so clients see identical histograms on
+        every transport.  ``reset=True`` zeroes the observability
+        accounting (the metrics bundle and the slow log; the plain
+        counter report is left alone) after the read."""
+        obs = self._db.data.obs
+        reply = protocol.StatsReply(metrics=self._db.metrics_report(),
+                                    slowlog=obs.slowlog.snapshot())
+        if request.reset:
+            obs.reset()
+            self.manager.metrics.reset()
+        self._count("stats_pulls")
+        return reply
+
+    def _handle_trace(self,
+                      request: protocol.Trace) -> protocol.TraceReply:
+        """TRACE: run a SELECT to exhaustion under a forced trace and
+        ship its span tree back — rendered text plus the JSON form.  No
+        cursor opens; the engine's shared reader side covers the run
+        exactly like an OPEN."""
+        with self.manager.engine.reader():
+            prepared = self._db.data.prepare(request.mql)
+            if prepared.kind != "select":
+                raise SessionStateError(
+                    "TRACE supports SELECT statements only"
+                )
+            span = prepared.trace(request.args, request.params or {})
+        self._count("traces")
+        return protocol.TraceReply("\n".join(span.render()),
+                                   span.to_dict())
+
     # -- checkin -------------------------------------------------------------
 
     def _handle_checkin(self,
@@ -504,6 +570,8 @@ class Session:
         protocol.Deallocate: _handle_deallocate,
         protocol.Execute: _handle_execute,
         protocol.Explain: _handle_explain,
+        protocol.Stats: _handle_stats,
+        protocol.Trace: _handle_trace,
         protocol.Checkin: _handle_checkin,
         protocol.Ping: _handle_ping,
         protocol.Goodbye: _handle_goodbye,
@@ -605,6 +673,19 @@ class Session:
         plan shows concrete ranges instead of ``?n`` markers."""
         return self.handle(
             protocol.Explain(mql, args, params or None)).text
+
+    def server_stats(self, reset: bool = False) -> dict[str, Any]:
+        """The server's observability export over the wire: the merged
+        ``metrics_report()`` (counters + gauges + histograms) and the
+        slow-query log, as one STATS message pair."""
+        reply = self.handle(protocol.Stats(reset))
+        return {"metrics": reply.metrics, "slowlog": reply.slowlog}
+
+    def trace(self, mql: str, *args: Any, **params: Any) -> dict[str, Any]:
+        """Run ``mql`` server-side under a forced trace; returns the
+        span tree as ``{"text": rendered, "tree": Span.to_dict()}``."""
+        reply = self.handle(protocol.Trace(mql, args, params or None))
+        return {"text": reply.text, "tree": reply.tree}
 
     def ping(self) -> str:
         """Keepalive: refresh this session's lease; returns its label."""
@@ -942,6 +1023,10 @@ class SessionManager:
         self.db = db
         self.model = model if model is not None else NetworkModel()
         self.stats = NetworkStats()
+        #: Manager-level metrics (admission waits, daemon loop health);
+        #: merged with every session's registry by
+        #: :meth:`metric_registries`.
+        self.metrics = MetricsRegistry()
         self.max_sessions = max_sessions
         self.admission = admission
         self.queue_timeout = queue_timeout
@@ -1006,6 +1091,7 @@ class SessionManager:
                         f"server at max_sessions={self.max_sessions}"
                     )
                 self.db.access.counters.bump("serve_sessions_queued")
+                wait_started = time.perf_counter()
                 while self._active >= self.max_sessions:
                     if not self._slots.wait(timeout=wait_limit):
                         raise SessionLimitError(
@@ -1013,6 +1099,9 @@ class SessionManager:
                             f"{wait_limit}s (max_sessions="
                             f"{self.max_sessions})"
                         )
+                self.metrics.observe(
+                    "admission_wait_ms",
+                    (time.perf_counter() - wait_started) * 1000.0)
             return self._admit(name)
 
     def open_nowait(self, name: str | None = None) -> Session:
@@ -1095,11 +1184,19 @@ class SessionManager:
         concurrency peak — so benchmark phases start from zero.
         (``Prima.reset_accounting`` calls this for attached managers.)"""
         self.stats.reset()
+        self.metrics.reset()
         with self._slots:
             sessions = list(self._sessions)
             self._peak = self._active
         for session in sessions:
             session.counters.reset()
+
+    def metric_registries(self) -> list[MetricsRegistry]:
+        """This manager's registry plus every session's — the inputs
+        ``metrics_report()`` merges into the one server-wide view."""
+        with self._slots:
+            sessions = list(self._sessions)
+        return [self.metrics] + [session.counters for session in sessions]
 
     # -- inspection ----------------------------------------------------------
 

@@ -302,6 +302,15 @@ class ShardedCluster:
             raise PrimaError("EXPLAIN supports SELECT statements only")
         return prepared.explain(analyze=analyze, args=args, params=params)
 
+    def trace(self, mql: str, *args: Any, **params: Any):
+        """Execute a SELECT cluster-wide under a forced trace; returns
+        the root :class:`~repro.obs.trace.Span` with one child span per
+        touched shard (see :meth:`repro.db.Prima.trace`)."""
+        prepared = self.data.prepare(mql)
+        if prepared.kind != "select":
+            raise PrimaError("TRACE supports SELECT statements only")
+        return prepared.trace(args, params)
+
     def execute_ldl(self, ldl: str) -> list[str]:
         """Execute an LDL script on every shard (catalog lockstep)."""
         for engine in self.engines:
@@ -387,10 +396,41 @@ class ShardedCluster:
             report["net_comm_time_ms"] = round(comm_ms, 3)
         return report
 
+    @property
+    def obs(self):
+        """The coordinator's observability bundle (cluster-level
+        tracer, metrics, and slow log)."""
+        return self.data.obs
+
+    def metrics_report(self) -> dict[str, Any]:
+        """One cluster-wide metrics view: the coordinator's registry
+        merged with every shard engine's and every serving session's
+        (counters/buckets sum, gauges last-writer-wins), plus the
+        summed counter report.  Histogram schemas agree by construction
+        (:data:`repro.obs.metrics.DEFAULT_BUCKETS`)."""
+        registries = [self.data.obs.metrics]
+        registries.extend(engine.data.obs.metrics
+                          for engine in self.engines)
+        for manager in self._session_managers:
+            registries.extend(manager.metric_registries())
+        counters = self.io_report()
+        fixes = counters.get("fixes", 0)
+        if fixes:
+            ratio = round(counters.get("hits", 0) / fixes, 4)
+            self.data.obs.metrics.gauge("buffer_hit_ratio", ratio)
+            self.data.obs.metrics.observe("buffer_hit_ratio", ratio)
+        merged = registries[0].merge(*registries[1:])
+        return {
+            "counters": counters,
+            "gauges": merged.gauges(),
+            "histograms": merged.histograms(),
+        }
+
     def reset_accounting(self) -> None:
         for engine in self.engines:
             engine.reset_accounting()
         self.access.counters.reset()
+        self.data.obs.reset()
         for stats in self.channels:
             stats.reset()
         for stats in self._network_stats:

@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import pickle
 import threading
+import time
 from collections import OrderedDict
 from dataclasses import replace
 from typing import TYPE_CHECKING, Any
@@ -56,6 +57,8 @@ from repro.mql.ast import (
     SelectStatement,
     Statement,
 )
+from repro.obs import Observability
+from repro.obs.trace import Span, span_from_operator
 from repro.parallel.decompose import merge_ordered
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -75,6 +78,19 @@ def _mol_value(molecule: Any, attr: str) -> Any:
     """ORDER BY values read off the *unprojected* root atom — the same
     accessor the serial Sort/TopK operators rank with."""
     return molecule.atom.get(attr)
+
+
+def _shard_span(pipe: "_ShardPipe", parent: Span) -> Span:
+    """One shard's child span: the shard pipeline's measured wall-time,
+    gathered rows/bytes, and the operator spans underneath."""
+    span = Span(f"shard:{pipe.index}", parent=parent)
+    span.started = 0.0
+    span.duration = max(pipe.pipeline.time_total, 0.0)
+    span.attrs["shard"] = pipe.index
+    span.attrs["rows"] = pipe.delivered
+    span.attrs["bytes"] = pipe.bytes_out
+    span_from_operator(pipe.pipeline, parent=span)
+    return span
 
 
 class _ShardPipe:
@@ -368,17 +384,32 @@ class ClusterPrepared:
 
     def explain(self, analyze: bool = False, args: tuple = (),
                 params: dict[str, Any] | None = None) -> str:
+        """The routed/annotated plan; ``analyze=True`` executes the
+        query cluster-wide and renders the real span tree — the root
+        span's wall-time with one child span per touched shard, each
+        carrying its shard pipeline's operator spans."""
         if self.kind != "select":
             raise PrimaError("EXPLAIN supports SELECT statements only")
-        if analyze:
-            raise PrimaError(
-                "EXPLAIN ANALYZE is a per-shard concern — run it on one "
-                "shard engine directly"
-            )
         params = params or {}
-        if args or params:
-            return self.bind(args, params).explain()
-        return self.plan().explain()
+        if args or params or (analyze and
+                              (self.param_count or self.param_names)):
+            plan = self.bind(args, params)
+        else:
+            plan = self.plan()
+        if not analyze:
+            return plan.explain()
+        span = self._coordinator.trace(self, args, params)
+        lines = [plan.explain(), "  analyzed:"]
+        lines.extend("    " + line for line in span.render())
+        return "\n".join(lines)
+
+    def trace(self, args: tuple = (),
+              params: dict[str, Any] | None = None) -> Span:
+        """Execute to exhaustion under a forced trace; the root span
+        gets one child span per routed/scattered shard."""
+        if self.kind != "select":
+            raise PrimaError("TRACE supports SELECT statements only")
+        return self._coordinator.trace(self, args, params or {})
 
     def __repr__(self) -> str:
         shards = len(self._stmts)
@@ -393,6 +424,7 @@ class Coordinator:
         self.cluster = cluster
         self._prepared: "OrderedDict[str, ClusterPrepared]" = OrderedDict()
         self._lock = threading.Lock()
+        self.obs = Observability()
 
     # -- the DataSystem surface the serving layer speaks ---------------------
 
@@ -504,7 +536,8 @@ class Coordinator:
         params = params or {}
         prepared._refresh()
         plans = [stmt.bind(args, params) for stmt in prepared._stmts]
-        return self._open(plans, self.routed_target(plans[0]))
+        return self._open(plans, self.routed_target(plans[0]),
+                          text=prepared.text)
 
     def _select_statement(self, statement: SelectStatement) -> ResultSet:
         """Execute an already-parsed SELECT AST (the script path)."""
@@ -514,13 +547,14 @@ class Coordinator:
             plans.append(engine.data.plan_select(statement))
         return self._open(plans, self.routed_target(plans[0]))
 
-    def _open(self, plans: list[QueryPlan],
-              target: int | None) -> ResultSet:
+    def _open(self, plans: list[QueryPlan], target: int | None,
+              text: str = "") -> ResultSet:
         if target is not None:
             plan = plans[target]
             annotated = self.annotate(plan, shard=target)
             pipe = self._open_pipe(target, replace(plan, routing=None))
             self.counters.bump("routed_queries")
+            self._watch(text, pipe, [pipe])
             result = ResultSet(source=pipe, plan_text=annotated.explain())
             result.shard = target
             return result
@@ -535,9 +569,78 @@ class Coordinator:
             raise
         self.counters.bump("scatter_queries")
         source = _ScatterGather(self, plans[0], pipes)
+        self._watch(text, source, pipes)
         result = ResultSet(source=source, plan_text=annotated.explain())
         result.shard = None
         return result
+
+    def _watch(self, text: str, source: Any,
+               pipes: list[_ShardPipe]) -> None:
+        """Arm per-query accounting on a gather source: when the result
+        set closes, the coordinator's latency histogram and slow log see
+        the query — with a span tree (root + one child per shard) when
+        the tracer sampled it."""
+        obs = self.obs
+        span = obs.tracer.start("query", mql=text,
+                                shards=len(pipes))
+        started = time.perf_counter()
+
+        def _finish(_source: Any) -> None:
+            duration = time.perf_counter() - started
+            if span is not None:
+                span.duration = duration
+                for pipe in pipes:
+                    _shard_span(pipe, span)
+            obs.observe_query(text, duration, span)
+
+        source.add_close_hook(_finish)
+
+    def trace(self, prepared: ClusterPrepared, args: tuple = (),
+              params: dict[str, Any] | None = None) -> Span:
+        """Run a prepared SELECT to exhaustion under a forced trace.
+
+        Unlike the sampled close-hook path this always builds the span
+        tree: the root span is live wall-time, each touched shard
+        contributes one child span carrying its pipeline's operator
+        spans (their summed self-times bound by the root duration).
+        """
+        params = params or {}
+        prepared._refresh()
+        plans = [stmt.bind(args, params) for stmt in prepared._stmts]
+        target = self.routed_target(plans[0])
+        span = Span("query", attrs={"mql": prepared.text})
+        if target is not None:
+            pipes = [self._open_pipe(
+                target, replace(plans[target], routing=None))]
+            self.counters.bump("routed_queries")
+            source: Any = pipes[0]
+            span.attrs["mode"] = "routed"
+        else:
+            pipes = []
+            try:
+                for index, plan in enumerate(plans):
+                    pipes.append(
+                        self._open_pipe(index, self._shard_plan(plan)))
+            except BaseException:
+                for pipe in pipes:
+                    pipe.close()
+                raise
+            self.counters.bump("scatter_queries")
+            source = _ScatterGather(self, plans[0], pipes)
+            span.attrs["mode"] = "scatter"
+        span.attrs["shards"] = len(pipes)
+        rows = 0
+        try:
+            while source.next() is not None:
+                rows += 1
+        finally:
+            source.close()
+        span.finish()
+        span.attrs["rows"] = rows
+        for pipe in pipes:
+            _shard_span(pipe, span)
+        self.obs.observe_query(prepared.text, span.duration, span)
+        return span
 
     def _shard_plan(self, plan: QueryPlan) -> QueryPlan:
         """One shard's slice of a scatter plan.

@@ -48,7 +48,8 @@ class Counters:
 
     def get(self, name: str) -> float:
         """Current value of counter ``name`` (0 if never bumped)."""
-        return self._values.get(name, 0)
+        with self._lock:
+            return self._values.get(name, 0)
 
     def reset(self) -> None:
         """Zero every counter."""
@@ -63,15 +64,21 @@ class Counters:
 
     def diff(self, earlier: dict[str, float]) -> dict[str, float]:
         """Counters gained since ``earlier`` (a prior :meth:`snapshot`)."""
+        with self._lock:
+            current = dict(self._values)
         result: dict[str, float] = {}
-        for name, value in self._values.items():
+        for name, value in current.items():
             delta = value - earlier.get(name, 0)
             if delta:
                 result[name] = delta
         return dict(sorted(result.items()))
 
     def __iter__(self) -> Iterator[tuple[str, float]]:
-        return iter(sorted(self._values.items()))
+        # Reads take the lock too: a concurrent bump() mutates the dict
+        # mid-iteration otherwise (construction threads, daemon sessions).
+        with self._lock:
+            items = sorted(self._values.items())
+        return iter(items)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         inner = ", ".join(f"{k}={v}" for k, v in self)
