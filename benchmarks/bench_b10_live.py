@@ -1,0 +1,180 @@
+"""B10 — live queries: skip cost, notify latency, event-loop lag.
+
+PR 10 adds server-pushed subscriptions with epoch-delta invalidation
+(:mod:`repro.live`).  Three properties carry the design and are gated
+here (markers land in the JSON ``regressions`` list CI fails on):
+
+* **skip gate** — a commit to a type outside every subscription's
+  dependency set must cost one set lookup, *never* a re-evaluation:
+  100 commits to an unrelated type with a ``deliver="requery"``
+  subscription registered must bump ``invalidations_skipped`` 100
+  times and ``subscription_requeries`` zero times;
+* **latency gate** — the commit→client-NOTIFY-frame path over the
+  daemon socket (typed delta → index → send queue → wire → client
+  skim) must stay interactive: median under ``LATENCY_CAP_MS``
+  (generous — the gate catches a stall, not a slow box);
+* **lag gate** — with ``FLEET`` socket subscribers all notified per
+  commit, the daemon's event loop must keep turning: mean
+  ``event_loop_lag_ms`` under ``LAG_CAP_MS``, and every subscriber
+  receives every frame with an identical payload.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+
+from _util import emit_bench
+from common import print_header, print_table
+
+import repro
+from repro.serve import PrimaDaemon, SessionManager
+
+N_UNRELATED = 100
+N_LATENCY = 20
+FLEET = 32
+LATENCY_CAP_MS = 250.0
+LAG_CAP_MS = 100.0
+
+
+def build_instance() -> repro.Prima:
+    db = repro.Prima()
+    db.execute("CREATE ATOM_TYPE part (part_id: IDENTIFIER, "
+               "n: INTEGER, grp: INTEGER) KEYS_ARE (n)")
+    db.execute("CREATE ATOM_TYPE noise (noise_id: IDENTIFIER, "
+               "k: INTEGER) KEYS_ARE (k)")
+    for i in range(60):
+        db.insert_atom("part", {"n": i, "grp": i % 4})
+    return db
+
+
+def bench_skip_cost(db, conn) -> dict:
+    """Commits to an unrelated type: set lookups, zero re-evaluations."""
+    conn.subscribe("SELECT ALL FROM part WHERE grp = 1",
+                   deliver="requery")
+    db.reset_accounting()
+    started = time.perf_counter()
+    for i in range(N_UNRELATED):
+        db.insert_atom("noise", {"k": 10_000 + i})
+    wall_ms = (time.perf_counter() - started) * 1000.0
+    report = db.io_report()
+    return {
+        "commits": N_UNRELATED,
+        "wall_ms": round(wall_ms, 3),
+        "invalidations_skipped": report.get("invalidations_skipped", 0),
+        "invalidations_fired": report.get("invalidations_fired", 0),
+        "subscription_requeries": report.get("subscription_requeries", 0),
+    }
+
+
+def bench_notify_latency(db, conn) -> dict:
+    """Commit → NOTIFY frame at the client, over the daemon socket."""
+    conn.subscribe("SELECT ALL FROM part")
+    conn.notifications(timeout=0.2)   # drain anything pending
+    latencies = []
+    for i in range(N_LATENCY):
+        committed = time.perf_counter()
+        db.insert_atom("part", {"n": 1000 + i, "grp": 2})
+        frames = []
+        while not frames:
+            frames = conn.notifications(timeout=1.0)
+        latencies.append((time.perf_counter() - committed) * 1000.0)
+    return {
+        "commits": N_LATENCY,
+        "median_ms": round(statistics.median(latencies), 3),
+        "p90_ms": round(sorted(latencies)[int(0.9 * len(latencies))], 3),
+        "max_ms": round(max(latencies), 3),
+    }
+
+
+def bench_fleet_lag(db, manager, daemon) -> dict:
+    """32 subscribers, every commit fans out to all of them."""
+    conns = [daemon.connect(name=f"sub-{i}") for i in range(FLEET)]
+    try:
+        for conn in conns:
+            conn.subscribe("SELECT ALL FROM part")
+        fanned = 0
+        payload_sets = set()
+        for i in range(5):
+            db.insert_atom("part", {"n": 2000 + i, "grp": 3})
+        for conn in conns:
+            frames = []
+            deadline = time.monotonic() + 10.0
+            while len(frames) < 5 and time.monotonic() < deadline:
+                frames.extend(conn.notifications(timeout=0.25))
+            fanned += len(frames)
+            payload_sets.add(tuple(
+                (f.epoch, f.types, f.catalog_changed) for f in frames))
+        lag = manager.metrics.histograms().get("event_loop_lag_ms")
+        mean_lag = (lag["sum"] / lag["count"]) if lag and lag["count"] \
+            else 0.0
+        return {
+            "subscribers": FLEET,
+            "frames_delivered": fanned,
+            "frames_expected": FLEET * 5,
+            "identical_payloads": len(payload_sets) == 1,
+            "event_loop_lag_mean_ms": round(mean_lag, 3),
+            "lag_samples": lag["count"] if lag else 0,
+        }
+    finally:
+        for conn in conns:
+            conn.close()
+
+
+def main() -> None:
+    print_header("B10 — live queries",
+                 "epoch-delta invalidation, push latency, fleet fan-out")
+    db = build_instance()
+    manager = SessionManager(db, max_sessions=FLEET + 4)
+    regressions: list[str] = []
+    with PrimaDaemon(manager, reap_interval=0.05) as daemon:
+        with daemon.connect(name="skip") as conn:
+            skip = bench_skip_cost(db, conn)
+        with daemon.connect(name="latency") as conn:
+            latency = bench_notify_latency(db, conn)
+        fleet = bench_fleet_lag(db, manager, daemon)
+
+    print_table(
+        ["figure", "value"],
+        [["unrelated commits", skip["commits"]],
+         ["  skipped / requeried", f"{skip['invalidations_skipped']} / "
+                                   f"{skip['subscription_requeries']}"],
+         ["notify median / p90 (ms)", f"{latency['median_ms']} / "
+                                      f"{latency['p90_ms']}"],
+         ["fleet frames", f"{fleet['frames_delivered']} / "
+                          f"{fleet['frames_expected']}"],
+         ["event-loop lag mean (ms)", fleet["event_loop_lag_mean_ms"]]],
+    )
+
+    if skip["subscription_requeries"] != 0:
+        regressions.append(
+            f"unrelated commits re-evaluated "
+            f"{skip['subscription_requeries']} time(s) (want 0)")
+    if skip["invalidations_skipped"] < N_UNRELATED:
+        regressions.append(
+            f"only {skip['invalidations_skipped']}/{N_UNRELATED} "
+            f"unrelated commits counted as skips")
+    if latency["median_ms"] > LATENCY_CAP_MS:
+        regressions.append(
+            f"median notify latency {latency['median_ms']}ms "
+            f"> {LATENCY_CAP_MS}ms")
+    if fleet["frames_delivered"] != fleet["frames_expected"]:
+        regressions.append(
+            f"fleet delivered {fleet['frames_delivered']} frames, "
+            f"expected {fleet['frames_expected']}")
+    if not fleet["identical_payloads"]:
+        regressions.append("fleet subscribers saw divergent payloads")
+    if fleet["event_loop_lag_mean_ms"] > LAG_CAP_MS:
+        regressions.append(
+            f"mean event-loop lag {fleet['event_loop_lag_mean_ms']}ms "
+            f"> {LAG_CAP_MS}ms")
+
+    emit_bench("b10_live", {
+        "skip_cost": skip,
+        "notify_latency": latency,
+        "fleet": fleet,
+    }, db=db, regressions=regressions)
+
+
+if __name__ == "__main__":
+    main()

@@ -113,10 +113,23 @@ def run_demo(db: repro.Prima, conn: repro.Connection) -> None:
     print("metrics  :", latency["count"], "queries observed,",
           f"buffer hit ratio {report['gauges']['buffer_hit_ratio']}")
 
-    # 9. When one engine is not enough: ``repro.connect(shards=N)``
-    #    serves a partitioned cluster through this exact API — routed
-    #    key lookups, scatter-gather ORDER BY, DDL fan-out and all.
-    #    See examples/sharded_cluster.py.
+    # 9. Live queries: SUBSCRIBE a SELECT and the server pushes a
+    #    NOTIFY whenever a commit touches its dependency set — commits
+    #    to unrelated types cost one set lookup, never a re-evaluation.
+    #    Poll ``conn.notifications()`` here; over the daemon socket the
+    #    frames arrive unsolicited (and the async client exposes them
+    #    as an async iterator).  See examples/live_queries.py.
+    sub = conn.subscribe("SELECT ALL FROM book WHERE year > 1980")
+    conn.execute("INSERT book (title = 'XNF2', year = 1986)")
+    frames = conn.notifications(timeout=2.0)
+    print("live     :", len(frames), "push(es) after the insert,",
+          f"dependency types {sub.types}")
+    sub.close()
+
+    # 10. When one engine is not enough: ``repro.connect(shards=N)``
+    #     serves a partitioned cluster through this exact API — routed
+    #     key lookups, scatter-gather ORDER BY, DDL fan-out and all.
+    #     See examples/sharded_cluster.py.
 
 
 if __name__ == "__main__":

@@ -199,7 +199,9 @@ class AtomManager:
         checked[atom_type.identifier_attr] = surrogate
         self._check_key_free(atom_type, checked)
 
-        self.version_store().preserve(surrogate, None)
+        store = self.version_store()
+        store.preserve(surrogate, None)
+        store.note_touched(type_name)
         self.addresses.register(surrogate)
         record_id = self._container(type_name).insert(encode_atom(checked))
         self.addresses.place(surrogate, BASE_STRUCTURE, record_id)
@@ -231,7 +233,9 @@ class AtomManager:
         stored = dict(values)
         stored[atom_type.identifier_attr] = surrogate
         self._check_key_free(atom_type, stored)
-        self.version_store().preserve(surrogate, None)
+        store = self.version_store()
+        store.preserve(surrogate, None)
+        store.note_touched(surrogate.atom_type)
         self.surrogates.note_existing(surrogate)
         self.addresses.register(surrogate)
         record_id = self._container(surrogate.atom_type) \
@@ -348,7 +352,9 @@ class AtomManager:
                 else:
                     self._backref_add(atom_type, attr_name, surrogate, added)
 
-        self.version_store().preserve(surrogate, old)
+        store = self.version_store()
+        store.preserve(surrogate, old)
+        store.note_touched(surrogate.atom_type)
         self._write_base(surrogate, new)
         self._notify_modify(surrogate, old, new)
         self.counters.bump("atoms_modified")
@@ -365,7 +371,9 @@ class AtomManager:
         """
         atom_type = self.schema.atom_type(surrogate.atom_type)
         values = self._read_base_values(surrogate)
-        self.version_store().preserve(surrogate, values)
+        store = self.version_store()
+        store.preserve(surrogate, values)
+        store.note_touched(surrogate.atom_type)
         for attr_name in atom_type.reference_attrs():
             for target in reference_values(atom_type.attr(attr_name),
                                            values.get(attr_name)):
@@ -416,7 +424,9 @@ class AtomManager:
             new_value = members
         new = dict(current)
         new[assoc.target_attr] = new_value
-        self.version_store().preserve(target, current)
+        store = self.version_store()
+        store.preserve(target, current)
+        store.note_touched(target.atom_type)
         self._write_base(target, new)
         self._notify_modify(target, current, new)
         self.counters.bump("backrefs_maintained")
@@ -439,7 +449,9 @@ class AtomManager:
             new_value = members
         new = dict(current)
         new[assoc.target_attr] = new_value
-        self.version_store().preserve(target, current)
+        store = self.version_store()
+        store.preserve(target, current)
+        store.note_touched(target.atom_type)
         self._write_base(target, new)
         self._notify_modify(target, current, new)
         self.counters.bump("backrefs_maintained")

@@ -61,6 +61,16 @@ class AtomVersionStore:
         self._pre_images: dict[Surrogate, list[tuple[int,
                                                      dict[str, Any] | None]]] = {}
         self.versions_preserved = 0
+        #: Atom types written since the last :meth:`publish` — drained
+        #: into the epoch delta handed to listeners at the next commit
+        #: boundary.  Runtime state only (not checkpointed).
+        self._touched: set[str] = set()
+        #: ``callback(epoch, frozenset(touched_types))`` hooks invoked
+        #: after each publish, *outside* the store mutex.  Callbacks run
+        #: on the committing thread (which typically still holds the
+        #: engine write lock) and therefore must never acquire engine
+        #: locks themselves — cheap bookkeeping and queue handoffs only.
+        self._listeners: list[Any] = []
 
     # The store rides inside the (picklable) AtomManager; only the
     # clock survives a checkpoint — pins and pre-images are runtime
@@ -75,10 +85,42 @@ class AtomVersionStore:
     # -- the epoch clock ------------------------------------------------------
 
     def publish(self) -> int:
-        """Advance the epoch (a commit boundary); returns the new epoch."""
+        """Advance the epoch (a commit boundary); returns the new epoch.
+
+        The set of atom types touched since the previous publish is
+        drained into a **typed epoch delta** ``(epoch, frozenset)`` and
+        handed to every registered listener — the invalidation hook live
+        queries ride on.  Listeners fire outside the mutex, on the
+        committing thread.
+        """
         with self._mutex:
             self.epoch += 1
-            return self.epoch
+            epoch = self.epoch
+            touched = frozenset(self._touched)
+            self._touched.clear()
+            listeners = list(self._listeners)
+        for callback in listeners:
+            callback(epoch, touched)
+        return epoch
+
+    def note_touched(self, type_name: str) -> None:
+        """Record that an atom of ``type_name`` was written this epoch
+        window (insert / modify / delete / backref maintenance)."""
+        with self._mutex:
+            self._touched.add(type_name)
+
+    def add_listener(self, callback: Any) -> None:
+        """Register a ``callback(epoch, touched_types)`` publish hook."""
+        with self._mutex:
+            if callback not in self._listeners:
+                self._listeners.append(callback)
+
+    def remove_listener(self, callback: Any) -> None:
+        with self._mutex:
+            try:
+                self._listeners.remove(callback)
+            except ValueError:
+                pass
 
     def pin(self) -> int:
         """Pin a snapshot at the current epoch; returns that epoch."""

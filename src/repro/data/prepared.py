@@ -421,6 +421,15 @@ class PreparedStatement:
         """Root atom type of the plan (the serving layer's lock scope)."""
         return self.plan().root_access.atom_type
 
+    def dependency_types(self) -> frozenset[str]:
+        """The atom types whose commits can change this SELECT's result:
+        the root molecule type plus every type the plan's structure tree
+        references (the live-query dependency set)."""
+        plan = self.plan()
+        types = set(plan.structure.atom_types())
+        types.add(plan.root_access.atom_type)
+        return frozenset(types)
+
     # -- binding and execution ------------------------------------------------
 
     def _bindings(self, args: tuple, named: dict[str, Any]) -> Bindings:
@@ -716,6 +725,9 @@ class BoundTemplateStatement:
     @property
     def root_atom_type(self) -> str:
         return self.template.root_atom_type
+
+    def dependency_types(self) -> frozenset[str]:
+        return self.template.dependency_types()
 
     def bind(self, args: tuple = (),
              params: dict[str, Any] | None = None) -> QueryPlan:

@@ -27,6 +27,12 @@ from repro.access.system import AccessSystem
 from repro.mad.types import Surrogate, is_reference, reference_values
 
 
+#: How many most-common values ANALYZE retains per attribute.  Only
+#: values observed more than once qualify — a uniform column keeps no
+#: MCV list and equality stays at the classic 1/distinct.
+MCV_KEEP = 8
+
+
 @dataclass
 class AttributeStatistics:
     """Value distribution summary of one scalar attribute."""
@@ -36,20 +42,42 @@ class AttributeStatistics:
     minimum: Any = None
     maximum: Any = None
     distinct: int = 0
+    #: Most-common values: ``repr(value) -> occurrence count`` for the
+    #: top :data:`MCV_KEEP` values with count >= 2.  Makes equality
+    #: selectivity *value-aware*: a probe on a dominant value estimates
+    #: its true fraction instead of the uniform 1/distinct, so the
+    #: bind-time re-veto can demote an access path that equality would
+    #: have kept under the uniform assumption.
+    most_common: dict[str, int] = field(default_factory=dict)
+
+    def _equality(self, value: Any) -> float:
+        if not self.most_common:
+            return 1.0 / max(self.distinct, 1)
+        hit = self.most_common.get(repr(value))
+        if hit is not None:
+            return hit / max(self.count, 1)
+        # Residual mass spread uniformly over the non-MCV values.
+        mcv_mass = sum(self.most_common.values())
+        rest_rows = max(self.count - self.nulls - mcv_mass, 0)
+        rest_distinct = max(self.distinct - len(self.most_common), 1)
+        return max(rest_rows / max(self.count, 1) / rest_distinct,
+                   1e-9)
 
     def selectivity(self, op: str, value: Any) -> float:
         """Estimated fraction of atoms satisfying ``attr op value``.
 
-        Equality uses 1/distinct; ranges interpolate linearly between the
-        observed minimum and maximum for numeric attributes and fall back
-        to 1/3 otherwise (the classic System R default).
+        Equality consults the most-common-value list first (value-aware
+        estimate) and falls back to 1/distinct; ranges interpolate
+        linearly between the observed minimum and maximum for numeric
+        attributes and fall back to 1/3 otherwise (the classic System R
+        default).
         """
         if self.count == 0:
             return 0.0
         if op == "=":
-            return 1.0 / max(self.distinct, 1)
+            return self._equality(value)
         if op == "!=":
-            return 1.0 - 1.0 / max(self.distinct, 1)
+            return 1.0 - self._equality(value)
         if not isinstance(value, (int, float)) or \
                 not isinstance(self.minimum, (int, float)) or \
                 not isinstance(self.maximum, (int, float)) or \
@@ -97,13 +125,17 @@ class StatisticsCatalog:
     def _analyze_one(self, type_name: str) -> int:
         atom_type = self._access.schema.atom_type(type_name)
         stats = TypeStatistics()
-        distinct: dict[str, set] = {a: set() for a in atom_type.data_attrs()}
+        #: Per attribute: repr(value) -> occurrence count (capped at
+        #: 10k tracked values — distinct stays an *estimate* beyond).
+        counts: dict[str, dict[str, int]] = {
+            a: {} for a in atom_type.data_attrs()
+        }
         ref_totals: dict[str, int] = {
             a: 0 for a in atom_type.reference_attrs()
         }
         for _s, values in self._access.atoms.atoms_of_type(type_name):
             stats.cardinality += 1
-            for attr in distinct:
+            for attr in counts:
                 column = stats.attributes.setdefault(
                     attr, AttributeStatistics())
                 value = values.get(attr)
@@ -119,14 +151,25 @@ class StatisticsCatalog:
                     column.minimum = value
                 if column.maximum is None or make_key(column.maximum) < key:
                     column.maximum = value
-                if len(distinct[attr]) < 10_000:
-                    distinct[attr].add(repr(value))
+                seen = counts[attr]
+                marker = repr(value)
+                if marker in seen:
+                    seen[marker] += 1
+                elif len(seen) < 10_000:
+                    seen[marker] = 1
             for attr in ref_totals:
                 ref_totals[attr] += len(reference_values(
                     atom_type.attr(attr), values.get(attr)))
-        for attr, seen in distinct.items():
+        for attr, seen in counts.items():
             if attr in stats.attributes:
-                stats.attributes[attr].distinct = len(seen)
+                column = stats.attributes[attr]
+                column.distinct = len(seen)
+                # Keep the top MCV_KEEP genuinely repeated values — a
+                # uniform column keeps none (equality stays 1/distinct).
+                repeated = sorted(
+                    ((marker, n) for marker, n in seen.items() if n >= 2),
+                    key=lambda item: (-item[1], item[0]))
+                column.most_common = dict(repeated[:MCV_KEEP])
         if stats.cardinality:
             stats.fanout = {
                 attr: total / stats.cardinality

@@ -201,6 +201,11 @@ class SessionLimitError(SessionError):
     a ``queue`` wait timed out)."""
 
 
+class SubscriptionLimitError(SessionLimitError):
+    """A session hit its live-query admission budget: it already holds
+    ``max_subscriptions`` registered subscriptions."""
+
+
 class SessionStateError(SessionError):
     """A session or remote cursor was used in an illegal state
     (closed session, unknown cursor id, double close, ...)."""

@@ -48,6 +48,7 @@ DEFAULT_BUCKETS: dict[str, tuple[float, ...]] = {
     "request_latency_ms": LATENCY_BUCKETS_MS,
     "admission_wait_ms": LATENCY_BUCKETS_MS,
     "event_loop_lag_ms": LATENCY_BUCKETS_MS,
+    "notify_latency_ms": LATENCY_BUCKETS_MS,
     "fetch_batch_rows": SIZE_BUCKETS,
     "send_queue_depth": DEPTH_BUCKETS,
     "parallel_units": DEPTH_BUCKETS,

@@ -66,20 +66,60 @@ class AsyncClient:
         self._writer = writer
         self._lock = asyncio.Lock()
         self._closed = False
+        self._next_correlation = 0
         #: The server-assigned session label (set by :meth:`hello`).
         self.session: str | None = None
         #: The server's default fetch-size knob (from the Welcome).
         self.default_fetch_size: int | str | None = None
+        #: Unsolicited NOTIFY frames (live queries) skimmed off the
+        #: stream; consumed by :meth:`next_notification` /
+        #: :meth:`notifications`.
+        self._notifications: asyncio.Queue = asyncio.Queue()
+        #: Optional push callback: ``on_notify(frame)`` runs (on the
+        #: event loop) for every skimmed NOTIFY, *in addition to* the
+        #: queue.
+        self.on_notify = None
+
+    def _stash_push(self, frame: protocol.Notify) -> None:
+        self._notifications.put_nowait(frame)
+        if self.on_notify is not None:
+            self.on_notify(frame)
+
+    @staticmethod
+    def _is_push(message: protocol.Response) -> bool:
+        return isinstance(message, protocol.Notify) and \
+            protocol.correlation_of(message) is None
 
     async def request(self, message: protocol.Request) -> protocol.Response:
-        """One exchange: send the request, await its reply."""
+        """One exchange: send the request, await its reply.
+
+        The stream may interleave unsolicited NOTIFY frames (live
+        queries); they are skimmed into :attr:`_notifications` by
+        correlation id — the reply is the frame echoing this request's
+        id, wherever it lands in the interleaving."""
         async with self._lock:
             if self._closed:
                 raise SessionError("async client transport is closed")
+            self._next_correlation += 1
+            correlation = self._next_correlation
+            protocol.set_correlation(message, correlation)
             await write_message(self._writer, message)
-            reply = await read_message(self._reader)
+            while True:
+                reply = await read_message(self._reader)
+                if reply is None:
+                    break
+                if self._is_push(reply):
+                    self._stash_push(reply)
+                    continue
+                break
         if reply is None:
             raise ProtocolError("server closed the connection mid-exchange")
+        echoed = protocol.correlation_of(reply)
+        if echoed is not None and echoed != correlation:
+            raise ProtocolError(
+                f"out-of-order reply: sent correlation #{correlation}, "
+                f"received #{echoed}"
+            )
         if isinstance(reply, protocol.WireError):
             protocol.raise_wire_error(reply)
         return reply
@@ -95,6 +135,78 @@ class AsyncClient:
         self.session = welcome.session
         self.default_fetch_size = welcome.default_fetch_size
         return welcome
+
+    # -- live queries --------------------------------------------------------
+
+    async def subscribe(self, mql: str, args: tuple = (),
+                        params: dict | None = None,
+                        deliver: str = "notify",
+                        ) -> protocol.SubscribeReply:
+        """SUBSCRIBE a SELECT for server push; consume the frames with
+        :meth:`next_notification` / ``async for`` :meth:`notifications`
+        (or set :attr:`on_notify`)."""
+        reply = await self.request(
+            protocol.Subscribe(mql, args, params, deliver))
+        if not isinstance(reply, protocol.SubscribeReply):
+            raise ProtocolError(
+                f"expected SubscribeReply, got {type(reply).__name__}"
+            )
+        return reply
+
+    async def unsubscribe(self, subscription_id: int) -> None:
+        """UNSUBSCRIBE one live query (idempotent)."""
+        await self.request(protocol.Unsubscribe(subscription_id))
+
+    async def next_notification(self, timeout: float | None = None,
+                                ) -> protocol.Notify:
+        """Await the next NOTIFY frame — skimmed during an earlier
+        request, or read directly off the idle stream.
+
+        Raises :class:`asyncio.TimeoutError` when ``timeout`` (seconds)
+        elapses first."""
+
+        async def _next() -> protocol.Notify:
+            while True:
+                # Anything already skimmed wins; otherwise read the
+                # stream (the request lock keeps this from racing an
+                # in-flight exchange).
+                try:
+                    return self._notifications.get_nowait()
+                except asyncio.QueueEmpty:
+                    pass
+                async with self._lock:
+                    try:
+                        return self._notifications.get_nowait()
+                    except asyncio.QueueEmpty:
+                        pass
+                    if self._closed:
+                        raise SessionError(
+                            "async client transport is closed")
+                    frame = await read_message(self._reader)
+                if frame is None:
+                    raise ProtocolError(
+                        "server closed the connection while awaiting "
+                        "notifications")
+                if not self._is_push(frame):
+                    raise ProtocolError(
+                        f"unsolicited {type(frame).__name__} frame "
+                        f"outside any request exchange")
+                if self.on_notify is not None:
+                    self.on_notify(frame)
+                return frame
+
+        if timeout is None:
+            return await _next()
+        return await asyncio.wait_for(_next(), timeout)
+
+    async def notifications(self):
+        """An async iterator over incoming NOTIFY frames::
+
+            async for frame in client.notifications():
+                ...
+        """
+        while True:
+            yield await self.next_notification()
 
     async def goodbye(self, abort: bool = False) -> None:
         """End the session cleanly (``abort=True`` rolls it back)."""

@@ -41,8 +41,11 @@ Usage::
 
 from __future__ import annotations
 
+import select
 import socket as _socket
 import threading
+import time
+from collections import deque
 from typing import Any, Callable
 
 from repro.data.result import ResultSet
@@ -79,29 +82,95 @@ class LocalTransport:
 class SocketTransport:
     """Blocking-socket transport against the asyncio daemon.
 
-    One request frame out, one response frame in, serialised by a lock
-    (the protocol is strictly request/response per session, exactly like
-    the per-session lock server-side).  A :class:`WireError` response is
-    re-raised under its original exception class, so admission rejects,
-    truncation errors and friends keep their types across the wire.
+    Requests are serialised by a lock (the protocol is strictly
+    request/response per session, exactly like the per-session lock
+    server-side), but the byte stream is no longer purely
+    request/response: the server may interleave unsolicited
+    :class:`~repro.serve.protocol.Notify` frames (live queries) at any
+    frame boundary.  Every request is therefore stamped with a
+    **correlation id** which the daemon echoes onto the matching reply;
+    :meth:`request` skims correlation-free Notify frames into a local
+    queue until the correlated reply arrives — a push can never be
+    mistaken for a reply, no matter how the frames interleave.  A
+    :class:`WireError` response is re-raised under its original
+    exception class, so admission rejects, truncation errors and
+    friends keep their types across the wire.
     """
 
     def __init__(self, sock: _socket.socket) -> None:
         self._sock = sock
         self._lock = threading.Lock()
         self._closed = False
+        self._next_correlation = 0
+        #: Unsolicited Notify frames skimmed off the stream, in arrival
+        #: order; drained by :meth:`poll_notifications`.
+        self._notifications: deque[protocol.Notify] = deque()
 
     def request(self, message: protocol.Request) -> protocol.Response:
         with self._lock:
             if self._closed:
                 raise SessionError("connection transport is closed")
+            self._next_correlation += 1
+            correlation = self._next_correlation
+            protocol.set_correlation(message, correlation)
             protocol.send_message(self._sock, message)
-            reply = protocol.recv_message(self._sock)
+            while True:
+                reply = protocol.recv_message(self._sock)
+                if reply is None:
+                    break
+                if self._is_push(reply):
+                    self._notifications.append(reply)
+                    continue
+                break
         if reply is None:
             raise ProtocolError("server closed the connection mid-exchange")
+        echoed = protocol.correlation_of(reply)
+        if echoed is not None and echoed != correlation:
+            raise ProtocolError(
+                f"out-of-order reply: sent correlation #{correlation}, "
+                f"received #{echoed}"
+            )
         if isinstance(reply, protocol.WireError):
             protocol.raise_wire_error(reply)
         return reply
+
+    @staticmethod
+    def _is_push(message: protocol.Response) -> bool:
+        return isinstance(message, protocol.Notify) and \
+            protocol.correlation_of(message) is None
+
+    def poll_notifications(self, timeout: float = 0.0,
+                           ) -> list[protocol.Notify]:
+        """Drain skimmed Notify frames, then read further pushes off
+        the socket for up to ``timeout`` seconds (0: only what is
+        already buffered).  Returns the frames in arrival order."""
+        out: list[protocol.Notify] = []
+        deadline = time.monotonic() + max(timeout, 0.0)
+        with self._lock:
+            while self._notifications:
+                out.append(self._notifications.popleft())
+            if self._closed:
+                return out
+            while True:
+                # Once something is in hand, only sweep up frames that
+                # are already readable — never wait out the full budget.
+                wait = 0.0 if out else max(deadline - time.monotonic(), 0.0)
+                ready, _, _ = select.select([self._sock], [], [], wait)
+                if not ready:
+                    if out or time.monotonic() >= deadline:
+                        return out
+                    continue
+                # The frame has started arriving; the daemon writes
+                # frames contiguously, so a blocking read completes it.
+                reply = protocol.recv_message(self._sock)
+                if reply is None:
+                    return out          # EOF — close() will report it
+                if not self._is_push(reply):
+                    raise ProtocolError(
+                        f"unsolicited {type(reply).__name__} frame "
+                        f"outside any request exchange"
+                    )
+                out.append(reply)
 
     def close(self) -> None:
         with self._lock:
@@ -261,6 +330,55 @@ class Connection:
             modifications, deletions or [], creations or []))
         return reply.mapping
 
+    # -- live queries --------------------------------------------------------
+
+    def subscribe(self, mql: str, args: tuple = (),
+                  params: dict[str, Any] | None = None,
+                  deliver: str = "notify") -> "LiveSubscription":
+        """SUBSCRIBE a SELECT for server push.
+
+        The server extracts the query's dependency set from its plan;
+        any later commit touching one of those types (or a DDL catalog
+        bump) pushes a NOTIFY frame — poll :meth:`notifications` for
+        them.  ``deliver="requery"`` additionally re-runs the statement
+        against a fresh snapshot on every fire and ships the new result
+        in the frame."""
+        self._require_open()
+        reply = self._transport.request(
+            protocol.Subscribe(mql, args, params, deliver))
+        return LiveSubscription(self, reply)
+
+    def unsubscribe(self, subscription_id: int) -> None:
+        """UNSUBSCRIBE one live query (idempotent)."""
+        self._require_open()
+        self._transport.request(protocol.Unsubscribe(subscription_id))
+
+    def notifications(self, timeout: float = 0.0,
+                      ) -> list[protocol.Notify]:
+        """Drain pending NOTIFY frames (waiting up to ``timeout``
+        seconds for the first one), in arrival order.
+
+        Over a socket this skims the daemon's pushes off the byte
+        stream; in process it drains the session's notification queue —
+        identical frame contents either way (the parity the live-query
+        tests assert)."""
+        self._require_open()
+        poll = getattr(self._transport, "poll_notifications", None)
+        if poll is not None:
+            return poll(timeout)
+        deadline = time.monotonic() + max(timeout, 0.0)
+        while True:
+            if self.manager is not None:
+                # Flush throttled/coalesced deltas that have left their
+                # re-notify window (in process there is no daemon tick).
+                live = self.manager._live  # noqa: SLF001
+                if live is not None:
+                    live.pump()
+            out = self.session.pop_notifications()
+            if out or time.monotonic() >= deadline:
+                return out
+            time.sleep(0.002)
+
     # -- connection management -----------------------------------------------
 
     def ping(self) -> str:
@@ -301,6 +419,42 @@ class Connection:
         transport = type(self._transport).__name__
         state = "closed" if self._closed else "open"
         return f"Connection({self.name!r}, {state}, {transport})"
+
+
+class LiveSubscription:
+    """The client half of one live query: its handle, the dependency
+    set the server extracted, and a convenience :meth:`close`."""
+
+    __slots__ = ("_connection", "subscription_id", "types",
+                 "catalog_version", "_closed")
+
+    def __init__(self, connection: Connection,
+                 reply: protocol.SubscribeReply) -> None:
+        self._connection = connection
+        self.subscription_id = reply.subscription_id
+        #: The dependency set (sorted atom-type names) — commits to any
+        #: of these fire this subscription.
+        self.types = tuple(reply.types)
+        self.catalog_version = reply.catalog_version
+        self._closed = False
+
+    def close(self) -> None:
+        """UNSUBSCRIBE (idempotent — double close is fine)."""
+        if self._closed:
+            return
+        self._closed = True
+        if not self._connection.closed:
+            self._connection.unsubscribe(self.subscription_id)
+
+    def __enter__(self) -> "LiveSubscription":
+        return self
+
+    def __exit__(self, _exc_type, _exc, _tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (f"LiveSubscription(#{self.subscription_id}, "
+                f"types={list(self.types)})")
 
 
 def _parse_address(target: str) -> tuple[str, int]:

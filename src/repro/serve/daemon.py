@@ -207,6 +207,7 @@ class PrimaDaemon:
         try:
             session = await self._handshake(reader, queue)
             if session is not None:
+                session.set_notify_sink(self._notify_sink(queue))
                 await self._request_loop(session, reader, queue)
         except (ProtocolError, ConnectionError, asyncio.CancelledError):
             pass   # torn-down client; the finally block reclaims
@@ -219,8 +220,12 @@ class PrimaDaemon:
             # cancellation (daemon stop cancels this very task), so the
             # task ends *finished*, not *cancelled* — a cancelled stream
             # task trips asyncio's connection_made error logger.
-            if session is not None and not session.closed:
-                session.abort()
+            if session is not None:
+                # Stop push delivery into this dead queue first, then
+                # abort (which also reclaims the subscription slots).
+                session.set_notify_sink(None)
+                if not session.closed:
+                    session.abort()
             try:
                 queue.put_nowait(_CLOSE)
             except asyncio.QueueFull:
@@ -240,18 +245,25 @@ class PrimaDaemon:
         first = await read_message(reader)
         if first is None:
             return None
+        correlation = protocol.correlation_of(first)
+
+        def stamped(message: protocol.Response) -> protocol.Response:
+            if correlation is not None:
+                protocol.set_correlation(message, correlation)
+            return message
+
         if not isinstance(first, protocol.Hello):
-            await queue.put(protocol.wire_error(ProtocolError(
-                f"expected Hello, got {type(first).__name__}")))
+            await queue.put(stamped(protocol.wire_error(ProtocolError(
+                f"expected Hello, got {type(first).__name__}"))))
             return None
         try:
             session = await self._admit(first.client)
         except SessionLimitError as exc:
-            await queue.put(protocol.wire_error(exc))
+            await queue.put(stamped(protocol.wire_error(exc)))
             return None
-        await queue.put(protocol.Welcome(
+        await queue.put(stamped(protocol.Welcome(
             session.name, self.manager.default_fetch_size,
-            shards=getattr(self.manager.db, "shard_count", 1)))
+            shards=getattr(self.manager.db, "shard_count", 1))))
         return session
 
     async def _admit(self, client: str | None) -> "Session":
@@ -303,6 +315,12 @@ class PrimaDaemon:
                 response = session.handle(request)
             except Exception as exc:  # noqa: BLE001 - shipped to client
                 response = protocol.wire_error(exc)
+            # Echo the request's correlation id so the client can pick
+            # its reply out of a stream that also carries unsolicited
+            # NOTIFY frames (which never have one).
+            correlation = protocol.correlation_of(request)
+            if correlation is not None:
+                protocol.set_correlation(response, correlation)
             await queue.put(response)
             if isinstance(request, protocol.Goodbye) and session.closed:
                 return
@@ -330,6 +348,39 @@ class PrimaDaemon:
                 await write_message(writer, message)
             except (ConnectionError, OSError):
                 failed = True
+
+    # -- server push ---------------------------------------------------------
+
+    def _notify_sink(self, queue: asyncio.Queue):
+        """A thread-safe push sink for one connection's session.
+
+        The notifier runs on engine threads; the send queue belongs to
+        the event loop.  The handoff is ``call_soon_threadsafe`` into a
+        non-blocking put — a full queue (client not reading) **drops**
+        the NOTIFY rather than ever blocking a committing thread, and
+        the drop is counted.  Returns True optimistically: the enqueue
+        outcome is only known on the loop thread."""
+        loop = self._loop
+
+        def sink(message: protocol.Notify) -> bool:
+            if loop is None or loop.is_closed():
+                return False
+            try:
+                loop.call_soon_threadsafe(self._push_notify, queue,
+                                          message)
+            except RuntimeError:    # loop shut down mid-handoff
+                return False
+            return True
+
+        return sink
+
+    def _push_notify(self, queue: asyncio.Queue,
+                     message: protocol.Notify) -> None:
+        try:
+            queue.put_nowait(message)
+        except asyncio.QueueFull:
+            self.manager.db.access.counters.bump(
+                "serve_notifications_dropped")
 
     # -- hygiene -------------------------------------------------------------
 

@@ -326,6 +326,56 @@ class CheckinReply(Response):
     mapping: dict[Surrogate, Surrogate] = field(default_factory=dict)
 
 
+# -- live queries (server push) ----------------------------------------------
+
+@dataclass
+class Subscribe(Request):
+    """Register a prepared SELECT for server-pushed invalidation.
+
+    ``deliver`` picks the payload: ``"notify"`` pushes a bare epoch
+    delta (the client decides whether to re-fetch); ``"requery"``
+    re-runs the statement against a fresh snapshot on every fire and
+    ships the new result version in the NOTIFY frame.
+    """
+    mql: str = ""
+    args: tuple = ()
+    params: dict[str, Any] | None = None
+    deliver: str = "notify"
+
+
+@dataclass
+class SubscribeReply(Response):
+    """The registered subscription: its handle, the dependency set the
+    server extracted from the plan, and the catalog version stamped at
+    registration."""
+    subscription_id: int = 0
+    types: tuple = ()
+    catalog_version: int = 0
+
+
+@dataclass
+class Unsubscribe(Request):
+    """Drop a subscription (idempotent — unknown ids Ack too)."""
+    subscription_id: int = 0
+
+
+@dataclass
+class Notify(Response):
+    """An **unsolicited** server → client push: the commit at ``epoch``
+    touched ``types`` intersecting the subscription's dependency set.
+    ``molecules`` carries the re-evaluated result for
+    ``deliver="requery"`` subscriptions (``None`` for bare notifies);
+    ``coalesced`` counts additional commits merged into this frame.
+    Never carries a correlation id — see :func:`correlation_of`.
+    """
+    subscription_id: int = 0
+    epoch: int = 0
+    types: tuple = ()
+    catalog_changed: bool = False
+    coalesced: int = 0
+    molecules: list[Molecule] | None = None
+
+
 # -- errors ------------------------------------------------------------------
 
 @dataclass
@@ -333,6 +383,30 @@ class WireError(Response):
     """A server-side exception, shipped by class name + message."""
     kind: str = "SessionError"
     message: str = ""
+
+
+# ---------------------------------------------------------------------------
+# Correlation ids — pairing replies with requests on a pushy socket
+# ---------------------------------------------------------------------------
+#
+# Once the server may emit unsolicited Notify frames, "the next frame
+# after my request" is no longer "my reply".  Clients stamp each request
+# with a correlation id, the daemon echoes it onto the matching reply,
+# and Notify frames carry none — so a transport can skim pushes out of
+# the byte stream without ever mistaking one for a reply.  The id rides
+# as a plain instance attribute (never a dataclass field): constructors
+# keep their positional signatures, old peers ignore it, and pickle
+# carries it via ``__dict__`` when present.
+
+def set_correlation(message: Request | Response, correlation_id: int) -> None:
+    """Stamp ``message`` with a correlation id (in-place)."""
+    message.correlation_id = correlation_id  # type: ignore[attr-defined]
+
+
+def correlation_of(message: Request | Response) -> int | None:
+    """The message's correlation id, or ``None`` (unsolicited push /
+    pre-correlation peer)."""
+    return getattr(message, "correlation_id", None)
 
 
 # ---------------------------------------------------------------------------
@@ -377,6 +451,15 @@ def wire_size(message: Request | Response) -> int:
         return payload
     if isinstance(message, CheckinReply):
         return 8 + 24 * len(message.mapping)
+    if isinstance(message, Subscribe):
+        return (len(message.mql.encode("utf-8"))
+                + bindings_bytes(message.args, message.params))
+    if isinstance(message, SubscribeReply):
+        return STATEMENT_HANDLE_BYTES
+    if isinstance(message, Notify):
+        if message.molecules is not None:
+            return BATCH_HEADER_BYTES + batch_bytes(message.molecules)
+        return CONTROL_REQUEST_BYTES
     if isinstance(message, (Executed, Ack, Pong, Welcome)):
         return ACK_BYTES
     if isinstance(message, WireError):

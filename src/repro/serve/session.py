@@ -74,6 +74,7 @@ from __future__ import annotations
 
 import threading
 import time
+from collections import deque
 from typing import TYPE_CHECKING, Any, Callable
 
 from repro.data.prepared import PreparedStatement
@@ -194,6 +195,13 @@ class Session:
         #: the serving thread model).
         self._lock = threading.RLock()
         self._transport = _LocalTransport(self)
+        #: Undelivered server pushes (live-query NOTIFY frames) for the
+        #: in-process transport; bounded so an unpolled session cannot
+        #: grow without limit — overflow drops the oldest frame.  The
+        #: daemon replaces the sink with a handoff into its bounded
+        #: asyncio send queue.
+        self._notifications: deque[protocol.Notify] = deque(maxlen=256)
+        self._notify_sink: Callable[[protocol.Notify], bool] | None = None
 
     # -- internals -----------------------------------------------------------
 
@@ -545,6 +553,81 @@ class Session:
         self._count("checkins")
         return protocol.CheckinReply(mapping)
 
+    # -- live queries --------------------------------------------------------
+
+    def _handle_subscribe(self, request: protocol.Subscribe,
+                          ) -> protocol.SubscribeReply:
+        """SUBSCRIBE: register a prepared SELECT for server push.
+
+        The statement is prepared (riding the plan cache), its
+        dependency set extracted from the plan, and the subscription
+        admitted against the session's budget
+        (``manager.max_subscriptions``).  From here on, any commit
+        touching a type in the set pushes an unsolicited NOTIFY frame.
+        """
+        with self.manager.engine.reader():
+            prepared = self._db.data.prepare(request.mql)
+            if prepared.kind != "select":
+                raise SessionStateError(
+                    "SUBSCRIBE supports SELECT statements only"
+                )
+            sub = self.manager.live.subscribe(
+                self, prepared, request.args, request.params or {},
+                request.deliver)
+        self._count("subscriptions_opened")
+        return protocol.SubscribeReply(sub.subscription_id,
+                                       tuple(sorted(sub.types)),
+                                       sub.catalog_version)
+
+    def _handle_unsubscribe(self, request: protocol.Unsubscribe,
+                            ) -> protocol.Ack:
+        """UNSUBSCRIBE: drop one subscription (idempotent)."""
+        if self.manager.live.unsubscribe(request.subscription_id,
+                                         session=self):
+            self._count("subscriptions_closed")
+        return protocol.Ack()
+
+    def set_notify_sink(self,
+                        sink: Callable[[protocol.Notify], bool] | None,
+                        ) -> None:
+        """Route pushes somewhere other than the in-process deque (the
+        daemon installs a thread-safe handoff into its send queue)."""
+        self._notify_sink = sink
+
+    def deliver_notification(self, message: protocol.Notify) -> bool:
+        """Hand one NOTIFY frame to this session's client.
+
+        Called by the notifier (committing thread or flush thread) —
+        deliberately lock-free against the session's message lock: a
+        deque append / queue handoff plus billing, nothing that could
+        wait behind a long-running request.  Returns False once the
+        session is closed (the frame is dropped)."""
+        if self.closed:
+            return False
+        self._bill(message)
+        sink = self._notify_sink
+        if sink is not None:
+            delivered = sink(message)
+        else:
+            if len(self._notifications) == self._notifications.maxlen:
+                self._count("notifications_dropped")
+            self._notifications.append(message)
+            delivered = True
+        if delivered:
+            self._count("notifications_delivered")
+        else:
+            self._count("notifications_dropped")
+        return delivered
+
+    def pop_notifications(self) -> list[protocol.Notify]:
+        """Drain the in-process notification queue (sync client poll)."""
+        out: list[protocol.Notify] = []
+        while True:
+            try:
+                out.append(self._notifications.popleft())
+            except IndexError:
+                return out
+
     # -- connection management -----------------------------------------------
 
     def _handle_ping(self, _request: protocol.Ping) -> protocol.Pong:
@@ -573,6 +656,8 @@ class Session:
         protocol.Stats: _handle_stats,
         protocol.Trace: _handle_trace,
         protocol.Checkin: _handle_checkin,
+        protocol.Subscribe: _handle_subscribe,
+        protocol.Unsubscribe: _handle_unsubscribe,
         protocol.Ping: _handle_ping,
         protocol.Goodbye: _handle_goodbye,
     }
@@ -607,6 +692,18 @@ class Session:
                                   on_arrival=on_arrival,
                                   args=args, params=params)
         return ResultSet(source=cursor, plan_text=cursor.plan_text)
+
+    def subscribe(self, mql: str, args: tuple = (),
+                  params: dict[str, Any] | None = None,
+                  deliver: str = "notify") -> protocol.SubscribeReply:
+        """SUBSCRIBE a SELECT for server push; poll
+        :meth:`pop_notifications` (or ``Connection.notifications()``)
+        for the NOTIFY frames."""
+        return self.handle(protocol.Subscribe(mql, args, params, deliver))
+
+    def unsubscribe(self, subscription_id: int) -> None:
+        """UNSUBSCRIBE one live query (idempotent)."""
+        self.handle(protocol.Unsubscribe(subscription_id))
 
     def prepare(self, mql: str) -> "RemotePreparedStatement":
         """PREPARE ``mql`` server-side; the client keeps a handle.
@@ -854,6 +951,7 @@ class Session:
             self._statements.clear()
             self.closed = True
             self.txn.commit()
+        self.manager._drop_subscriptions(self)  # noqa: SLF001
         self.manager._release(self)  # noqa: SLF001
 
     def abort(self) -> None:
@@ -871,6 +969,7 @@ class Session:
             # Undoing logged effects writes to the engine — exclusive.
             with self.manager.engine.writer():
                 self.txn.abort()
+        self.manager._drop_subscriptions(self)  # noqa: SLF001
         self.manager._release(self)  # noqa: SLF001
 
     def __enter__(self) -> "Session":
@@ -993,7 +1092,9 @@ class SessionManager:
                  idle_cursor_timeout: float | None = None,
                  idle_statement_timeout: float | None = None,
                  session_lease: float | None = None,
-                 clock: Callable[[], float] | None = None) -> None:
+                 clock: Callable[[], float] | None = None,
+                 max_subscriptions: int = 32,
+                 notify_interval: float = 0.0) -> None:
         # Imported here, not at module level: the coupling package's
         # server rides on this module, so a top-level import would cycle.
         from repro.coupling.network import NetworkModel, NetworkStats
@@ -1020,6 +1121,10 @@ class SessionManager:
                             ("session_lease", session_lease)):
             if value is not None and value <= 0:
                 raise ValueError(f"{knob} must be positive (or None)")
+        if max_subscriptions < 1:
+            raise ValueError("max_subscriptions must be >= 1")
+        if notify_interval < 0:
+            raise ValueError("notify_interval must be >= 0")
         self.db = db
         self.model = model if model is not None else NetworkModel()
         self.stats = NetworkStats()
@@ -1043,6 +1148,16 @@ class SessionManager:
         self.idle_cursor_timeout = idle_cursor_timeout
         self.idle_statement_timeout = idle_statement_timeout
         self.session_lease = session_lease
+        #: Live-query admission budgets: subscriptions per session, and
+        #: the minimum seconds (manager clock) between NOTIFY frames of
+        #: one subscription — fires inside the window coalesce into one
+        #: pending delta.
+        self.max_subscriptions = max_subscriptions
+        self.notify_interval = notify_interval
+        #: The live-query hub, built on first touch (the import and the
+        #: version-store listeners stay entirely out of subscriptions-
+        #: free workloads).
+        self._live: "Any | None" = None
         #: Injectable monotonic clock (tests drive expiry determinis-
         #: tically by substituting a fake).
         self._clock = clock if clock is not None else time.monotonic
@@ -1071,6 +1186,21 @@ class SessionManager:
 
     def _now(self) -> float:
         return self._clock()
+
+    @property
+    def live(self) -> "Any":
+        """The manager's live-query hub (built on first use)."""
+        with self._slots:
+            if self._live is None:
+                from repro.live import LiveQueryHub
+                self._live = LiveQueryHub(self)
+            return self._live
+
+    def _drop_subscriptions(self, session: Session) -> None:
+        """Session teardown hook: subscriptions die with their session
+        (close, abort, lease expiry, abrupt EOF all land here)."""
+        if self._live is not None:
+            self._live.release_session(session)
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -1149,6 +1279,8 @@ class SessionManager:
         for session in list(self._sessions):
             if not session.closed:
                 session.close()
+        if self._live is not None:
+            self._live.close()
 
     # -- resource hygiene ----------------------------------------------------
 
@@ -1163,6 +1295,11 @@ class SessionManager:
         Returns the reclamation counts.
         """
         now = self._now() if now is None else now
+        # Flush live-query deltas that left their throttle window (the
+        # reaper is the daemon's periodic tick, so coalesced NOTIFYs go
+        # out even between commits).
+        if self._live is not None:
+            self._live.pump()
         expired = cursors = statements = 0
         for session in list(self._sessions):
             if session.closed:

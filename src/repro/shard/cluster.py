@@ -365,6 +365,59 @@ class ShardedCluster:
         its partition — selectivities stay locally accurate)."""
         return sum(engine.analyze(type_name) for engine in self.engines)
 
+    def advise_ranges(self, type_name: str | None = None
+                      ) -> dict[str, tuple]:
+        """Derive range split points from collected statistics.
+
+        For every keyed atom type without declared ranges (one type when
+        ``type_name`` is given), merge the per-shard min/max of the
+        first key attribute and ask the router for evenly spaced split
+        points over that domain; adopt whatever qualifies.  Returns the
+        ``{type: points}`` mapping actually adopted.
+
+        Adoption over *existing* data is marked mixed-placement on the
+        router: new inserts follow the derived ranges, but key-lookup
+        queries keep scattering for the type (old atoms sit where the
+        hash put them, and the direct-access key probe falls back to
+        every shard) — correctness never depends on a rebalance this
+        engine does not perform.
+        """
+        self.analyze(type_name)
+        names = ([type_name] if type_name is not None
+                 else list(self.schema.atom_type_names()))
+        adopted: dict[str, tuple] = {}
+        for name in names:
+            atom_type = self.schema.atom_type(name)
+            if not atom_type.keys or \
+                    self.router.range_points(name) is not None:
+                continue
+            key_attr = atom_type.keys[0]
+            lo = hi = None
+            populated = 0
+            for engine in self.engines:
+                stats = engine.data.statistics.type_statistics(name)
+                column = (stats.attributes.get(key_attr)
+                          if stats is not None else None)
+                if column is None or column.minimum is None:
+                    continue
+                populated += stats.cardinality
+                try:
+                    if lo is None or column.minimum < lo:
+                        lo = column.minimum
+                    if hi is None or column.maximum > hi:
+                        hi = column.maximum
+                except TypeError:
+                    lo = hi = None   # mixed-type domain: stay hashed
+                    break
+            points = ShardRouter.derive_split_points(
+                lo, hi, self.shard_count)
+            if points is None:
+                continue
+            self.router.adopt_ranges(name, points, mixed=populated > 0)
+            adopted[name] = points
+            self.access.counters.bump("router_ranges_advised")
+        return adopted
+
     # -- accounting -----------------------------------------------------------
 
     def io_report(self) -> dict[str, Any]:

@@ -350,6 +350,16 @@ class ClusterPrepared:
     def root_atom_type(self) -> str:
         return self._stmts[0].root_atom_type
 
+    def dependency_types(self) -> frozenset[str]:
+        """The union of every shard plan's dependency set.  Shard
+        catalogs move in lockstep (DDL fans out), so the per-shard sets
+        normally agree — the union is the safe cluster-wide answer, and
+        it is what lets *any* shard's commit fire the subscription."""
+        types: set[str] = set()
+        for stmt in self._stmts:
+            types.update(stmt.dependency_types())
+        return frozenset(types)
+
     def _refresh(self) -> None:
         current = self._coordinator.catalog_version
         if current != self._version:
@@ -519,6 +529,8 @@ class Coordinator:
         scatter — any other access kind, or a still-unbound key)."""
         if plan.root_access.kind != "key_lookup":
             return None
+        if not self.cluster.router.routable(plan.root_access.atom_type):
+            return None   # mixed placement: old atoms may sit anywhere
         key = plan.root_access.detail.get("key")
         if key is None or any(isinstance(part, Parameter) for part in key):
             return None

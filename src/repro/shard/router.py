@@ -53,20 +53,83 @@ class ShardRouter:
             raise PrimaError("a cluster needs at least one shard")
         self.shards = shards
         self._ranges: dict[str, tuple[Any, ...]] = {}
+        #: Types whose ranges were adopted over pre-existing hash-placed
+        #: data: inserts follow the ranges, but key-lookup queries must
+        #: keep scattering (old atoms sit where the hash put them).
+        self._mixed: set[str] = set()
         for atom_type, points in (ranges or {}).items():
-            points = tuple(points)
-            if len(points) != shards - 1:
-                raise PrimaError(
-                    f"range routing for {atom_type!r} needs exactly "
-                    f"{shards - 1} split point(s) for {shards} shard(s), "
-                    f"got {len(points)}"
-                )
-            if list(points) != sorted(points):
-                raise PrimaError(
-                    f"range routing for {atom_type!r}: split points must "
-                    f"be ascending"
-                )
-            self._ranges[atom_type] = points
+            self.adopt_ranges(atom_type, points)
+
+    def adopt_ranges(self, atom_type: str, points: Sequence[Any],
+                     mixed: bool = False) -> None:
+        """Declare (or replace) the range split points of one type.
+
+        ``mixed=True`` records that atoms of the type already exist
+        under the previous (hash) placement: new inserts follow the
+        ranges, while :meth:`routable` turns False so key-lookup
+        queries scatter — the direct-access probe additionally falls
+        back to every shard on a routed miss, keeping both eras of
+        placement findable.
+        """
+        points = tuple(points)
+        if len(points) != self.shards - 1:
+            raise PrimaError(
+                f"range routing for {atom_type!r} needs exactly "
+                f"{self.shards - 1} split point(s) for {self.shards} "
+                f"shard(s), got {len(points)}"
+            )
+        if list(points) != sorted(points):
+            raise PrimaError(
+                f"range routing for {atom_type!r}: split points must "
+                f"be ascending"
+            )
+        self._ranges[atom_type] = points
+        if mixed:
+            self._mixed.add(atom_type)
+        else:
+            self._mixed.discard(atom_type)
+
+    def range_points(self, atom_type: str) -> "tuple[Any, ...] | None":
+        """The declared split points of a type (None when hash-placed)."""
+        return self._ranges.get(atom_type)
+
+    def routable(self, atom_type: str) -> bool:
+        """Whether a bound key lookup may execute on a single shard.
+
+        False only for mixed-placement types (ranges adopted after
+        hash-placed data existed) — their old atoms are not where the
+        ranges say, so a single-shard lookup could silently miss.
+        """
+        return atom_type not in self._mixed
+
+    @staticmethod
+    def derive_split_points(minimum: Any, maximum: Any,
+                            shards: int) -> "tuple[Any, ...] | None":
+        """Even split points over an observed numeric key domain.
+
+        ``shards - 1`` points spaced evenly between the observed minimum
+        and maximum (ints round to ints); ``None`` when the domain is
+        non-numeric, degenerate, or too narrow to yield strictly
+        ascending points — the caller keeps hash placement then.
+        """
+        if shards < 2:
+            return None
+        if isinstance(minimum, bool) or isinstance(maximum, bool):
+            return None
+        if not isinstance(minimum, (int, float)) or \
+                not isinstance(maximum, (int, float)):
+            return None
+        if not maximum > minimum:
+            return None
+        span = maximum - minimum
+        points: list[Any] = []
+        integral = isinstance(minimum, int) and isinstance(maximum, int)
+        for i in range(1, shards):
+            point = minimum + span * i / shards
+            points.append(round(point) if integral else point)
+        if any(b <= a for a, b in zip(points, points[1:])):
+            return None   # domain too narrow for distinct ascending cuts
+        return tuple(points)
 
     def scheme(self, atom_type: str) -> str:
         """``'range'`` or ``'hash'`` — how this type's keys place."""

@@ -1,0 +1,442 @@
+"""Tests: live queries — subscriptions, invalidation, server push.
+
+Covers the PR-10 gates end to end: epoch-delta invalidation (a commit
+outside a subscription's dependency set is one set lookup, never a
+re-evaluation), NOTIFY delivery over the in-process and the daemon
+transports with identical payloads, correlation-id framing (no NOTIFY
+spliced between a request and its reply), subscription hygiene (lease
+expiry, unsubscribe idempotence, abrupt EOF, admission budgets, burst
+coalescing), and the cluster path (any shard's commit can fire).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+
+import pytest
+
+import repro
+from repro import Prima, ShardedCluster
+from repro.errors import (
+    SessionStateError,
+    SubscriptionLimitError,
+)
+from repro.serve import PrimaDaemon, SessionManager, protocol
+from repro.serve.aio import open_client
+
+N_ITEMS = 24
+GROUPS = 3
+
+
+def make_db(n: int = N_ITEMS) -> Prima:
+    db = Prima()
+    db.execute("CREATE ATOM_TYPE item (item_id: IDENTIFIER, "
+               "n: INTEGER, grp: INTEGER) KEYS_ARE (n)")
+    db.execute("CREATE ATOM_TYPE other (other_id: IDENTIFIER, "
+               "k: INTEGER) KEYS_ARE (k)")
+    for i in range(n):
+        db.insert_atom("item", {"n": i, "grp": i % GROUPS})
+    return db
+
+
+@pytest.fixture
+def db():
+    return make_db()
+
+
+class FakeClock:
+    """A deterministic manager clock."""
+
+    def __init__(self, start: float = 1000.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def wait_until(predicate, timeout: float = 5.0) -> None:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(0.01)
+    raise AssertionError("condition not reached in time")
+
+
+def drain(conn, timeout: float = 2.0, want: int = 1):
+    """Poll a connection until ``want`` NOTIFY frames arrived."""
+    frames = []
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline and len(frames) < want:
+        frames.extend(conn.notifications(timeout=0.1))
+    return frames
+
+
+# ---------------------------------------------------------------------------
+# Dependency extraction and the invalidation index
+# ---------------------------------------------------------------------------
+
+class TestDependencies:
+    def test_prepared_statement_exposes_dependency_types(self, db):
+        prepared = db.data.prepare("SELECT ALL FROM item")
+        assert prepared.dependency_types() == frozenset({"item"})
+
+    def test_subscribe_reply_carries_dependency_set(self, db):
+        with repro.connect(db) as conn:
+            sub = conn.subscribe("SELECT ALL FROM item")
+            assert sub.types == ("item",)
+            assert sub.catalog_version == db.data.catalog_version
+
+    def test_subscribe_rejects_non_select(self, db):
+        with repro.connect(db) as conn:
+            with pytest.raises(SessionStateError):
+                conn.subscribe("INSERT item (n = 999, grp = 0)")
+
+    def test_subscribe_rejects_unknown_deliver(self, db):
+        with repro.connect(db) as conn:
+            with pytest.raises(SessionStateError):
+                conn.subscribe("SELECT ALL FROM item", deliver="push-pull")
+
+
+class TestInvalidation:
+    def test_unrelated_commit_is_one_set_lookup(self, db):
+        """The headline acceptance gate: a commit to a type outside the
+        dependency set skips without re-evaluation or notification."""
+        with repro.connect(db) as conn:
+            conn.subscribe("SELECT ALL FROM item", deliver="requery")
+            before = db.access.counters.snapshot()
+            db.insert_atom("other", {"k": 77})
+            after = db.access.counters.snapshot()
+            assert after.get("invalidations_skipped", 0) == \
+                before.get("invalidations_skipped", 0) + 1
+            assert after.get("subscription_requeries", 0) == \
+                before.get("subscription_requeries", 0)
+            assert conn.notifications(timeout=0.2) == []
+
+    def test_matching_commit_delivers_notify(self, db):
+        with repro.connect(db) as conn:
+            sub = conn.subscribe("SELECT ALL FROM item")
+            db.insert_atom("item", {"n": 900, "grp": 1})
+            frames = drain(conn)
+            assert [f.subscription_id for f in frames] == \
+                [sub.subscription_id]
+            assert frames[0].types == ("item",)
+            assert frames[0].molecules is None
+            assert frames[0].epoch > 0
+
+    def test_no_subscriptions_means_no_counters(self, db):
+        before = db.access.counters.snapshot()
+        db.insert_atom("item", {"n": 901, "grp": 0})
+        after = db.access.counters.snapshot()
+        assert after.get("invalidations_skipped", 0) == \
+            before.get("invalidations_skipped", 0)
+        assert after.get("invalidations_fired", 0) == \
+            before.get("invalidations_fired", 0)
+
+    def test_catalog_bump_fires_all_subscriptions(self, db):
+        with repro.connect(db) as conn:
+            conn.subscribe("SELECT ALL FROM item")
+            db.execute("CREATE ATOM_TYPE later (later_id: IDENTIFIER, "
+                       "v: INTEGER)")
+            # The next commit (to an unrelated type!) observes the moved
+            # catalog stamp and fires everything.
+            db.insert_atom("other", {"k": 55})
+            frames = drain(conn)
+            assert frames and frames[0].catalog_changed
+
+    def test_requery_delivers_fresh_molecules(self, db):
+        with repro.connect(db) as conn:
+            sub = conn.subscribe("SELECT ALL FROM item WHERE grp = 7",
+                                 deliver="requery")
+            db.insert_atom("item", {"n": 910, "grp": 7})
+            db.insert_atom("item", {"n": 911, "grp": 7})
+            frames = drain(conn)
+            assert frames[-1].subscription_id == sub.subscription_id
+            rows = {m.atom["n"] for m in frames[-1].molecules}
+            assert rows <= {910, 911} and rows
+
+
+# ---------------------------------------------------------------------------
+# Hygiene: leases, budgets, coalescing, abrupt EOF
+# ---------------------------------------------------------------------------
+
+class TestHygiene:
+    def test_lease_expiry_reaps_subscriptions(self, db):
+        clock = FakeClock()
+        manager = SessionManager(db, max_sessions=1, session_lease=120,
+                                 clock=clock)
+        conn = repro.connect(manager)
+        conn.subscribe("SELECT ALL FROM item")
+        assert manager.live.active == 1
+        clock.advance(200)
+        assert manager.reap()["sessions_expired"] == 1
+        assert manager.live.active == 0
+
+    def test_unsubscribe_is_idempotent(self, db):
+        with repro.connect(db) as conn:
+            sub = conn.subscribe("SELECT ALL FROM item")
+            assert conn.unsubscribe(sub.subscription_id) is None
+            # A second UNSUBSCRIBE of the same id is a quiet no-op.
+            assert conn.unsubscribe(sub.subscription_id) is None
+
+    def test_subscription_budget_enforced(self, db):
+        manager = SessionManager(db, max_subscriptions=2)
+        with repro.connect(manager) as conn:
+            conn.subscribe("SELECT ALL FROM item")
+            conn.subscribe("SELECT ALL FROM other")
+            with pytest.raises(SubscriptionLimitError):
+                conn.subscribe("SELECT ALL FROM item WHERE grp = 1")
+
+    def test_unsubscribe_frees_budget_slot(self, db):
+        manager = SessionManager(db, max_subscriptions=1)
+        with repro.connect(manager) as conn:
+            sub = conn.subscribe("SELECT ALL FROM item")
+            conn.unsubscribe(sub.subscription_id)
+            conn.subscribe("SELECT ALL FROM other")   # slot reclaimed
+
+    def test_burst_of_commits_coalesces(self, db):
+        clock = FakeClock()
+        manager = SessionManager(db, clock=clock, notify_interval=60)
+        conn = repro.connect(manager)
+        conn.subscribe("SELECT ALL FROM item")
+        for i in range(100):
+            db.insert_atom("item", {"n": 2000 + i, "grp": 0})
+        # First delta was due immediately; the other 99 coalesced into
+        # one pending delta that flushes when the interval elapses.
+        first = conn.notifications(timeout=0.1)
+        assert len(first) == 1 and first[0].coalesced == 0
+        clock.advance(61)
+        manager.live.pump()
+        flushed = conn.notifications(timeout=0.1)
+        assert len(flushed) == 1
+        assert flushed[0].coalesced == 98
+        assert flushed[0].epoch >= first[0].epoch
+        counters = db.access.counters.snapshot()
+        assert counters.get("notifications_coalesced", 0) >= 90
+
+    def test_abrupt_eof_reclaims_subscription_slots(self, db):
+        manager = SessionManager(db)
+        daemon = PrimaDaemon(manager)
+        daemon.start()
+        try:
+            conn = daemon.connect()
+            conn.subscribe("SELECT ALL FROM item")
+            assert manager.live.active == 1
+            conn._transport.close()   # no GOODBYE: raw socket drop
+            wait_until(lambda: manager.live.active == 0)
+        finally:
+            daemon.stop()
+
+    def test_session_close_drops_subscriptions(self, db):
+        manager = SessionManager(db)
+        conn = repro.connect(manager)
+        conn.subscribe("SELECT ALL FROM item")
+        assert manager.live.active == 1
+        conn.close()
+        assert manager.live.active == 0
+        # No stale subscription left to fire.
+        db.insert_atom("item", {"n": 950, "grp": 0})
+
+    def test_active_gauge_tracks_registrations(self, db):
+        manager = SessionManager(db)
+        with repro.connect(manager) as conn:
+            sub = conn.subscribe("SELECT ALL FROM item")
+            assert manager.metrics.gauges()["subscriptions_active"] == 1.0
+            conn.unsubscribe(sub.subscription_id)
+            assert manager.metrics.gauges()["subscriptions_active"] == 0.0
+
+
+# ---------------------------------------------------------------------------
+# Framing: NOTIFY never splices into a request/reply exchange
+# ---------------------------------------------------------------------------
+
+class TestFraming:
+    def test_concurrent_fetch_and_notify_hammer(self, db):
+        """Regression: unsolicited NOTIFY frames land mid-exchange on
+        the socket; correlation ids keep every reply paired."""
+        manager = SessionManager(db)
+        daemon = PrimaDaemon(manager)
+        daemon.start()
+        try:
+            conn = daemon.connect()
+            conn.subscribe("SELECT ALL FROM item")
+            stop = threading.Event()
+
+            def hammer():
+                n = 5000
+                while not stop.is_set():
+                    n += 1
+                    db.insert_atom("item", {"n": n, "grp": 5})
+                    time.sleep(0.0005)
+
+            writer = threading.Thread(target=hammer)
+            writer.start()
+            try:
+                for _ in range(40):
+                    rows = conn.query("SELECT ALL FROM item WHERE grp = 1")
+                    assert rows and all(m.atom["grp"] == 1 for m in rows)
+                    cursor = conn.cursor("SELECT ALL FROM item WHERE "
+                                         "grp = 2", fetch_size=4)
+                    for _ in range(4):
+                        molecule = cursor.next()
+                        assert molecule is None or \
+                            molecule.atom["grp"] == 2
+                    cursor.close()
+            finally:
+                stop.set()
+                writer.join()
+            # The pushes were skimmed, not lost and not spliced.
+            assert conn.notifications(timeout=0.5)
+        finally:
+            daemon.stop()
+
+
+# ---------------------------------------------------------------------------
+# Transport parity and fan-out
+# ---------------------------------------------------------------------------
+
+def _payload(frame):
+    return (frame.types, frame.catalog_changed, frame.molecules)
+
+
+class TestParity:
+    def test_in_process_and_daemon_payloads_identical(self, db):
+        manager = SessionManager(db)
+        daemon = PrimaDaemon(manager)
+        daemon.start()
+        try:
+            local = repro.connect(manager)
+            remote = daemon.connect()
+            local.subscribe("SELECT ALL FROM item")
+            remote.subscribe("SELECT ALL FROM item")
+            db.insert_atom("item", {"n": 990, "grp": 2})
+            local_frames = drain(local)
+            remote_frames = drain(remote)
+            assert len(local_frames) == len(remote_frames) == 1
+            assert _payload(local_frames[0]) == _payload(remote_frames[0])
+            assert local_frames[0].epoch == remote_frames[0].epoch
+            local.close()
+            remote.close()
+        finally:
+            daemon.stop()
+
+    def test_32_subscribers_receive_identical_payloads(self, db):
+        manager = SessionManager(db, max_sessions=40)
+        daemon = PrimaDaemon(manager)
+        daemon.start()
+        conns = []
+        try:
+            for _ in range(32):
+                conn = daemon.connect()
+                conn.subscribe("SELECT ALL FROM item")
+                conns.append(conn)
+            db.insert_atom("item", {"n": 991, "grp": 0})
+            payloads = []
+            for conn in conns:
+                frames = drain(conn, timeout=5.0)
+                assert len(frames) == 1
+                payloads.append(_payload(frames[0]) + (frames[0].epoch,))
+            assert len(set(payloads)) == 1
+        finally:
+            for conn in conns:
+                conn.close()
+            daemon.stop()
+
+
+# ---------------------------------------------------------------------------
+# The async client
+# ---------------------------------------------------------------------------
+
+class TestAsyncClient:
+    def test_subscribe_and_await_notification(self, db):
+        manager = SessionManager(db)
+        daemon = PrimaDaemon(manager)
+        daemon.start()
+
+        async def scenario():
+            host, port = daemon.address
+            client = await open_client(host, port)
+            seen = []
+            client.on_notify = seen.append
+            reply = await client.subscribe("SELECT ALL FROM item")
+            assert isinstance(reply, protocol.SubscribeReply)
+            assert reply.types == ("item",)
+            db.insert_atom("item", {"n": 980, "grp": 1})
+            frame = await client.next_notification(timeout=5.0)
+            assert frame.subscription_id == reply.subscription_id
+            assert seen == [frame]
+            await client.unsubscribe(reply.subscription_id)
+            await client.goodbye()
+            await client.close()
+
+        try:
+            asyncio.run(scenario())
+        finally:
+            daemon.stop()
+
+    def test_async_iterator_streams_notifications(self, db):
+        manager = SessionManager(db)
+        daemon = PrimaDaemon(manager)
+        daemon.start()
+
+        async def scenario():
+            host, port = daemon.address
+            client = await open_client(host, port)
+            await client.subscribe("SELECT ALL FROM item")
+            db.insert_atom("item", {"n": 981, "grp": 1})
+            db.insert_atom("item", {"n": 982, "grp": 1})
+            frames = []
+            async for frame in client.notifications():
+                frames.append(frame)
+                if len(frames) == 2:
+                    break
+            assert all(f.types == ("item",) for f in frames)
+            assert frames[0].epoch < frames[1].epoch
+            await client.close()
+
+        try:
+            asyncio.run(asyncio.wait_for(scenario(), timeout=10.0))
+        finally:
+            daemon.stop()
+
+
+# ---------------------------------------------------------------------------
+# Cluster subscriptions
+# ---------------------------------------------------------------------------
+
+class TestCluster:
+    def test_any_shard_commit_fires(self):
+        with ShardedCluster(shards=3) as cluster:
+            cluster.execute("CREATE ATOM_TYPE item (item_id: IDENTIFIER, "
+                            "n: INTEGER, grp: INTEGER) KEYS_ARE (n)")
+            conn = repro.connect(cluster)
+            sub = conn.subscribe("SELECT ALL FROM item")
+            assert sub.types == ("item",)
+            # Hit several shards: strided keys land on different engines.
+            for n in (1, 2, 3, 4, 5):
+                cluster.execute(f"INSERT item (n = {n}, grp = 0)")
+            frames = drain(conn, want=5)
+            assert len(frames) == 5
+            assert all(f.types == ("item",) for f in frames)
+            conn.close()
+
+    def test_cluster_unrelated_commit_skips(self):
+        with ShardedCluster(shards=2) as cluster:
+            cluster.execute("CREATE ATOM_TYPE item (item_id: IDENTIFIER, "
+                            "n: INTEGER) KEYS_ARE (n)")
+            cluster.execute("CREATE ATOM_TYPE other (other_id: IDENTIFIER, "
+                            "k: INTEGER) KEYS_ARE (k)")
+            conn = repro.connect(cluster)
+            conn.subscribe("SELECT ALL FROM item")
+            before = cluster.access.counters.snapshot()
+            cluster.execute("INSERT other (k = 1)")
+            after = cluster.access.counters.snapshot()
+            assert after.get("invalidations_skipped", 0) > \
+                before.get("invalidations_skipped", 0)
+            assert conn.notifications(timeout=0.2) == []
+            conn.close()

@@ -409,3 +409,111 @@ class TestServingOverCluster:
                 conn.execute(f"INSERT t (v = {i})")
             assert sorted(m.atom["v"] for m in conn.query(
                 "SELECT ALL FROM t")) == list(range(6))
+
+
+# ---------------------------------------------------------------------------
+# The range-router split-point advisor
+# ---------------------------------------------------------------------------
+
+class TestRangeAdvisor:
+    def test_derive_split_points_integers(self):
+        assert ShardRouter.derive_split_points(0, 100, 4) == (25, 50, 75)
+
+    def test_derive_split_points_floats(self):
+        assert ShardRouter.derive_split_points(0.0, 1.0, 4) == \
+            (0.25, 0.5, 0.75)
+
+    def test_derive_rejects_non_numeric_and_degenerate_domains(self):
+        assert ShardRouter.derive_split_points("a", "z", 4) is None
+        assert ShardRouter.derive_split_points(5, 5, 4) is None
+        assert ShardRouter.derive_split_points(True, False, 4) is None
+        assert ShardRouter.derive_split_points(None, None, 4) is None
+        assert ShardRouter.derive_split_points(0, 100, 1) is None
+
+    def test_derive_rejects_too_narrow_integer_domains(self):
+        # 8 shards over [0, 3]: rounding collides adjacent cuts.
+        assert ShardRouter.derive_split_points(0, 3, 8) is None
+
+    def test_adopt_ranges_validates_like_the_constructor(self):
+        router = ShardRouter(4)
+        with pytest.raises(PrimaError):
+            router.adopt_ranges("city", (1, 2))       # wrong count
+        with pytest.raises(PrimaError):
+            router.adopt_ranges("city", (3, 2, 1))    # not ascending
+        router.adopt_ranges("city", (10, 20, 30))
+        assert router.scheme("city") == "range"
+        assert router.range_points("city") == (10, 20, 30)
+        assert router.routable("city")
+
+    def test_advise_ranges_derives_from_statistics(self):
+        with ShardedCluster(shards=SHARDS) as cluster:
+            cluster.execute("CREATE ATOM_TYPE m (m_id: IDENTIFIER, "
+                            "v: INTEGER) KEYS_ARE (v)")
+            for v in range(100):
+                cluster.execute(f"INSERT m (v = {v})")
+            adopted = cluster.advise_ranges()
+            assert "m" in adopted
+            assert len(adopted["m"]) == SHARDS - 1
+            assert list(adopted["m"]) == sorted(adopted["m"])
+            assert cluster.router.scheme("m") == "range"
+            assert cluster.io_report()["router_ranges_advised"] == 1
+
+    def test_advise_skips_declared_and_keyless_types(self):
+        with ShardedCluster(shards=2, ranges={"r": (50,)}) as cluster:
+            cluster.execute("CREATE ATOM_TYPE r (r_id: IDENTIFIER, "
+                            "v: INTEGER) KEYS_ARE (v)")
+            cluster.execute("CREATE ATOM_TYPE nk (nk_id: IDENTIFIER, "
+                            "w: INTEGER)")
+            for v in range(10):
+                cluster.execute(f"INSERT r (v = {v * 10})")
+                cluster.execute(f"INSERT nk (w = {v})")
+            adopted = cluster.advise_ranges()
+            assert adopted == {}
+            assert cluster.router.range_points("r") == (50,)
+
+    def test_advise_skips_non_numeric_keys(self, cluster):
+        # The fixture's city type is keyed on name (CHAR_VAR).
+        assert cluster.advise_ranges("city") == {}
+        assert cluster.router.scheme("city") == "hash"
+
+    def test_mixed_placement_keeps_old_atoms_findable(self):
+        with ShardedCluster(shards=3) as cluster:
+            cluster.execute("CREATE ATOM_TYPE m (m_id: IDENTIFIER, "
+                            "v: INTEGER) KEYS_ARE (v)")
+            for v in range(30):
+                cluster.execute(f"INSERT m (v = {v})")
+            cluster.advise_ranges("m")
+            # Ranges adopted over hash-placed data: lookups must keep
+            # scattering, so every pre-adoption atom stays reachable.
+            assert not cluster.router.routable("m")
+            for v in (0, 13, 29):
+                rows = cluster.data.execute_text(
+                    f"SELECT ALL FROM m WHERE v = {v}")
+                assert [x.atom["v"] for x in rows] == [v]
+            # New inserts follow the derived ranges.
+            cluster.execute("INSERT m (v = 500)")
+            owner = cluster.router.shard_of_key("m", 500)
+            assert cluster.engines[owner].access.atoms.find_by_key(
+                "m", 500) is not None
+            rows = cluster.data.execute_text(
+                "SELECT ALL FROM m WHERE v = 500")
+            assert [x.atom["v"] for x in rows] == [500]
+
+    def test_advised_cluster_parity_with_oracle(self, oracle):
+        with ShardedCluster(shards=SHARDS) as cluster:
+            cluster.execute("CREATE ATOM_TYPE m (m_id: IDENTIFIER, "
+                            "v: INTEGER) KEYS_ARE (v)")
+            oracle2 = Prima()
+            oracle2.execute("CREATE ATOM_TYPE m (m_id: IDENTIFIER, "
+                            "v: INTEGER) KEYS_ARE (v)")
+            for v in range(40):
+                cluster.execute(f"INSERT m (v = {v})")
+                oracle2.execute(f"INSERT m (v = {v})")
+            cluster.advise_ranges("m")
+            for v in range(40, 60):
+                cluster.execute(f"INSERT m (v = {v})")
+                oracle2.execute(f"INSERT m (v = {v})")
+            mql = "SELECT ALL FROM m WHERE v >= 20"
+            assert sorted(x.atom["v"] for x in
+                          cluster.data.execute_text(mql)) == \
+                sorted(x.atom["v"] for x in oracle2.execute(mql))

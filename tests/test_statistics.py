@@ -121,3 +121,62 @@ class TestOptimizerIntegration:
         db.data.scan_threshold = 0.99
         plan = db.explain("SELECT ALL FROM part WHERE x < 90")
         assert "ACCESS PATH SCAN px" in plan
+
+
+class TestMostCommonValues:
+    @pytest.fixture
+    def skewed(self) -> Prima:
+        database = Prima()
+        database.execute("CREATE ATOM_TYPE part (part_id: IDENTIFIER, "
+                         "x: INTEGER, tag: CHAR_VAR)")
+        # 80 rows of one dominant tag + 20 distinct singletons.
+        for value in range(80):
+            database.insert_atom("part", {"x": value, "tag": "hot"})
+        for value in range(20):
+            database.insert_atom("part", {"x": 80 + value,
+                                          "tag": f"rare{value}"})
+        return database
+
+    def test_mcvs_collected_for_skewed_column(self, skewed):
+        skewed.analyze("part")
+        stats = skewed.data.statistics.type_statistics("part")
+        tag = stats.attributes["tag"]
+        assert tag.most_common == {"'hot'": 80}
+        assert tag.distinct == 21
+
+    def test_uniform_column_keeps_no_mcvs(self, db):
+        db.analyze("part")
+        stats = db.data.statistics.type_statistics("part")
+        assert stats.attributes["x"].most_common == {}
+        # ... so equality stays at the classic 1/distinct.
+        assert stats.attributes["x"].selectivity("=", 7) == \
+            pytest.approx(1 / 100)
+
+    def test_equality_is_value_aware(self, skewed):
+        skewed.analyze("part")
+        stats = skewed.data.statistics.type_statistics("part")
+        tag = stats.attributes["tag"]
+        assert tag.selectivity("=", "hot") == pytest.approx(0.80)
+        # A non-MCV probe gets the residual mass spread over the
+        # residual distinct values: 20 rows / 100 / 20 values.
+        assert tag.selectivity("=", "rare3") == pytest.approx(0.01)
+        assert tag.selectivity("!=", "hot") == pytest.approx(0.20)
+
+    def test_bind_time_reveto_flips_on_equality(self, skewed):
+        """The PR-10 satellite gate: a prepared equality probe on a
+        dominant value demotes to the scan at bind time."""
+        skewed.execute_ldl("CREATE ACCESS PATH ptag ON part (tag)")
+        skewed.analyze("part")
+        stmt = skewed.prepare("SELECT ALL FROM part WHERE tag = ?")
+        before = skewed.access.counters.snapshot()
+        hot = stmt.execute("hot")
+        after = skewed.access.counters.snapshot()
+        assert len(hot) == 80
+        assert after.get("plans_revetoed", 0) == \
+            before.get("plans_revetoed", 0) + 1
+        # A rare value keeps the access path (no veto).
+        rare = stmt.execute("rare3")
+        final = skewed.access.counters.snapshot()
+        assert len(rare) == 1
+        assert final.get("plans_revetoed", 0) == \
+            after.get("plans_revetoed", 0)
